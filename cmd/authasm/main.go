@@ -1,0 +1,123 @@
+// Command authasm assembles authpoint assembly and prints the binary image:
+// encoded text words with disassembly, the data section, and the symbol
+// table. With -run it also executes the program on the default machine.
+//
+// Usage:
+//
+//	authasm prog.s
+//	authasm -run -scheme authen-then-commit prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"authpoint/internal/asm"
+	"authpoint/internal/isa"
+	"authpoint/internal/sim"
+)
+
+func main() {
+	var (
+		run        = flag.Bool("run", false, "execute after assembling")
+		schemeName = flag.String("scheme", "baseline", "scheme when running")
+		maxInsts   = flag.Uint64("maxinsts", 1_000_000, "instruction budget when running")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatalf("usage: authasm [-run] file.s")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	p, err := asm.Assemble(string(src))
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("text @ %#x (%d instructions), data @ %#x (%d bytes), entry %#x\n\n",
+		p.TextBase, len(p.Text), p.DataBase, len(p.Data), p.Entry)
+	for i, w := range p.Text {
+		addr := p.TextBase + uint64(i*isa.InstBytes)
+		if lbl := labelAt(p, addr); lbl != "" {
+			fmt.Printf("%s:\n", lbl)
+		}
+		fmt.Printf("  %#08x: %08x  %v\n", addr, w, isa.Decode(w))
+	}
+	if len(p.Data) > 0 {
+		fmt.Printf("\ndata (first %d bytes):\n", min(64, len(p.Data)))
+		for i := 0; i < min(64, len(p.Data)); i += 16 {
+			end := min(i+16, len(p.Data))
+			fmt.Printf("  %#08x: % x\n", p.DataBase+uint64(i), p.Data[i:end])
+		}
+	}
+	fmt.Println("\nsymbols:")
+	type symb struct {
+		name string
+		addr uint64
+	}
+	var syms []symb
+	for n, a := range p.Symbols {
+		syms = append(syms, symb{n, a})
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i].addr < syms[j].addr })
+	for _, s := range syms {
+		fmt.Printf("  %#08x %s\n", s.addr, s.name)
+	}
+
+	if *run {
+		s, ok := schemeByName(*schemeName)
+		if !ok {
+			fatalf("unknown scheme %q", *schemeName)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Scheme = s
+		cfg.MaxInsts = *maxInsts
+		m, err := sim.NewMachine(cfg, p)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			fatalf("run: %v", err)
+		}
+		fmt.Printf("\nrun: %v after %d cycles, %d instructions (IPC %.3f)\n",
+			res.Reason, res.Cycles, res.Insts, res.IPC)
+		for _, e := range m.Core.OutLog() {
+			fmt.Printf("  out port %#x <- %#x @ cycle %d\n", e.Port, e.Val, e.Cycle)
+		}
+	}
+}
+
+func labelAt(p *asm.Program, addr uint64) string {
+	for n, a := range p.Symbols {
+		if a == addr {
+			return n
+		}
+	}
+	return ""
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func schemeByName(name string) (sim.Scheme, bool) {
+	for _, s := range sim.Schemes {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "authasm: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,203 @@
+// Command authbench regenerates every table and figure of the paper's
+// evaluation. Each experiment prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	authbench -experiment all            # everything (several minutes)
+//	authbench -experiment fig7a          # one artifact
+//	authbench -experiment table2 -quick  # fast smoke versions
+//
+// Experiments: table1 table2 table3 fig6 fig7a fig7b fig7c fig7d fig8 fig9
+// fig10 fig11 fig12 fig13 ablations all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"authpoint/internal/experiments"
+	"authpoint/internal/sim"
+	"authpoint/internal/workload"
+)
+
+func main() {
+	var (
+		exp      = flag.String("experiment", "all", "which artifact to regenerate (see doc)")
+		quick    = flag.Bool("quick", false, "small workload subset and short windows")
+		warmup   = flag.Uint64("warmup", 0, "override warmup instructions")
+		measure  = flag.Uint64("measure", 0, "override measured instructions")
+		loadList = flag.String("workloads", "", "comma-separated workload subset (default: all 18)")
+		bars     = flag.Bool("bars", false, "render normalized-IPC sweeps as bar groups (figure-style)")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	if *quick {
+		p = experiments.QuickParams()
+	}
+	if *warmup > 0 {
+		p.Warmup = *warmup
+	}
+	if *measure > 0 {
+		p.Measure = *measure
+	}
+	if *loadList != "" {
+		var ws []workload.Workload
+		for _, name := range strings.Split(*loadList, ",") {
+			w, ok := workload.ByName(strings.TrimSpace(name))
+			if !ok {
+				fatalf("unknown workload %q", name)
+			}
+			ws = append(ws, w)
+		}
+		p.Workloads = ws
+	}
+
+	renderBars = *bars
+	start := time.Now()
+	for _, e := range strings.Split(*exp, ",") {
+		if err := run(strings.TrimSpace(e), p); err != nil {
+			fatalf("%s: %v", e, err)
+		}
+	}
+	fmt.Printf("\n(total wall time %v)\n", time.Since(start).Round(time.Second))
+}
+
+// renderBars switches sweep output to figure-style bar groups.
+var renderBars bool
+
+func renderSweep(w *os.File, sw *experiments.Sweep) {
+	if renderBars {
+		sw.RenderBars(w)
+		return
+	}
+	sw.Render(w)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "authbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func run(name string, p experiments.Params) error {
+	w := os.Stdout
+	section := func(s string) { fmt.Fprintf(w, "\n==== %s ====\n", s) }
+	switch name {
+	case "all":
+		// fig10 renders fig11 and fig12 renders fig13 (they derive from the
+		// same sweeps), so each pair runs once.
+		for _, e := range []string{
+			"table1", "table2", "table3", "fig6",
+			"fig7a", "fig7b", "fig7c", "fig7d",
+			"fig8", "fig9", "fig10", "fig12",
+		} {
+			if err := run(e, p); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case "table1":
+		section("Table 1")
+		rows, err := experiments.Table1(sim.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		experiments.RenderTable1(w, rows)
+
+	case "table2":
+		section("Table 2")
+		rows, err := experiments.Table2()
+		if err != nil {
+			return err
+		}
+		experiments.RenderTable2(w, rows)
+
+	case "table3":
+		section("Table 3")
+		experiments.RenderTable3(w, sim.DefaultConfig())
+
+	case "fig6":
+		section("Figure 6")
+		rows, err := experiments.Fig6()
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig6(w, rows)
+
+	case "fig7a", "fig7b", "fig7c", "fig7d":
+		fp := name == "fig7b" || name == "fig7d"
+		l2 := 256 << 10
+		lat := 4
+		if name == "fig7c" || name == "fig7d" {
+			l2 = 1 << 20
+			lat = 8
+		}
+		section("Figure 7" + name[4:])
+		sw, err := experiments.Fig7(p, fp, l2, lat)
+		if err != nil {
+			return err
+		}
+		renderSweep(w, sw)
+
+	case "fig8":
+		// Figure 8 derives from the 256KB Figure 7 data: IPC speedup of the
+		// relaxed schemes over authen-then-issue.
+		section("Figure 8")
+		sw, err := experiments.RunSweep("fig8 base data (256KB L2)", p,
+			[]sim.Scheme{sim.SchemeThenIssue, sim.SchemeThenWrite, sim.SchemeThenCommit, sim.SchemeCommitPlusFetch}, nil)
+		if err != nil {
+			return err
+		}
+		experiments.RenderSpeedups(w, "Figure 8: IPC speedup over authen-then-issue, 256KB L2",
+			sw.Speedups([]sim.Scheme{sim.SchemeThenCommit, sim.SchemeThenWrite, sim.SchemeCommitPlusFetch}),
+			[]sim.Scheme{sim.SchemeThenCommit, sim.SchemeThenWrite, sim.SchemeCommitPlusFetch})
+
+	case "fig9":
+		section("Figure 9")
+		pts, err := experiments.Fig9(p, []int{64 << 10, 256 << 10, 1 << 20})
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig9(w, pts)
+
+	case "fig10", "fig11":
+		section("Figures 10/11 (64-entry RUU)")
+		sw, err := experiments.Fig10(p)
+		if err != nil {
+			return err
+		}
+		renderSweep(w, sw)
+		experiments.RenderSpeedups(w, "Figure 11: speedup over authen-then-issue, 64-entry RUU",
+			sw.Speedups([]sim.Scheme{sim.SchemeThenCommit, sim.SchemeCommitPlusFetch}),
+			[]sim.Scheme{sim.SchemeThenCommit, sim.SchemeCommitPlusFetch})
+
+	case "fig12", "fig13":
+		section("Figures 12/13 (MAC-tree authentication)")
+		sw, err := experiments.Fig12(p)
+		if err != nil {
+			return err
+		}
+		renderSweep(w, sw)
+		experiments.RenderSpeedups(w, "Figure 13: speedup over authen-then-issue, MAC tree",
+			sw.Speedups([]sim.Scheme{sim.SchemeThenCommit, sim.SchemeCommitPlusFetch}),
+			[]sim.Scheme{sim.SchemeThenCommit, sim.SchemeCommitPlusFetch})
+
+	case "ablations":
+		section("Ablations (design-choice sensitivity, beyond the paper's figures)")
+		abls, err := experiments.AllAblations(p)
+		if err != nil {
+			return err
+		}
+		for _, a := range abls {
+			a.Render(w)
+		}
+
+	default:
+		return fmt.Errorf("unknown experiment (want table1..3, fig6..fig13, ablations, or all)")
+	}
+	return nil
+}

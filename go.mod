@@ -1,0 +1,3 @@
+module authpoint
+
+go 1.22

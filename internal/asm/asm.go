@@ -1,0 +1,830 @@
+// Package asm implements a two-pass assembler for the authpoint ISA.
+//
+// The assembler consumes a textual program with .text/.data sections, labels,
+// data directives, and a small set of pseudo-instructions, and produces a
+// relocated binary image. All workloads, examples, and attack kernels in this
+// repository are written in this assembly language.
+//
+// Syntax summary:
+//
+//	; comment            # comment
+//	.text [addr]         switch to text section (optionally at addr)
+//	.data [addr]         switch to data section
+//	.align n             align to n bytes
+//	.word v ...          emit 64-bit little-endian words (data section)
+//	.word4 v ...         emit 32-bit words
+//	.byte v ...          emit bytes
+//	.space n [fill]      emit n bytes of fill (default 0)
+//	.float v ...         emit float64 values
+//	label:               define label at current location
+//	add r1, r2, r3       R-format instruction
+//	addi r1, r2, -5      I-format instruction
+//	ld r1, 8(r2)         load/store with displacement
+//	beq r1, r2, label    branches take label or numeric word offset
+//	jal ra, label        jump and link
+//	li r1, imm64         pseudo: load up to 48-bit constant (1-3 insts)
+//	la r1, label         pseudo: load address of label
+//	mov r1, r2           pseudo: addi r1, r2, 0
+//	b label              pseudo: beq r0, r0, label
+//	ret                  pseudo: jalr r0, ra, 0
+//
+// Registers: r0..r31 (aliases: zero=r0, sp=r30, ra=r31), f0..f31.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"authpoint/internal/isa"
+)
+
+// Default section base addresses. Text at 4KB, data at 1MB. Both lie in the
+// protected (encrypted + authenticated) region of the address space.
+const (
+	DefaultTextBase = 0x1000
+	DefaultDataBase = 0x100000
+)
+
+// Program is an assembled binary image.
+type Program struct {
+	TextBase uint64
+	Text     []uint32 // encoded instruction words
+	DataBase uint64
+	Data     []byte
+	Entry    uint64            // address of `_start` label, or TextBase
+	Symbols  map[string]uint64 // label -> address
+}
+
+// TextBytes returns the text section as little-endian bytes.
+func (p *Program) TextBytes() []byte {
+	b := make([]byte, len(p.Text)*isa.InstBytes)
+	for i, w := range p.Text {
+		b[i*4+0] = byte(w)
+		b[i*4+1] = byte(w >> 8)
+		b[i*4+2] = byte(w >> 16)
+		b[i*4+3] = byte(w >> 24)
+	}
+	return b
+}
+
+// Error is an assembly error annotated with a source line.
+type Error struct {
+	Line int
+	Text string
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("asm: line %d: %s (in %q)", e.Line, e.Msg, e.Text)
+}
+
+type section int
+
+const (
+	secText section = iota
+	secData
+)
+
+type fixup struct {
+	line    int
+	src     string
+	textIdx int    // instruction index in Text
+	label   string // target label
+	kind    fixupKind
+}
+
+type fixupKind int
+
+const (
+	fixBranch fixupKind = iota // pc-relative word offset into imm16
+	fixJAL                     // pc-relative word offset into imm16
+	fixLA                      // absolute address into li sequence (3 insts)
+)
+
+// dataFixup patches a label's address into the data section.
+type dataFixup struct {
+	line   int
+	src    string
+	offset int // byte offset in the data buffer
+	size   int // 4 or 8
+	label  string
+}
+
+type assembler struct {
+	prog       Program
+	sec        section
+	fixups     []fixup
+	dataFixups []dataFixup
+	line       int
+	src        string
+	dataBuf    []byte
+	textAddr   uint64 // next text address
+}
+
+// Assemble assembles source into a Program.
+func Assemble(source string) (*Program, error) {
+	a := &assembler{
+		prog: Program{
+			TextBase: DefaultTextBase,
+			DataBase: DefaultDataBase,
+			Symbols:  map[string]uint64{},
+		},
+		sec: secText,
+	}
+	a.textAddr = a.prog.TextBase
+	for i, raw := range strings.Split(source, "\n") {
+		a.line = i + 1
+		a.src = raw
+		if err := a.doLine(raw); err != nil {
+			return nil, err
+		}
+	}
+	a.prog.Data = a.dataBuf
+	if err := a.resolveFixups(); err != nil {
+		return nil, err
+	}
+	if e, ok := a.prog.Symbols["_start"]; ok {
+		a.prog.Entry = e
+	} else {
+		a.prog.Entry = a.prog.TextBase
+	}
+	return &a.prog, nil
+}
+
+// MustAssemble is Assemble but panics on error; for generators and tests.
+func MustAssemble(source string) *Program {
+	p, err := Assemble(source)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (a *assembler) errf(format string, args ...any) error {
+	return &Error{Line: a.line, Text: strings.TrimSpace(a.src), Msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) here() uint64 {
+	if a.sec == secText {
+		return a.textAddr
+	}
+	return a.prog.DataBase + uint64(len(a.dataBuf))
+}
+
+func stripComment(s string) string {
+	for _, c := range []string{";", "#", "//"} {
+		if i := strings.Index(s, c); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return strings.TrimSpace(s)
+}
+
+func (a *assembler) doLine(raw string) error {
+	s := stripComment(raw)
+	if s == "" {
+		return nil
+	}
+	// Labels (possibly several, possibly followed by an instruction).
+	for {
+		i := strings.Index(s, ":")
+		if i < 0 {
+			break
+		}
+		label := strings.TrimSpace(s[:i])
+		if !isIdent(label) {
+			return a.errf("invalid label %q", label)
+		}
+		if _, dup := a.prog.Symbols[label]; dup {
+			return a.errf("duplicate label %q", label)
+		}
+		a.prog.Symbols[label] = a.here()
+		s = strings.TrimSpace(s[i+1:])
+		if s == "" {
+			return nil
+		}
+	}
+	if strings.HasPrefix(s, ".") {
+		return a.doDirective(s)
+	}
+	return a.doInst(s)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func splitOperands(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func (a *assembler) doDirective(s string) error {
+	fields := strings.Fields(s)
+	dir := fields[0]
+	rest := strings.TrimSpace(strings.TrimPrefix(s, dir))
+	args := splitOperands(rest)
+	switch dir {
+	case ".text":
+		a.sec = secText
+		if len(args) == 1 && args[0] != "" {
+			v, err := parseInt(args[0])
+			if err != nil {
+				return a.errf(".text address: %v", err)
+			}
+			if len(a.prog.Text) > 0 {
+				return a.errf(".text base must be set before any instructions")
+			}
+			a.prog.TextBase = uint64(v)
+			a.textAddr = a.prog.TextBase
+		}
+	case ".data":
+		a.sec = secData
+		if len(args) == 1 && args[0] != "" {
+			v, err := parseInt(args[0])
+			if err != nil {
+				return a.errf(".data address: %v", err)
+			}
+			if len(a.dataBuf) > 0 {
+				return a.errf(".data base must be set before any data")
+			}
+			a.prog.DataBase = uint64(v)
+		}
+	case ".align":
+		if a.sec != secData {
+			return a.errf(".align only supported in .data")
+		}
+		if len(args) != 1 {
+			return a.errf(".align takes one argument")
+		}
+		n, err := parseInt(args[0])
+		if err != nil || n <= 0 || n&(n-1) != 0 {
+			return a.errf(".align argument must be a positive power of two")
+		}
+		for uint64(len(a.dataBuf))%uint64(n) != 0 {
+			a.dataBuf = append(a.dataBuf, 0)
+		}
+	case ".word", ".word4", ".byte":
+		if a.sec != secData {
+			return a.errf("%s only supported in .data", dir)
+		}
+		size := map[string]int{".word": 8, ".word4": 4, ".byte": 1}[dir]
+		for _, arg := range args {
+			v, err := parseInt(arg)
+			if err != nil {
+				// Labels may be used as data values (building linked
+				// structures in the image); forward references are patched
+				// after the first pass.
+				if addr, ok := a.prog.Symbols[arg]; ok {
+					v = int64(addr)
+				} else if isIdent(arg) && size >= 4 {
+					a.dataFixups = append(a.dataFixups, dataFixup{
+						line: a.line, src: a.src, offset: len(a.dataBuf), size: size, label: arg,
+					})
+					v = 0
+				} else {
+					return a.errf("%s value %q: %v", dir, arg, err)
+				}
+			}
+			for b := 0; b < size; b++ {
+				a.dataBuf = append(a.dataBuf, byte(uint64(v)>>(8*b)))
+			}
+		}
+	case ".float":
+		if a.sec != secData {
+			return a.errf(".float only supported in .data")
+		}
+		for _, arg := range args {
+			f, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return a.errf(".float value %q: %v", arg, err)
+			}
+			bits := float64bits(f)
+			for b := 0; b < 8; b++ {
+				a.dataBuf = append(a.dataBuf, byte(bits>>(8*b)))
+			}
+		}
+	case ".space":
+		if a.sec != secData {
+			return a.errf(".space only supported in .data")
+		}
+		if len(args) < 1 || len(args) > 2 {
+			return a.errf(".space takes 1 or 2 arguments")
+		}
+		n, err := parseInt(args[0])
+		if err != nil || n < 0 {
+			return a.errf(".space size must be non-negative")
+		}
+		fill := byte(0)
+		if len(args) == 2 {
+			f, err := parseInt(args[1])
+			if err != nil {
+				return a.errf(".space fill: %v", err)
+			}
+			fill = byte(f)
+		}
+		for i := int64(0); i < n; i++ {
+			a.dataBuf = append(a.dataBuf, fill)
+		}
+	default:
+		return a.errf("unknown directive %s", dir)
+	}
+	return nil
+}
+
+func parseInt(s string) (int64, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	switch {
+	case strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X"):
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	case strings.HasPrefix(s, "0b"):
+		v, err = strconv.ParseUint(s[2:], 2, 64)
+	default:
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+func (a *assembler) emit(inst isa.Inst) error {
+	if a.sec != secText {
+		return a.errf("instruction outside .text")
+	}
+	w, err := isa.Encode(inst)
+	if err != nil {
+		return a.errf("%v", err)
+	}
+	a.prog.Text = append(a.prog.Text, w)
+	a.textAddr += isa.InstBytes
+	return nil
+}
+
+func parseReg(s string, fp bool) (uint8, error) {
+	switch s {
+	case "zero":
+		return 0, nil
+	case "sp":
+		return isa.RegSP, nil
+	case "ra":
+		return isa.RegRA, nil
+	}
+	want := byte('r')
+	if fp {
+		want = 'f'
+	}
+	if len(s) < 2 || s[0] != want {
+		return 0, fmt.Errorf("expected %c-register, got %q", want, s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumIntRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+// parseMem parses "disp(base)" or "(base)".
+func parseMem(s string) (int64, uint8, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("expected disp(base), got %q", s)
+	}
+	disp := int64(0)
+	if open > 0 {
+		v, err := parseInt(strings.TrimSpace(s[:open]))
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad displacement in %q: %v", s, err)
+		}
+		disp = v
+	}
+	base, err := parseReg(strings.TrimSpace(s[open+1:len(s)-1]), false)
+	if err != nil {
+		return 0, 0, err
+	}
+	return disp, base, nil
+}
+
+func (a *assembler) doInst(s string) error {
+	fields := strings.SplitN(s, " ", 2)
+	mn := strings.ToLower(fields[0])
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	ops := splitOperands(rest)
+
+	// Pseudo-instructions first.
+	switch mn {
+	case "li":
+		if len(ops) != 2 {
+			return a.errf("li takes rd, imm")
+		}
+		rd, err := parseReg(ops[0], false)
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		v, err := parseInt(ops[1])
+		if err != nil {
+			return a.errf("li immediate: %v", err)
+		}
+		return a.emitLI(rd, uint64(v))
+	case "la":
+		if len(ops) != 2 {
+			return a.errf("la takes rd, label")
+		}
+		rd, err := parseReg(ops[0], false)
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		if addr, ok := a.prog.Symbols[ops[1]]; ok {
+			return a.emitLI(rd, addr)
+		}
+		// Forward reference: reserve a fixed 3-instruction sequence.
+		a.fixups = append(a.fixups, fixup{
+			line: a.line, src: a.src, textIdx: len(a.prog.Text), label: ops[1], kind: fixLA,
+		})
+		for i := 0; i < 3; i++ {
+			if err := a.emit(isa.Inst{Op: isa.OpNOP}); err != nil {
+				return err
+			}
+		}
+		// Patch rd into the placeholder later; remember it via an ORI trick:
+		// the fixup rewrites all three instructions, so stash rd in the first
+		// NOP's encoding is not possible — instead record it in the label.
+		a.fixups[len(a.fixups)-1].label = ops[1] + "\x00" + strconv.Itoa(int(rd))
+		return nil
+	case "mov":
+		if len(ops) != 2 {
+			return a.errf("mov takes rd, rs")
+		}
+		rd, err1 := parseReg(ops[0], false)
+		rs, err2 := parseReg(ops[1], false)
+		if err1 != nil || err2 != nil {
+			return a.errf("mov registers")
+		}
+		return a.emit(isa.Inst{Op: isa.OpADDI, Rd: rd, Rs1: rs, Imm: 0})
+	case "b", "j":
+		if len(ops) != 1 {
+			return a.errf("b takes a target")
+		}
+		return a.emitBranch(isa.OpBEQ, 0, 0, ops[0])
+	case "ret":
+		return a.emit(isa.Inst{Op: isa.OpJALR, Rd: 0, Rs1: isa.RegRA, Imm: 0})
+	case "call":
+		if len(ops) != 1 {
+			return a.errf("call takes a target")
+		}
+		return a.emitJAL(isa.RegRA, ops[0])
+	}
+
+	op, ok := isa.OpByName(mn)
+	if !ok {
+		return a.errf("unknown mnemonic %q", mn)
+	}
+	return a.emitOp(op, ops)
+}
+
+// emitLI emits a minimal 1-3 instruction sequence loading a constant whose
+// magnitude fits in 48 bits (covering the whole simulated address space).
+func (a *assembler) emitLI(rd uint8, v uint64) error {
+	if rd >= 16 {
+		return a.errf("li destination must be r0..r15")
+	}
+	if int64(v) >= -(1<<15) && int64(v) < 1<<15 {
+		return a.emit(isa.Inst{Op: isa.OpADDI, Rd: rd, Rs1: 0, Imm: int32(int64(v))})
+	}
+	if v>>48 != 0 {
+		return a.errf("li constant %#x exceeds 48 bits", v)
+	}
+	lo := uint16(v)
+	mid := uint16(v >> 16)
+	hi := uint16(v >> 32)
+	if err := a.emit(isa.Inst{Op: isa.OpLUI, Rd: rd, Imm: int32(mid)}); err != nil {
+		return err
+	}
+	if lo != 0 {
+		if err := a.emit(isa.Inst{Op: isa.OpORI, Rd: rd, Rs1: rd, Imm: int32(lo)}); err != nil {
+			return err
+		}
+	}
+	if hi != 0 {
+		if err := a.emit(isa.Inst{Op: isa.OpLUIH, Rd: rd, Rs1: rd, Imm: int32(hi)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// liSequence encodes the fixed-length (3-word) li used for forward la fixups.
+func liSequence(rd uint8, v uint64) ([3]uint32, error) {
+	var out [3]uint32
+	seq := []isa.Inst{
+		{Op: isa.OpLUI, Rd: rd, Imm: int32(uint16(v >> 16))},
+		{Op: isa.OpORI, Rd: rd, Rs1: rd, Imm: int32(uint16(v))},
+		{Op: isa.OpLUIH, Rd: rd, Rs1: rd, Imm: int32(uint16(v >> 32))},
+	}
+	for i, inst := range seq {
+		w, err := isa.Encode(inst)
+		if err != nil {
+			return out, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+func (a *assembler) emitBranch(op isa.Op, rs1, rs2 uint8, target string) error {
+	if off, err := parseInt(target); err == nil {
+		return a.emit(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: int32(off)})
+	}
+	if addr, ok := a.prog.Symbols[target]; ok {
+		off := wordOffset(a.here(), addr)
+		return a.emit(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: off})
+	}
+	a.fixups = append(a.fixups, fixup{
+		line: a.line, src: a.src, textIdx: len(a.prog.Text), label: target, kind: fixBranch,
+	})
+	return a.emit(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: 0})
+}
+
+func (a *assembler) emitJAL(rd uint8, target string) error {
+	if off, err := parseInt(target); err == nil {
+		return a.emit(isa.Inst{Op: isa.OpJAL, Rd: rd, Imm: int32(off)})
+	}
+	if addr, ok := a.prog.Symbols[target]; ok {
+		off := wordOffset(a.here(), addr)
+		return a.emit(isa.Inst{Op: isa.OpJAL, Rd: rd, Imm: off})
+	}
+	a.fixups = append(a.fixups, fixup{
+		line: a.line, src: a.src, textIdx: len(a.prog.Text), label: target, kind: fixJAL,
+	})
+	return a.emit(isa.Inst{Op: isa.OpJAL, Rd: rd, Imm: 0})
+}
+
+// wordOffset computes the imm16 branch offset from the instruction at pc to
+// target (offset counts instruction words from pc+4).
+func wordOffset(pc, target uint64) int32 {
+	return int32((int64(target) - int64(pc) - isa.InstBytes) / isa.InstBytes)
+}
+
+func (a *assembler) emitOp(op isa.Op, ops []string) error {
+	fpAB := func(i int) bool { // whether operand i is an FP register for op
+		switch op {
+		case isa.OpFADD, isa.OpFSUB, isa.OpFMUL, isa.OpFDIV, isa.OpFNEG:
+			return true
+		case isa.OpFCVTIF:
+			return i == 0
+		case isa.OpFCVTFI:
+			return i == 1
+		case isa.OpFBLT, isa.OpFBGE:
+			return i <= 1
+		case isa.OpFLD, isa.OpFSD:
+			return i == 0
+		}
+		return false
+	}
+	switch op.Class() {
+	case isa.ClassNop, isa.ClassHalt:
+		if len(ops) != 0 {
+			return a.errf("%v takes no operands", op)
+		}
+		return a.emit(isa.Inst{Op: op})
+	case isa.ClassALU, isa.ClassMul:
+		switch op {
+		case isa.OpLUI, isa.OpLUIH:
+			if len(ops) != 2 {
+				return a.errf("%v takes rd, imm", op)
+			}
+			rd, err := parseReg(ops[0], false)
+			if err != nil {
+				return a.errf("%v", err)
+			}
+			v, err := parseInt(ops[1])
+			if err != nil {
+				return a.errf("immediate: %v", err)
+			}
+			rs1 := uint8(0)
+			if op == isa.OpLUIH {
+				rs1 = rd
+			}
+			return a.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: int32(v)})
+		}
+		if len(ops) != 3 {
+			return a.errf("%v takes 3 operands", op)
+		}
+		rd, err := parseReg(ops[0], false)
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		rs1, err := parseReg(ops[1], false)
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		if op.HasImm() {
+			v, err := parseInt(ops[2])
+			if err != nil {
+				return a.errf("immediate: %v", err)
+			}
+			return a.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: int32(v)})
+		}
+		rs2, err := parseReg(ops[2], false)
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		return a.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+	case isa.ClassLoad, isa.ClassFPLoad:
+		if op == isa.OpPREF {
+			if len(ops) != 1 {
+				return a.errf("pref takes disp(base)")
+			}
+			disp, base, err := parseMem(ops[0])
+			if err != nil {
+				return a.errf("%v", err)
+			}
+			return a.emit(isa.Inst{Op: op, Rs1: base, Imm: int32(disp)})
+		}
+		if len(ops) != 2 {
+			return a.errf("%v takes rd, disp(base)", op)
+		}
+		rd, err := parseReg(ops[0], op.Class() == isa.ClassFPLoad)
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		disp, base, err := parseMem(ops[1])
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		return a.emit(isa.Inst{Op: op, Rd: rd, Rs1: base, Imm: int32(disp)})
+	case isa.ClassStore, isa.ClassFPStore:
+		if len(ops) != 2 {
+			return a.errf("%v takes rs, disp(base)", op)
+		}
+		rs2, err := parseReg(ops[0], op.Class() == isa.ClassFPStore)
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		disp, base, err := parseMem(ops[1])
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		return a.emit(isa.Inst{Op: op, Rs1: base, Rs2: rs2, Imm: int32(disp)})
+	case isa.ClassBranch:
+		if len(ops) != 3 {
+			return a.errf("%v takes rs1, rs2, target", op)
+		}
+		fp := fpAB(0)
+		rs1, err := parseReg(ops[0], fp)
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		rs2, err := parseReg(ops[1], fp)
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		return a.emitBranch(op, rs1, rs2, ops[2])
+	case isa.ClassJump:
+		if op == isa.OpJAL {
+			if len(ops) != 2 {
+				return a.errf("jal takes rd, target")
+			}
+			rd, err := parseReg(ops[0], false)
+			if err != nil {
+				return a.errf("%v", err)
+			}
+			return a.emitJAL(rd, ops[1])
+		}
+		if len(ops) != 3 {
+			return a.errf("jalr takes rd, rs1, imm")
+		}
+		rd, err := parseReg(ops[0], false)
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		rs1, err := parseReg(ops[1], false)
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		v, err := parseInt(ops[2])
+		if err != nil {
+			return a.errf("immediate: %v", err)
+		}
+		return a.emit(isa.Inst{Op: isa.OpJALR, Rd: rd, Rs1: rs1, Imm: int32(v)})
+	case isa.ClassFPU:
+		nops := 3
+		if op == isa.OpFNEG || op == isa.OpFCVTIF || op == isa.OpFCVTFI {
+			nops = 2
+		}
+		if len(ops) != nops {
+			return a.errf("%v takes %d operands", op, nops)
+		}
+		rd, err := parseReg(ops[0], fpAB(0))
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		rs1, err := parseReg(ops[1], fpAB(1))
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		inst := isa.Inst{Op: op, Rd: rd, Rs1: rs1}
+		if nops == 3 {
+			rs2, err := parseReg(ops[2], true)
+			if err != nil {
+				return a.errf("%v", err)
+			}
+			inst.Rs2 = rs2
+		}
+		return a.emit(inst)
+	case isa.ClassOut:
+		if len(ops) != 2 {
+			return a.errf("out takes rs, port")
+		}
+		rs2, err := parseReg(ops[0], false)
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		v, err := parseInt(ops[1])
+		if err != nil {
+			return a.errf("port: %v", err)
+		}
+		return a.emit(isa.Inst{Op: isa.OpOUT, Rs2: rs2, Imm: int32(v)})
+	}
+	return a.errf("unhandled op %v", op)
+}
+
+func (a *assembler) resolveFixups() error {
+	for _, df := range a.dataFixups {
+		addr, ok := a.prog.Symbols[df.label]
+		if !ok {
+			return &Error{Line: df.line, Text: strings.TrimSpace(df.src), Msg: fmt.Sprintf("undefined label %q", df.label)}
+		}
+		if df.size == 4 && addr >= 1<<32 {
+			return &Error{Line: df.line, Text: strings.TrimSpace(df.src), Msg: fmt.Sprintf("label %q does not fit in .word4", df.label)}
+		}
+		for b := 0; b < df.size; b++ {
+			a.prog.Data[df.offset+b] = byte(addr >> (8 * b))
+		}
+	}
+	for _, f := range a.fixups {
+		label := f.label
+		var laReg uint8
+		if f.kind == fixLA {
+			parts := strings.SplitN(f.label, "\x00", 2)
+			label = parts[0]
+			n, _ := strconv.Atoi(parts[1])
+			laReg = uint8(n)
+		}
+		addr, ok := a.prog.Symbols[label]
+		if !ok {
+			return &Error{Line: f.line, Text: strings.TrimSpace(f.src), Msg: fmt.Sprintf("undefined label %q", label)}
+		}
+		pc := a.prog.TextBase + uint64(f.textIdx)*isa.InstBytes
+		switch f.kind {
+		case fixBranch, fixJAL:
+			inst := isa.Decode(a.prog.Text[f.textIdx])
+			inst.Imm = wordOffset(pc, addr)
+			w, err := isa.Encode(inst)
+			if err != nil {
+				return &Error{Line: f.line, Text: strings.TrimSpace(f.src), Msg: fmt.Sprintf("branch target out of range: %v", err)}
+			}
+			a.prog.Text[f.textIdx] = w
+		case fixLA:
+			seq, err := liSequence(laReg, addr)
+			if err != nil {
+				return &Error{Line: f.line, Text: strings.TrimSpace(f.src), Msg: err.Error()}
+			}
+			copy(a.prog.Text[f.textIdx:f.textIdx+3], seq[:])
+		}
+	}
+	return nil
+}

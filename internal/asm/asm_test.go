@@ -1,0 +1,418 @@
+package asm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"authpoint/internal/isa"
+)
+
+func mustAsm(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func decodeAll(p *Program) []isa.Inst {
+	out := make([]isa.Inst, len(p.Text))
+	for i, w := range p.Text {
+		out[i] = isa.Decode(w)
+	}
+	return out
+}
+
+func TestBasicProgram(t *testing.T) {
+	p := mustAsm(t, `
+		; a trivial program
+		_start:
+			addi r1, r0, 5
+			addi r2, r0, 7
+			add  r3, r1, r2
+			halt
+	`)
+	insts := decodeAll(p)
+	if len(insts) != 4 {
+		t.Fatalf("want 4 insts, got %d", len(insts))
+	}
+	if insts[0] != (isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 5}) {
+		t.Errorf("inst0 = %v", insts[0])
+	}
+	if insts[2] != (isa.Inst{Op: isa.OpADD, Rd: 3, Rs1: 1, Rs2: 2}) {
+		t.Errorf("inst2 = %v", insts[2])
+	}
+	if insts[3].Op != isa.OpHALT {
+		t.Errorf("inst3 = %v", insts[3])
+	}
+	if p.Entry != p.TextBase {
+		t.Errorf("entry %#x want %#x", p.Entry, p.TextBase)
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := mustAsm(t, `
+		_start:
+			addi r1, r0, 10
+		loop:
+			addi r1, r1, -1
+			bne  r1, r0, loop
+			halt
+	`)
+	insts := decodeAll(p)
+	// bne is at index 2; loop is at index 1 -> offset = 1 - (2+1) = -2
+	if insts[2].Op != isa.OpBNE || insts[2].Imm != -2 {
+		t.Errorf("bne = %v, want imm -2", insts[2])
+	}
+	if got := p.Symbols["loop"]; got != p.TextBase+4 {
+		t.Errorf("loop symbol %#x", got)
+	}
+}
+
+func TestForwardBranch(t *testing.T) {
+	p := mustAsm(t, `
+		_start:
+			beq r0, r0, done
+			addi r1, r0, 1
+		done:
+			halt
+	`)
+	insts := decodeAll(p)
+	if insts[0].Imm != 1 {
+		t.Errorf("forward branch imm = %d want 1", insts[0].Imm)
+	}
+}
+
+func TestJALAndCallRet(t *testing.T) {
+	p := mustAsm(t, `
+		_start:
+			call f
+			halt
+		f:
+			ret
+	`)
+	insts := decodeAll(p)
+	if insts[0].Op != isa.OpJAL || insts[0].Rd != isa.RegRA || insts[0].Imm != 1 {
+		t.Errorf("call = %v", insts[0])
+	}
+	if insts[2].Op != isa.OpJALR || insts[2].Rd != 0 || insts[2].Rs1 != isa.RegRA {
+		t.Errorf("ret = %v", insts[2])
+	}
+}
+
+func TestLoadStoreSyntax(t *testing.T) {
+	p := mustAsm(t, `
+		_start:
+			ld r1, 8(r2)
+			sw r3, -4(r4)
+			lb r5, (r6)
+			fld f1, 16(r2)
+			fsd f3, 0(r4)
+	`)
+	insts := decodeAll(p)
+	want := []isa.Inst{
+		{Op: isa.OpLD, Rd: 1, Rs1: 2, Imm: 8},
+		{Op: isa.OpSW, Rs2: 3, Rs1: 4, Imm: -4},
+		{Op: isa.OpLB, Rd: 5, Rs1: 6},
+		{Op: isa.OpFLD, Rd: 1, Rs1: 2, Imm: 16},
+		{Op: isa.OpFSD, Rs2: 3, Rs1: 4},
+	}
+	for i, w := range want {
+		if insts[i] != w {
+			t.Errorf("inst%d = %v want %v", i, insts[i], w)
+		}
+	}
+}
+
+func TestLIExpansion(t *testing.T) {
+	cases := []struct {
+		v     int64
+		insts int
+	}{
+		{0, 1},
+		{100, 1},
+		{-5, 1},
+		{32767, 1},
+		{32768, 2},       // LUI+ORI (lo != 0... 32768 = 0x8000: mid=0, lo=0x8000 -> LUI 0 + ORI)
+		{0x10000, 1},     // LUI only
+		{0x12345, 2},     // LUI+ORI
+		{0x100000000, 2}, // LUI(0)+LUIH
+		{0x1234_5678_9abc, 3},
+	}
+	for _, c := range cases {
+		p := mustAsm(t, "_start:\n li r1, "+itoa(c.v)+"\n halt\n")
+		if got := len(p.Text) - 1; got != c.insts {
+			t.Errorf("li %d expanded to %d insts, want %d", c.v, got, c.insts)
+			continue
+		}
+		if got := evalLI(p.Text[:len(p.Text)-1]); got != uint64(c.v) {
+			t.Errorf("li %d evaluates to %#x", c.v, got)
+		}
+	}
+}
+
+func itoa(v int64) string {
+	if v < 0 {
+		return "-" + utoa(uint64(-v))
+	}
+	return utoa(uint64(v))
+}
+
+func utoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// evalLI interprets a register-constant-building sequence for r1.
+func evalLI(words []uint32) uint64 {
+	var r1 uint64
+	for _, w := range words {
+		inst := isa.Decode(w)
+		b := isa.ImmOperand(inst.Imm)
+		switch inst.Op {
+		case isa.OpADDI:
+			r1 = b
+		case isa.OpLUI:
+			r1 = isa.EvalALU(isa.OpLUI, 0, b)
+		case isa.OpORI:
+			r1 = isa.EvalALU(isa.OpORI, r1, b)
+		case isa.OpLUIH:
+			r1 = isa.EvalALU(isa.OpLUIH, r1, b)
+		}
+	}
+	return r1
+}
+
+func TestLAForwardReference(t *testing.T) {
+	p := mustAsm(t, `
+		_start:
+			la r2, buf
+			ld r1, 0(r2)
+			halt
+		.data
+		buf: .word 42
+	`)
+	// la forward -> fixed 3-word sequence.
+	addr := evalLI(p.Text[:3])
+	if addr != p.Symbols["buf"] {
+		t.Errorf("la resolved to %#x want %#x", addr, p.Symbols["buf"])
+	}
+	if p.Symbols["buf"] != p.DataBase {
+		t.Errorf("buf at %#x want %#x", p.Symbols["buf"], p.DataBase)
+	}
+}
+
+func TestLABackwardReference(t *testing.T) {
+	p := mustAsm(t, `
+		.data
+		buf: .word 1, 2, 3
+		.text
+		_start:
+			la r2, buf
+			halt
+	`)
+	n := len(p.Text) - 1 // li sequence length may be 1-3
+	if got := evalLI(p.Text[:n]); got != p.Symbols["buf"] {
+		t.Errorf("la resolved to %#x want %#x", got, p.Symbols["buf"])
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p := mustAsm(t, `
+		.data
+		a: .word 0x1122334455667788
+		b: .word4 0xdeadbeef
+		c: .byte 1, 2, 3
+		   .align 8
+		d: .space 4, 0xff
+		e: .float 1.5
+	`)
+	if p.Symbols["a"] != p.DataBase {
+		t.Errorf("a at %#x", p.Symbols["a"])
+	}
+	if p.Symbols["b"] != p.DataBase+8 {
+		t.Errorf("b at %#x", p.Symbols["b"])
+	}
+	if p.Symbols["c"] != p.DataBase+12 {
+		t.Errorf("c at %#x", p.Symbols["c"])
+	}
+	if p.Symbols["d"] != p.DataBase+16 {
+		t.Errorf("d at %#x (align)", p.Symbols["d"])
+	}
+	if p.Data[0] != 0x88 || p.Data[7] != 0x11 {
+		t.Errorf("little-endian .word: % x", p.Data[:8])
+	}
+	if p.Data[8] != 0xef || p.Data[11] != 0xde {
+		t.Errorf(".word4: % x", p.Data[8:12])
+	}
+	if p.Data[16] != 0xff || p.Data[19] != 0xff {
+		t.Errorf(".space fill: % x", p.Data[16:20])
+	}
+	bits := uint64(0)
+	for i := 0; i < 8; i++ {
+		bits |= uint64(p.Data[20+i]) << (8 * i)
+	}
+	if math.Float64frombits(bits) != 1.5 {
+		t.Errorf(".float = %v", math.Float64frombits(bits))
+	}
+}
+
+func TestCustomBases(t *testing.T) {
+	p := mustAsm(t, `
+		.text 0x2000
+		_start: halt
+		.data 0x200000
+		x: .word 9
+	`)
+	if p.TextBase != 0x2000 || p.Entry != 0x2000 {
+		t.Errorf("text base %#x entry %#x", p.TextBase, p.Entry)
+	}
+	if p.DataBase != 0x200000 || p.Symbols["x"] != 0x200000 {
+		t.Errorf("data base %#x", p.DataBase)
+	}
+}
+
+func TestRegisterAliases(t *testing.T) {
+	p := mustAsm(t, `
+		_start:
+			addi sp, sp, -16
+			sd ra, 8(sp)
+			mov r1, zero
+	`)
+	insts := decodeAll(p)
+	if insts[0].Rd != isa.RegSP {
+		t.Errorf("sp alias: %v", insts[0])
+	}
+	if insts[1].Rs2 != isa.RegRA {
+		t.Errorf("ra alias: %v", insts[1])
+	}
+	if insts[2] != (isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 0, Imm: 0}) {
+		t.Errorf("mov: %v", insts[2])
+	}
+}
+
+func TestOutAndPref(t *testing.T) {
+	p := mustAsm(t, `
+		_start:
+			out r3, 0x80
+			pref 64(r2)
+	`)
+	insts := decodeAll(p)
+	if insts[0] != (isa.Inst{Op: isa.OpOUT, Rs2: 3, Imm: 0x80}) {
+		t.Errorf("out = %v", insts[0])
+	}
+	if insts[1] != (isa.Inst{Op: isa.OpPREF, Rs1: 2, Imm: 64}) {
+		t.Errorf("pref = %v", insts[1])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string // expected substring of the error
+	}{
+		{"bogus r1, r2", "unknown mnemonic"},
+		{"addi r1, r2", "takes 3 operands"},
+		{"addi r99, r2, 0", "bad register"},
+		{"ld r1, 8", "expected disp(base)"},
+		{"beq r1, r2, nowhere", "undefined label"},
+		{"x: halt\nx: halt", "duplicate label"},
+		{".word 1", "only supported in .data"},
+		{".data\n.align 3", "power of two"},
+		{"li r1, 0x1000000000000", "exceeds 48 bits"},
+		{"li r16, 5", "li destination"},
+		{"1bad: halt", "invalid label"},
+		{".bogus", "unknown directive"},
+		{"addi r1, r1, 99999", "immediate"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Assemble(%q) error %q does not contain %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	_, err := Assemble("halt\nhalt\nbogus\n")
+	aerr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("want *Error, got %T", err)
+	}
+	if aerr.Line != 3 {
+		t.Errorf("error line %d want 3", aerr.Line)
+	}
+}
+
+func TestTextBytesLittleEndian(t *testing.T) {
+	p := mustAsm(t, "_start: halt")
+	b := p.TextBytes()
+	if len(b) != 4 {
+		t.Fatalf("len %d", len(b))
+	}
+	w := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	if w != p.Text[0] {
+		t.Errorf("TextBytes mismatch: %#x vs %#x", w, p.Text[0])
+	}
+}
+
+func TestBranchNumericOffset(t *testing.T) {
+	p := mustAsm(t, "_start:\n beq r1, r2, -1\n")
+	insts := decodeAll(p)
+	if insts[0].Imm != -1 {
+		t.Errorf("numeric branch imm %d", insts[0].Imm)
+	}
+}
+
+func TestDataForwardLabelReference(t *testing.T) {
+	p := mustAsm(t, `
+		.data
+		head: .word n1      ; forward reference
+		n1:   .word n2
+		n2:   .word head    ; backward reference closes the cycle
+		w4:   .word4 n1
+	`)
+	rd := func(off, n int) uint64 {
+		var v uint64
+		for i := 0; i < n; i++ {
+			v |= uint64(p.Data[off+i]) << (8 * i)
+		}
+		return v
+	}
+	if rd(0, 8) != p.Symbols["n1"] {
+		t.Errorf("head -> %#x want %#x", rd(0, 8), p.Symbols["n1"])
+	}
+	if rd(8, 8) != p.Symbols["n2"] {
+		t.Errorf("n1 -> %#x", rd(8, 8))
+	}
+	if rd(16, 8) != p.Symbols["head"] {
+		t.Errorf("n2 -> %#x", rd(16, 8))
+	}
+	if rd(24, 4) != p.Symbols["n1"] {
+		t.Errorf(".word4 label -> %#x", rd(24, 4))
+	}
+}
+
+func TestDataUndefinedLabelRejected(t *testing.T) {
+	if _, err := Assemble(".data\nx: .word nosuch\n"); err == nil {
+		t.Error("undefined data label accepted")
+	}
+	if _, err := Assemble(".data\nx: .byte somelabel\n"); err == nil {
+		t.Error(".byte label accepted (labels need >= 4 bytes)")
+	}
+}

@@ -1,0 +1,6 @@
+package asm
+
+import "math"
+
+// float64bits isolates the math dependency for .float emission.
+func float64bits(f float64) uint64 { return math.Float64bits(f) }

@@ -1,0 +1,53 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"authpoint/internal/isa"
+)
+
+// FuzzAssemble: the assembler must never panic, and anything it accepts
+// must produce decodable text and in-bounds symbols.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"_start: halt",
+		"_start:\n addi r1, r0, 5\n halt",
+		".data\nx: .word 1, 2, 3\n.text\n_start: la r1, x\n halt",
+		"loop: b loop",
+		".text 0x2000\n_start: beq r1, r2, _start",
+		"li r1, 281474976710655",
+		".data\n.align 8\n.float 3.14\n.space 10, 0xff",
+		"call f\nf: ret",
+		"out r1, 0x80\npref 8(r2)",
+		"x: .word4 0xdeadbeef\n.byte 1",
+		"_start:\n\tfld f1, 0(r2)\n\tfadd f2, f1, f1\n\tfsd f2, 8(r2)",
+		"; comment\n# another\n// third\nnop",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for _, w := range p.Text {
+			_ = isa.Decode(w).String()
+		}
+		for name, addr := range p.Symbols {
+			if name == "" {
+				t.Error("empty symbol name accepted")
+			}
+			textEnd := p.TextBase + uint64(len(p.Text)*isa.InstBytes)
+			dataEnd := p.DataBase + uint64(len(p.Data))
+			if addr > textEnd && addr > dataEnd && addr != p.TextBase && addr != p.DataBase {
+				t.Errorf("symbol %q at %#x outside both sections (text end %#x, data end %#x)",
+					name, addr, textEnd, dataEnd)
+			}
+		}
+		if strings.Contains(src, "halt") && p.Entry == 0 {
+			t.Error("zero entry point")
+		}
+	})
+}

@@ -1,0 +1,515 @@
+// Package attack implements the paper's memory-fetch side-channel exploits
+// (Section 3) against the simulated secure processor, end to end: the
+// adversary flips bits in real ciphertext at rest, the machine really
+// decrypts and speculatively executes the result, and the exploit succeeds
+// or fails depending on the authentication control point — reproducing the
+// security half of Table 2.
+//
+// Implemented exploits:
+//
+//   - Pointer conversion / linked-list attack (§3.2.1): convert a list's
+//     NULL terminator into a pointer at a secret, so the walk dereferences
+//     the secret and its value appears as a fetch address.
+//   - Binary search (§3.2.2): tamper a known-zero comparison constant into
+//     powers of two and observe the control flow via instruction-fetch
+//     addresses; log2(bits) trials recover the secret exactly.
+//   - Disclosing kernel with shift window (§3.2.3 + §3.3.1): inject a short
+//     code sequence over the victim's (predictable) prologue via ciphertext
+//     XOR; each run discloses a 6-bit window of the secret through the
+//     page-offset bits of a probe fetch (6 bits because the bus reveals
+//     64-byte line addresses).
+//   - I/O-port disclosing kernel (§3.2.3): the injected kernel OUTs the
+//     secret to a port instead; this is stopped by authen-then-commit but
+//     not by authen-then-write.
+//   - Brute-force page tampering (§3.3.2): randomly retarget a pointer's
+//     page bits; mapped guesses leak via the bus, unmapped ones land in the
+//     fault log.
+package attack
+
+import (
+	"fmt"
+
+	"authpoint/internal/asm"
+	"authpoint/internal/isa"
+	"authpoint/internal/sim"
+)
+
+// ProbeBase is the attacker-controlled mapped window that secret-derived
+// fetches land in (the adversary arranges valid translations per §3.3).
+const ProbeBase = 0x2000_0000
+
+// ProbeSize is the probe window size.
+const ProbeSize = 1 << 20
+
+// Outcome reports one exploit attempt.
+type Outcome struct {
+	Scheme sim.Scheme
+	// Leaked reports whether the secret (or part of it) reached the
+	// adversary through the targeted channel.
+	Leaked bool
+	// Recovered is the secret value reconstructed from the channel.
+	Recovered uint64
+	// RecoveredBits is how many low bits of Recovered are meaningful.
+	RecoveredBits int
+	// Detected reports whether the machine raised a security exception.
+	Detected bool
+	// Runs is the number of victim executions the attack used.
+	Runs int
+}
+
+func (o Outcome) String() string {
+	return fmt.Sprintf("%v: leaked=%v recovered=%#x/%dbits detected=%v runs=%d",
+		o.Scheme, o.Leaked, o.Recovered, o.RecoveredBits, o.Detected, o.Runs)
+}
+
+// attackConfig builds the machine configuration used by all exploits.
+func attackConfig(scheme sim.Scheme) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Scheme = scheme
+	cfg.TraceBus = true
+	cfg.WatchdogCycles = 200_000
+	return cfg
+}
+
+// newVictim assembles src and builds a machine with the probe window mapped.
+func newVictim(scheme sim.Scheme, src string) (*sim.Machine, error) {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewMachineWithRegions(attackConfig(scheme), p, []sim.Region{{Start: ProbeBase, Size: ProbeSize}})
+}
+
+// probeLines extracts the probe-window line addresses the adversary saw on
+// the bus before the machine stopped.
+func probeLines(m *sim.Machine, res sim.Result) []uint64 {
+	var out []uint64
+	for _, a := range m.ReadLineAddrsBefore(sim.StopCycle(res)) {
+		if a >= ProbeBase && a < ProbeBase+ProbeSize {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// PointerConversion runs the linked-list attack of §3.2.1. The victim walks
+// a three-node list; the secret is an address-like value (e.g. a session
+// pointer) stored elsewhere in its data. The adversary converts the NULL
+// terminator into a pointer at the secret; the walk then dereferences the
+// secret, disclosing it as a fetch address (to line granularity).
+func PointerConversion(scheme sim.Scheme) (Outcome, error) {
+	const secret = ProbeBase + 0x4440 // the value the adversary is after
+	src := fmt.Sprintf(`
+	_start:
+		la  r1, head
+		ld  r2, 0(r1)        ; first node
+	walk:
+		beq r2, r0, done
+		ld  r2, 0(r2)        ; next pointer (the conversion target)
+		b   walk
+	done:
+		halt
+	.data
+	node2:  .word 0          ; NULL terminator — the tamper target
+	node1:  .word node2
+	node0:  .word node1
+	head:   .word node0
+	secret: .word %d
+	`, uint64(secret))
+	m, err := newVictim(scheme, src)
+	if err != nil {
+		return Outcome{}, err
+	}
+	// The adversary knows (or forces, §3.2.1) where the list ends and where
+	// the secret lives. Counter-mode malleability: XOR old^new plaintext
+	// into the ciphertext.
+	nullAddr := m.Prog.Symbols["node2"]
+	secretAddr := m.Prog.Symbols["secret"]
+	xorU64(m, nullAddr, 0, secretAddr)
+	res, _ := m.Run()
+	out := Outcome{Scheme: scheme, Detected: res.Reason == sim.StopSecurityFault, Runs: 1}
+	wantLine := uint64(secret) &^ 63
+	for _, a := range probeLines(m, res) {
+		if a == wantLine {
+			out.Leaked = true
+			out.Recovered = a
+			out.RecoveredBits = 64 - 6 // line granularity
+		}
+	}
+	return out, nil
+}
+
+// xorU64 flips the ciphertext at addr from oldVal to newVal.
+func xorU64(m *sim.Machine, addr uint64, oldVal, newVal uint64) {
+	mask := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		mask[i] = byte(oldVal>>(8*i)) ^ byte(newVal>>(8*i))
+	}
+	m.Memory.XorRange(addr, mask)
+}
+
+// BinarySearch runs the §3.2.2 exploit: the victim compares a 16-bit secret
+// against a constant whose plaintext the adversary knows (zero — "constant
+// zero is frequently used for testing"). Each trial tampers the constant to
+// a chosen value and observes the branch direction through the
+// instruction-fetch side channel. 16 trials recover the secret exactly.
+func BinarySearch(scheme sim.Scheme) (Outcome, error) {
+	const secret = 0xBEE5
+	// The taken arm lives in its own set of I-lines, so its appearance on
+	// the bus reveals the branch direction.
+	src := fmt.Sprintf(`
+	; The taken arm lives far past the entry: wrong-path sequential fetch is
+	; bounded by the RUU+IFQ capacity (~160 instructions), so the 400-nop
+	; moat guarantees the arm's I-line appears on the bus only if the branch
+	; actually (speculatively) redirects there.
+	_start:
+		la   r1, secretp
+		ld   r2, 0(r1)       ; secret (authentic)
+		la   r3, constp
+		ld   r4, 0(r3)       ; comparison constant (tampered per trial)
+		blt  r2, r4, below
+	atabove:
+		addi r5, r0, 1
+		halt
+		%s
+	below:
+		addi r5, r0, 2
+		halt
+	.data
+	secretp: .word %d
+	constp:  .word 0
+	`, nops(400), secret)
+	recovered := uint64(0)
+	runs := 0
+	detectedAll := true
+	leakedAny := false
+	for bit := 15; bit >= 0; bit-- {
+		m, err := newVictim(scheme, src)
+		if err != nil {
+			return Outcome{}, err
+		}
+		guess := recovered | 1<<uint(bit)
+		xorU64(m, m.Prog.Symbols["constp"], 0, guess)
+		res, _ := m.Run()
+		runs++
+		if res.Reason != sim.StopSecurityFault {
+			detectedAll = false
+		}
+		belowLine := m.Prog.Symbols["below"] &^ 63
+		takenSeen := false
+		for _, a := range m.ReadLineAddrsBefore(sim.StopCycle(res)) {
+			if a == belowLine {
+				takenSeen = true
+			}
+		}
+		if takenSeen {
+			leakedAny = true
+		}
+		// blt secret, guess taken  <=>  secret < guess  <=>  bit not set.
+		if !takenSeen {
+			recovered |= 1 << uint(bit)
+		}
+	}
+	out := Outcome{Scheme: scheme, Runs: runs, Detected: detectedAll}
+	// The attack "leaks" when the observed control flow actually tracked
+	// the comparisons; if nothing ever leaked, recovered degenerates to all
+	// ones (every trial looked not-taken).
+	out.Leaked = leakedAny && recovered == secret
+	if out.Leaked {
+		out.Recovered = recovered
+		out.RecoveredBits = 16
+	}
+	return out, nil
+}
+
+func nops(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		s += "\tnop\n"
+	}
+	return s
+}
+
+// victimWithPrologue is the injection target: a program whose first 10
+// instructions are a predictable function prologue ("compiler always does
+// code generation in a predictable way", §3.2.3), with a 64-bit secret at a
+// known data offset.
+const victimSecret = 0xdeadbeefcafebabe
+
+func victimWithPrologue() string {
+	// Entry: touch the secret and spin long enough that its line is cached
+	// and verified before f is called (the victim used its secret earlier in
+	// its run, as real programs do). The nop pad exceeds the fetch queue so
+	// wrong-path fall-through fetch cannot reach f's line before the loop
+	// branch redirects; its length also 64-byte-aligns f so the injected
+	// kernel occupies exactly one L2 line.
+	return fmt.Sprintf(`
+	_start:
+		la   r1, secret
+		ld   r2, 0(r1)       ; victim uses its secret: cached and verified
+		li   r3, 1000
+	warm:
+		addi r3, r3, -1
+		bne  r3, r0, warm
+		%s
+		call f
+		halt
+		nop
+		nop
+		nop
+		nop
+		nop
+		nop
+		nop
+	; f's prologue: a predictable 10-instruction sequence in its own I-line —
+	; the injection target.
+	f:
+		addi sp, sp, -32
+		sd   ra, 0(sp)
+		sd   r1, 8(sp)
+		sd   r2, 16(sp)
+		addi r3, r0, 0
+		addi r4, r0, 0
+		addi r5, r0, 0
+		addi r6, r0, 0
+		addi r7, r0, 0
+		addi r8, r0, 0
+		ld   ra, 0(sp)
+		addi sp, sp, 32
+		ret
+	.data
+	secret: .word %d
+	`, nops(400), uint64(victimSecret))
+}
+
+// prologueIndex returns the instruction index of label f in the victim.
+func prologueIndex(m *sim.Machine) int {
+	return int((m.Prog.Symbols["f"] - m.Prog.TextBase) / isa.InstBytes)
+}
+
+// kernelWords assembles a standalone instruction sequence at the victim's
+// text base and returns the encoded words.
+func kernelWords(src string) ([]uint32, error) {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	return p.Text, nil
+}
+
+// injectKernel XORs the disclosing kernel over the victim's prologue in
+// ciphertext: kernel ^ oldPlaintext applied to the encrypted text — exactly
+// the two-XOR construction of §3.2.3.
+func injectKernel(m *sim.Machine, at int, kernel []uint32) error {
+	old := m.Prog.Text
+	if at+len(kernel) > len(old) {
+		return fmt.Errorf("attack: kernel (%d words at %d) exceeds victim text (%d)", len(kernel), at, len(old))
+	}
+	for i, kw := range kernel {
+		mask := make([]byte, 4)
+		ow := old[at+i]
+		for b := 0; b < 4; b++ {
+			mask[b] = byte(ow>>(8*b)) ^ byte(kw>>(8*b))
+		}
+		m.Memory.XorRange(m.Prog.TextBase+uint64(at+i)*isa.InstBytes, mask)
+	}
+	return nil
+}
+
+// DisclosingKernel runs the §3.2.3 code-injection attack with the §3.3.1
+// shift window. Each run injects a kernel that loads the secret, shifts it
+// by 6*k, and issues one probe load whose line address carries 6 bits of
+// the secret. Eleven runs reassemble all 64 bits.
+func DisclosingKernel(scheme sim.Scheme) (Outcome, error) {
+	const windowBits = 6 // bus trace is line-granular: 64B => 6 usable bits
+	recovered := uint64(0)
+	runs := 0
+	detectedAll := true
+	leakedWindows := 0
+	nWindows := (64 + windowBits - 1) / windowBits
+	for k := 0; k < nWindows; k++ {
+		m, err := newVictim(scheme, victimWithPrologue())
+		if err != nil {
+			return Outcome{}, err
+		}
+		// The kernel: load secret, select window k, turn it into a probe
+		// address, fetch. LUI r3 builds the probe base; LUI r2 the data
+		// base (secret sits at its start).
+		kernel, err := kernelWords(fmt.Sprintf(`
+			lui  r3, %d
+			lui  r2, %d
+			ld   r1, 0(r2)
+			srli r1, r1, %d
+			andi r4, r1, 0x3f
+			slli r4, r4, 6
+			or   r5, r4, r3
+			ld   r6, 0(r5)
+			nop
+			nop
+			nop
+			nop
+			nop
+		`, ProbeBase>>16, m.Prog.DataBase>>16, k*windowBits))
+		if err != nil {
+			return Outcome{}, err
+		}
+		if err := injectKernel(m, prologueIndex(m), kernel); err != nil {
+			return Outcome{}, err
+		}
+		res, _ := m.Run()
+		runs++
+		if res.Reason != sim.StopSecurityFault {
+			detectedAll = false
+		}
+		for _, a := range probeLines(m, res) {
+			window := (a - ProbeBase) >> 6 & 0x3f
+			recovered |= window << uint(k*windowBits)
+			leakedWindows++
+			break
+		}
+	}
+	out := Outcome{Scheme: scheme, Runs: runs, Detected: detectedAll}
+	if leakedWindows == nWindows && recovered == victimSecret {
+		out.Leaked = true
+		out.Recovered = recovered
+		out.RecoveredBits = 64
+	}
+	return out, nil
+}
+
+// IOPortDisclosure runs the I/O variant of the disclosing kernel (§3.2.3):
+// the injected code OUTs the secret to a port. OUT is architectural state,
+// performed only at commit — so authen-then-commit suffices to stop it,
+// while authen-then-write does not (the paper's distinction between the two
+// exploit sinks).
+func IOPortDisclosure(scheme sim.Scheme) (Outcome, error) {
+	m, err := newVictim(scheme, victimWithPrologue())
+	if err != nil {
+		return Outcome{}, err
+	}
+	kernel, err := kernelWords(fmt.Sprintf(`
+		lui  r2, %d
+		ld   r1, 0(r2)
+		out  r1, 0x80
+		nop
+		nop
+		nop
+		nop
+		nop
+		nop
+		nop
+		nop
+		nop
+		nop
+	`, asm.DefaultDataBase>>16))
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := injectKernel(m, prologueIndex(m), kernel); err != nil {
+		return Outcome{}, err
+	}
+	res, _ := m.Run()
+	out := Outcome{Scheme: scheme, Runs: 1, Detected: res.Reason == sim.StopSecurityFault}
+	for _, e := range m.Core.OutLog() {
+		if e.Port == 0x80 && e.Val == victimSecret {
+			out.Leaked = true
+			out.Recovered = e.Val
+			out.RecoveredBits = 64
+		}
+	}
+	return out, nil
+}
+
+// BruteForcePage runs §3.3.2: the adversary cannot find a valid page for
+// the converted pointer, so it flips page-address bits at random. Mapped
+// guesses disclose through the bus; unmapped ones fault (and the faulting
+// address lands in the OS log — itself a channel). Returns how many of the
+// trials leaked and how many logged faults.
+func BruteForcePage(scheme sim.Scheme, trials int) (leaks, faults int, err error) {
+	src := `
+	_start:
+		la  r1, ptr
+		ld  r2, 0(r1)
+		ld  r3, 0(r2)       ; dereference the tampered pointer
+		halt
+	.data
+	ptr: .word 0x1000       ; innocent pointer (known plaintext)
+	`
+	rng := uint64(42)
+	for i := 0; i < trials; i++ {
+		m, e := newVictim(scheme, src)
+		if e != nil {
+			return 0, 0, e
+		}
+		rng = rng*6364136223846793005 + 1442695040888963407
+		// Random page within a 32MB suspect region around the probe window
+		// (the adversary exploits "frequent or predictable values", §3.3.2:
+		// candidate pointers cluster near real mappings). Mapped pages are
+		// 1MB of 32MB: ~1 leak per 32 trials.
+		guess := ProbeBase + (rng>>16)%(1<<25)&^0xfff | 0x440
+		xorU64(m, m.Prog.Symbols["ptr"], 0x1000, guess)
+		res, _ := m.Run()
+		for _, a := range m.ReadLineAddrsBefore(sim.StopCycle(res)) {
+			if a == guess&^63 {
+				leaks++
+				break
+			}
+		}
+		if len(m.Space.FaultLog()) > 0 {
+			faults++
+		}
+	}
+	return leaks, faults, nil
+}
+
+// MemoryTaint checks Table 2's "authenticated memory state" property: the
+// victim loads a (tampered) value, stores a derived result, then streams
+// enough data to evict the dirty line to external memory. If the derived
+// value can be decrypted out of external memory afterwards, unauthenticated
+// data contaminated the persistent memory state.
+func MemoryTaint(scheme sim.Scheme) (Outcome, error) {
+	src := `
+	_start:
+		la   r1, input
+		ld   r2, 0(r1)       ; tampered input
+		addi r2, r2, 1
+		la   r3, sink
+		sd   r2, 0(r3)       ; derived value
+		; stream 512KB to force the dirty sink line out of the 256KB L2
+		la   r4, wash
+		li   r5, 8192
+	evict:
+		ld   r6, 0(r4)
+		addi r4, r4, 64
+		addi r5, r5, -1
+		bne  r5, r0, evict
+		halt
+	.data
+	input: .word 7
+	.align 64
+	sink:  .word 0
+	.align 64
+	wash:  .space 524288
+	`
+	m, err := newVictim(scheme, src)
+	if err != nil {
+		return Outcome{}, err
+	}
+	xorU64(m, m.Prog.Symbols["input"], 7, 0x4141)
+	res, _ := m.Run()
+	out := Outcome{Scheme: scheme, Runs: 1, Detected: res.Reason == sim.StopSecurityFault}
+	ext, err := m.Ctrl.ReadPlain(m.Prog.Symbols["sink"], 8)
+	if err != nil {
+		return Outcome{}, err
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(ext[i]) << (8 * i)
+	}
+	if v == 0x4142 { // tainted derived value persisted externally
+		out.Leaked = true
+		out.Recovered = v
+		out.RecoveredBits = 64
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package attack
+
+import (
+	"fmt"
+	"strings"
+
+	"authpoint/internal/asm"
+	"authpoint/internal/bus"
+	"authpoint/internal/sim"
+)
+
+// PassiveOutcome reports the §3.1 natural-execution attack: no tampering at
+// all — the adversary just watches the fetch addresses a normal run emits
+// and reconstructs secret-dependent control flow.
+type PassiveOutcome struct {
+	Scheme sim.Scheme
+	// RecoveredBits are the branch outcomes read off the bus trace, MSB
+	// first.
+	RecoveredBits []bool
+	Recovered     uint64
+	Leaked        bool
+	Runs          int
+}
+
+// passiveVictimBits is the width of the secret the victim processes
+// bit-serially.
+const passiveVictimBits = 8
+
+// passiveVictim processes a secret bit-serially with secret-dependent
+// control flow — the shape of square-and-multiply exponentiation or
+// table-driven cipher rounds. The bit loop is fully unrolled so each bit has
+// its own branch (no predictor history to confound the trace) and each
+// taken-arm lives in its own instruction line behind a nop moat longer than
+// the speculative fetch depth: its line appears on the bus if and only if
+// the bit is set.
+func passiveVictim(secret uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+_start:
+	la   r1, secretp
+	ld   r2, 0(r1)       ; the secret (authentic, untampered)
+`)
+	for k := passiveVictimBits - 1; k >= 0; k-- {
+		fmt.Fprintf(&b, `
+bit_%d:
+	srli r4, r2, %d
+	andi r4, r4, 1
+	bne  r4, r0, one_%d
+	addi r5, r5, 1       ; bit-clear arm (inline fall-through)
+	b    next_%d
+%s
+one_%d:
+	addi r6, r6, 1       ; bit-set arm: fetching this line IS the leak
+	b    next_%d
+%s
+next_%d:
+	nop
+`, k, k, k, k, nops(300), k, k, nops(300), k)
+	}
+	fmt.Fprintf(&b, "\thalt\n.data\nsecretp: .word %d\n", secret)
+	return b.String()
+}
+
+// PassiveControlFlow runs the natural-execution side channel of §3.1: the
+// victim is NEVER tampered with; the adversary reconstructs its secret from
+// which instruction lines appear on the bus. Authentication gates cannot
+// help — nothing fails verification; address obfuscation is the defence the
+// paper pairs against this channel (§4.3).
+func PassiveControlFlow(scheme sim.Scheme) (PassiveOutcome, error) {
+	const secret = 0xA7
+	p, err := asm.Assemble(passiveVictim(secret))
+	if err != nil {
+		return PassiveOutcome{}, err
+	}
+	cfg := attackConfig(scheme)
+	m, err := sim.NewMachine(cfg, p)
+	if err != nil {
+		return PassiveOutcome{}, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return PassiveOutcome{}, err
+	}
+	out := PassiveOutcome{Scheme: scheme, Runs: 1}
+	if res.Reason != sim.StopHalt {
+		return out, fmt.Errorf("passive victim stopped with %v", res.Reason)
+	}
+
+	// The adversary knows the victim binary layout (firmware images are not
+	// secret; only the data is): bit k is set iff one_k's line was fetched.
+	seen := map[uint64]bool{}
+	for _, e := range m.Bus.Trace() {
+		if e.Kind == bus.ReadLine {
+			seen[e.Addr] = true
+		}
+	}
+	v := uint64(0)
+	for k := passiveVictimBits - 1; k >= 0; k-- {
+		line := m.Prog.Symbols[fmt.Sprintf("one_%d", k)] &^ 63
+		bit := seen[line]
+		out.RecoveredBits = append(out.RecoveredBits, bit)
+		v <<= 1
+		if bit {
+			v |= 1
+		}
+	}
+	out.Recovered = v
+	out.Leaked = v == secret
+	return out, nil
+}

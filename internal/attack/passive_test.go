@@ -1,0 +1,32 @@
+package attack
+
+import (
+	"testing"
+
+	"authpoint/internal/sim"
+)
+
+// §3.1: the natural-execution fetch trace reveals secret-dependent control
+// flow under EVERY authentication scheme — only address obfuscation closes
+// this channel. (Authentication answers tampering, not observation.)
+func TestPassiveControlFlow(t *testing.T) {
+	for _, c := range []struct {
+		scheme   sim.Scheme
+		wantLeak bool
+	}{
+		{sim.SchemeBaseline, true},
+		{sim.SchemeThenIssue, true},
+		{sim.SchemeThenCommit, true},
+		{sim.SchemeCommitPlusFetch, true},
+		{sim.SchemeCommitPlusObfuscation, false},
+	} {
+		out, err := PassiveControlFlow(c.scheme)
+		if err != nil {
+			t.Fatalf("%v: %v", c.scheme, err)
+		}
+		if out.Leaked != c.wantLeak {
+			t.Errorf("%v: leaked=%v (recovered %#x from %d arm visits) want %v",
+				c.scheme, out.Leaked, out.Recovered, len(out.RecoveredBits), c.wantLeak)
+		}
+	}
+}

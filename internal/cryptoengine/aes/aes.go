@@ -1,0 +1,298 @@
+// Package aes implements the Rijndael block cipher (AES-128/192/256) from
+// scratch. It is the cipher used by the secure processor model for memory
+// encryption (counter mode) and for the CBC/CBC-MAC comparison scheme.
+//
+// The implementation is a straightforward byte-oriented realization of FIPS
+// 197: S-box substitution, ShiftRows, MixColumns over GF(2^8), and the key
+// schedule. It favours clarity and auditability over speed; the simulator's
+// timing model charges the latency of a pipelined hardware implementation
+// (the paper's reference: ~80ns for 256-bit Rijndael), not the latency of
+// this software.
+//
+// Correctness is established in tests against FIPS-197 vectors and against
+// crypto/aes from the Go standard library.
+package aes
+
+import "fmt"
+
+// BlockSize is the AES block size in bytes (128 bits, all key lengths).
+const BlockSize = 16
+
+// Cipher is an expanded-key AES instance for one key.
+type Cipher struct {
+	enc    []uint32 // encryption round keys
+	dec    []uint32 // decryption round keys
+	rounds int
+}
+
+// New creates a Cipher. The key must be 16, 24, or 32 bytes
+// (AES-128/192/256).
+func New(key []byte) (*Cipher, error) {
+	switch len(key) {
+	case 16, 24, 32:
+	default:
+		return nil, fmt.Errorf("aes: invalid key size %d", len(key))
+	}
+	c := &Cipher{rounds: 6 + len(key)/4}
+	c.expandKey(key)
+	return c, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(key []byte) *Cipher {
+	c, err := New(key)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// sbox and inverse sbox, generated in init from the multiplicative inverse
+// in GF(2^8) plus the affine transform (FIPS 197 §5.1.1). Generating them
+// rather than embedding literals both shortens the code and self-checks the
+// field arithmetic.
+var (
+	sbox  [256]byte
+	isbox [256]byte
+	// Multiplication tables for the fixed MixColumns coefficients; computed
+	// once from mul so the hot encrypt/decrypt paths are table lookups.
+	mul2, mul3, mul9, mul11, mul13, mul14 [256]byte
+)
+
+// mul multiplies a and b in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1.
+func mul(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// inv returns the multiplicative inverse of a in GF(2^8); inv(0)=0.
+func inv(a byte) byte {
+	if a == 0 {
+		return 0
+	}
+	// a^(2^8-2) = a^254 by square-and-multiply.
+	result := byte(1)
+	base := a
+	for e := 254; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			result = mul(result, base)
+		}
+		base = mul(base, base)
+	}
+	return result
+}
+
+func init() {
+	for i := 0; i < 256; i++ {
+		x := inv(byte(i))
+		// Affine transform: b ^= rot(b,1)^rot(b,2)^rot(b,3)^rot(b,4) ^ 0x63.
+		y := x ^ rotl8(x, 1) ^ rotl8(x, 2) ^ rotl8(x, 3) ^ rotl8(x, 4) ^ 0x63
+		sbox[i] = y
+		isbox[y] = byte(i)
+		b := byte(i)
+		mul2[i] = mul(b, 2)
+		mul3[i] = mul(b, 3)
+		mul9[i] = mul(b, 9)
+		mul11[i] = mul(b, 11)
+		mul13[i] = mul(b, 13)
+		mul14[i] = mul(b, 14)
+	}
+}
+
+func rotl8(x byte, n uint) byte { return x<<n | x>>(8-n) }
+
+func subWord(w uint32) uint32 {
+	return uint32(sbox[w>>24])<<24 | uint32(sbox[w>>16&0xff])<<16 |
+		uint32(sbox[w>>8&0xff])<<8 | uint32(sbox[w&0xff])
+}
+
+func rotWord(w uint32) uint32 { return w<<8 | w>>24 }
+
+func (c *Cipher) expandKey(key []byte) {
+	nk := len(key) / 4
+	n := 4 * (c.rounds + 1)
+	w := make([]uint32, n)
+	for i := 0; i < nk; i++ {
+		w[i] = uint32(key[4*i])<<24 | uint32(key[4*i+1])<<16 |
+			uint32(key[4*i+2])<<8 | uint32(key[4*i+3])
+	}
+	rcon := uint32(1) << 24
+	for i := nk; i < n; i++ {
+		t := w[i-1]
+		switch {
+		case i%nk == 0:
+			t = subWord(rotWord(t)) ^ rcon
+			rcon = uint32(mul(byte(rcon>>24), 2)) << 24
+		case nk > 6 && i%nk == 4:
+			t = subWord(t)
+		}
+		w[i] = w[i-nk] ^ t
+	}
+	c.enc = w
+
+	// Equivalent inverse cipher round keys: InvMixColumns applied to all
+	// round keys except the first and last (FIPS 197 §5.3.5).
+	c.dec = make([]uint32, n)
+	for i := 0; i < n; i += 4 {
+		j := n - 4 - i
+		for k := 0; k < 4; k++ {
+			rk := w[i+k]
+			if i > 0 && i < n-4 {
+				rk = invMixColumnWord(rk)
+			}
+			c.dec[j+k] = rk
+		}
+	}
+}
+
+func invMixColumnWord(w uint32) uint32 {
+	var col [4]byte
+	col[0], col[1], col[2], col[3] = byte(w>>24), byte(w>>16), byte(w>>8), byte(w)
+	var out [4]byte
+	out[0] = mul(col[0], 14) ^ mul(col[1], 11) ^ mul(col[2], 13) ^ mul(col[3], 9)
+	out[1] = mul(col[0], 9) ^ mul(col[1], 14) ^ mul(col[2], 11) ^ mul(col[3], 13)
+	out[2] = mul(col[0], 13) ^ mul(col[1], 9) ^ mul(col[2], 14) ^ mul(col[3], 11)
+	out[3] = mul(col[0], 11) ^ mul(col[1], 13) ^ mul(col[2], 9) ^ mul(col[3], 14)
+	return uint32(out[0])<<24 | uint32(out[1])<<16 | uint32(out[2])<<8 | uint32(out[3])
+}
+
+// state is the 4x4 AES state held column-major in four words.
+type state [4]uint32
+
+func loadState(src []byte) state {
+	var s state
+	for i := 0; i < 4; i++ {
+		s[i] = uint32(src[4*i])<<24 | uint32(src[4*i+1])<<16 |
+			uint32(src[4*i+2])<<8 | uint32(src[4*i+3])
+	}
+	return s
+}
+
+func (s *state) store(dst []byte) {
+	for i := 0; i < 4; i++ {
+		dst[4*i] = byte(s[i] >> 24)
+		dst[4*i+1] = byte(s[i] >> 16)
+		dst[4*i+2] = byte(s[i] >> 8)
+		dst[4*i+3] = byte(s[i])
+	}
+}
+
+func (s *state) addRoundKey(rk []uint32) {
+	s[0] ^= rk[0]
+	s[1] ^= rk[1]
+	s[2] ^= rk[2]
+	s[3] ^= rk[3]
+}
+
+// bytesOf unpacks the state into a 4x4 byte matrix b[row][col].
+func (s *state) bytesOf() [4][4]byte {
+	var b [4][4]byte
+	for c := 0; c < 4; c++ {
+		b[0][c] = byte(s[c] >> 24)
+		b[1][c] = byte(s[c] >> 16)
+		b[2][c] = byte(s[c] >> 8)
+		b[3][c] = byte(s[c])
+	}
+	return b
+}
+
+func (s *state) setBytes(b [4][4]byte) {
+	for c := 0; c < 4; c++ {
+		s[c] = uint32(b[0][c])<<24 | uint32(b[1][c])<<16 | uint32(b[2][c])<<8 | uint32(b[3][c])
+	}
+}
+
+// Encrypt encrypts one 16-byte block. dst and src may overlap.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: short block")
+	}
+	s := loadState(src)
+	s.addRoundKey(c.enc[0:4])
+	for r := 1; r < c.rounds; r++ {
+		b := s.bytesOf()
+		// SubBytes + ShiftRows.
+		var t [4][4]byte
+		for row := 0; row < 4; row++ {
+			for col := 0; col < 4; col++ {
+				t[row][col] = sbox[b[row][(col+row)%4]]
+			}
+		}
+		// MixColumns.
+		var m [4][4]byte
+		for col := 0; col < 4; col++ {
+			m[0][col] = mul2[t[0][col]] ^ mul3[t[1][col]] ^ t[2][col] ^ t[3][col]
+			m[1][col] = t[0][col] ^ mul2[t[1][col]] ^ mul3[t[2][col]] ^ t[3][col]
+			m[2][col] = t[0][col] ^ t[1][col] ^ mul2[t[2][col]] ^ mul3[t[3][col]]
+			m[3][col] = mul3[t[0][col]] ^ t[1][col] ^ t[2][col] ^ mul2[t[3][col]]
+		}
+		s.setBytes(m)
+		s.addRoundKey(c.enc[4*r : 4*r+4])
+	}
+	// Final round: no MixColumns.
+	b := s.bytesOf()
+	var t [4][4]byte
+	for row := 0; row < 4; row++ {
+		for col := 0; col < 4; col++ {
+			t[row][col] = sbox[b[row][(col+row)%4]]
+		}
+	}
+	s.setBytes(t)
+	s.addRoundKey(c.enc[4*c.rounds : 4*c.rounds+4])
+	s.store(dst)
+}
+
+// Decrypt decrypts one 16-byte block. dst and src may overlap.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: short block")
+	}
+	s := loadState(src)
+	s.addRoundKey(c.dec[0:4])
+	for r := 1; r < c.rounds; r++ {
+		b := s.bytesOf()
+		// InvSubBytes + InvShiftRows.
+		var t [4][4]byte
+		for row := 0; row < 4; row++ {
+			for col := 0; col < 4; col++ {
+				t[row][(col+row)%4] = isbox[b[row][col]]
+			}
+		}
+		// InvMixColumns (equivalent inverse cipher order: applied before
+		// AddRoundKey with pre-transformed round keys).
+		var m [4][4]byte
+		for col := 0; col < 4; col++ {
+			m[0][col] = mul14[t[0][col]] ^ mul11[t[1][col]] ^ mul13[t[2][col]] ^ mul9[t[3][col]]
+			m[1][col] = mul9[t[0][col]] ^ mul14[t[1][col]] ^ mul11[t[2][col]] ^ mul13[t[3][col]]
+			m[2][col] = mul13[t[0][col]] ^ mul9[t[1][col]] ^ mul14[t[2][col]] ^ mul11[t[3][col]]
+			m[3][col] = mul11[t[0][col]] ^ mul13[t[1][col]] ^ mul9[t[2][col]] ^ mul14[t[3][col]]
+		}
+		s.setBytes(m)
+		s.addRoundKey(c.dec[4*r : 4*r+4])
+	}
+	b := s.bytesOf()
+	var t [4][4]byte
+	for row := 0; row < 4; row++ {
+		for col := 0; col < 4; col++ {
+			t[row][(col+row)%4] = isbox[b[row][col]]
+		}
+	}
+	s.setBytes(t)
+	s.addRoundKey(c.dec[4*c.rounds : 4*c.rounds+4])
+	s.store(dst)
+}
+
+// Rounds returns the number of rounds (10, 12, or 14), which the timing
+// model uses to scale decryption latency with key size.
+func (c *Cipher) Rounds() int { return c.rounds }

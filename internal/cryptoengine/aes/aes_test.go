@@ -1,0 +1,176 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// FIPS-197 Appendix C example vectors.
+func TestFIPS197Vectors(t *testing.T) {
+	cases := []struct{ key, pt, ct string }{
+		{
+			"000102030405060708090a0b0c0d0e0f",
+			"00112233445566778899aabbccddeeff",
+			"69c4e0d86a7b0430d8cdb78070b4c55a",
+		},
+		{
+			"000102030405060708090a0b0c0d0e0f1011121314151617",
+			"00112233445566778899aabbccddeeff",
+			"dda97ca4864cdfe06eaf70a0ec0d7191",
+		},
+		{
+			"000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+			"00112233445566778899aabbccddeeff",
+			"8ea2b7ca516745bfeafc49904b496089",
+		},
+	}
+	for _, c := range cases {
+		key, pt, ct := unhex(t, c.key), unhex(t, c.pt), unhex(t, c.ct)
+		ci := MustNew(key)
+		got := make([]byte, 16)
+		ci.Encrypt(got, pt)
+		if !bytes.Equal(got, ct) {
+			t.Errorf("key %s: encrypt = %x want %x", c.key, got, ct)
+		}
+		back := make([]byte, 16)
+		ci.Decrypt(back, got)
+		if !bytes.Equal(back, pt) {
+			t.Errorf("key %s: decrypt = %x want %x", c.key, back, pt)
+		}
+	}
+}
+
+func TestRounds(t *testing.T) {
+	for _, c := range []struct{ keyLen, rounds int }{{16, 10}, {24, 12}, {32, 14}} {
+		ci := MustNew(make([]byte, c.keyLen))
+		if ci.Rounds() != c.rounds {
+			t.Errorf("keylen %d: rounds %d want %d", c.keyLen, ci.Rounds(), c.rounds)
+		}
+	}
+}
+
+func TestInvalidKeySizes(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 17, 31, 33, 64} {
+		if _, err := New(make([]byte, n)); err == nil {
+			t.Errorf("key size %d accepted", n)
+		}
+	}
+}
+
+// Cross-check against the standard library over random keys and blocks.
+func TestAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, keyLen := range []int{16, 24, 32} {
+		for trial := 0; trial < 200; trial++ {
+			key := make([]byte, keyLen)
+			rng.Read(key)
+			pt := make([]byte, 16)
+			rng.Read(pt)
+
+			ours := MustNew(key)
+			std, err := stdaes.NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, b := make([]byte, 16), make([]byte, 16)
+			ours.Encrypt(a, pt)
+			std.Encrypt(b, pt)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("keylen %d: encrypt mismatch ours=%x std=%x", keyLen, a, b)
+			}
+			ours.Decrypt(a, b)
+			if !bytes.Equal(a, pt) {
+				t.Fatalf("keylen %d: decrypt(encrypt) != pt", keyLen)
+			}
+		}
+	}
+}
+
+// Property: Decrypt is a left inverse of Encrypt for all keys/blocks.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(key [32]byte, pt [16]byte, keySel uint8) bool {
+		sizes := []int{16, 24, 32}
+		ci := MustNew(key[:sizes[int(keySel)%3]])
+		var ct, back [16]byte
+		ci.Encrypt(ct[:], pt[:])
+		ci.Decrypt(back[:], ct[:])
+		return back == pt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSboxInverse(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		if isbox[sbox[i]] != byte(i) {
+			t.Fatalf("isbox[sbox[%d]] = %d", i, isbox[sbox[i]])
+		}
+	}
+	// Spot-check two published S-box entries.
+	if sbox[0x00] != 0x63 || sbox[0x53] != 0xed {
+		t.Errorf("sbox[0]=%#x sbox[0x53]=%#x", sbox[0x00], sbox[0x53])
+	}
+}
+
+func TestGFMul(t *testing.T) {
+	// Known products from FIPS 197 §4.2: {57}x{83} = {c1}.
+	if got := mul(0x57, 0x83); got != 0xc1 {
+		t.Errorf("mul(57,83) = %#x", got)
+	}
+	if got := mul(0x57, 0x13); got != 0xfe {
+		t.Errorf("mul(57,13) = %#x", got)
+	}
+	// Every nonzero element has inverse: a * inv(a) == 1.
+	for a := 1; a < 256; a++ {
+		if mul(byte(a), inv(byte(a))) != 1 {
+			t.Fatalf("inv(%d) wrong", a)
+		}
+	}
+}
+
+func TestOverlappingDstSrc(t *testing.T) {
+	ci := MustNew(make([]byte, 16))
+	buf := make([]byte, 16)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	want := make([]byte, 16)
+	ci.Encrypt(want, buf)
+	ci.Encrypt(buf, buf) // in-place
+	if !bytes.Equal(buf, want) {
+		t.Error("in-place encrypt differs")
+	}
+}
+
+func TestShortBlockPanics(t *testing.T) {
+	ci := MustNew(make([]byte, 16))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on short block")
+		}
+	}()
+	ci.Encrypt(make([]byte, 8), make([]byte, 8))
+}
+
+func BenchmarkEncrypt256(b *testing.B) {
+	ci := MustNew(make([]byte, 32))
+	src, dst := make([]byte, 16), make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		ci.Encrypt(dst, src)
+	}
+}

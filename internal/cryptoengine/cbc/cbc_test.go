@@ -1,0 +1,168 @@
+package cbc
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	stdcipher "crypto/cipher"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newEngine(t *testing.T, lineSize int) *Engine {
+	t.Helper()
+	encKey := bytes.Repeat([]byte{1}, 32)
+	macKey := bytes.Repeat([]byte{2}, 32)
+	e, err := NewEngine(encKey, macKey, lineSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRoundTrip(t *testing.T) {
+	e := newEngine(t, 64)
+	pt := make([]byte, 64)
+	rand.New(rand.NewSource(9)).Read(pt)
+	ct, err := e.EncryptLine(0xabc0, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := e.DecryptLine(0xabc0, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, pt) {
+		t.Fatal("round trip failed")
+	}
+}
+
+// Cross-check the CBC chaining against the standard library's CBC mode with
+// the same derived IV.
+func TestAgainstStdlibCBC(t *testing.T) {
+	e := newEngine(t, 64)
+	pt := make([]byte, 64)
+	rand.New(rand.NewSource(2)).Read(pt)
+	addr := uint64(0x1000)
+	ct, _ := e.EncryptLine(addr, pt)
+
+	iv := e.iv(addr)
+	block, err := stdaes.NewCipher(bytes.Repeat([]byte{1}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 64)
+	stdcipher.NewCBCEncrypter(block, iv[:]).CryptBlocks(want, pt)
+	if !bytes.Equal(ct, want) {
+		t.Fatalf("CBC mismatch with stdlib:\n got %x\nwant %x", ct, want)
+	}
+}
+
+// CBC malleability differs from CTR: flipping ciphertext bit i of chunk c
+// garbles chunk c entirely and flips exactly bit i of chunk c+1. The paper
+// notes CBC is still malleable — the flip lands "at certain offset".
+func TestCBCMalleabilityShape(t *testing.T) {
+	e := newEngine(t, 64)
+	pt := make([]byte, 64)
+	ct, _ := e.EncryptLine(0x5000, pt)
+	tampered := append([]byte(nil), ct...)
+	tampered[0] ^= 0x01 // chunk 0, bit 0
+	dec, _ := e.DecryptLine(0x5000, tampered)
+	// Chunk 0 is garbled (with overwhelming probability not equal to pt).
+	if bytes.Equal(dec[:16], pt[:16]) {
+		t.Error("chunk 0 should be garbled")
+	}
+	// Chunk 1 has exactly bit 0 flipped.
+	want := append([]byte(nil), pt[16:32]...)
+	want[0] ^= 0x01
+	if !bytes.Equal(dec[16:32], want) {
+		t.Errorf("chunk 1: got %x want %x", dec[16:32], want)
+	}
+	// Chunks 2,3 untouched.
+	if !bytes.Equal(dec[32:], pt[32:]) {
+		t.Error("later chunks should be untouched")
+	}
+}
+
+func TestMacDetectsTampering(t *testing.T) {
+	e := newEngine(t, 64)
+	pt := make([]byte, 64)
+	for i := range pt {
+		pt[i] = byte(i * 3)
+	}
+	mac, err := e.MacLine(0x100, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.VerifyLine(0x100, pt, mac[:]) {
+		t.Fatal("valid MAC rejected")
+	}
+	bad := append([]byte(nil), pt...)
+	bad[5] ^= 0x80
+	if e.VerifyLine(0x100, bad, mac[:]) {
+		t.Fatal("tampered line accepted")
+	}
+	// MAC is address-bound: same data at a different address fails.
+	if e.VerifyLine(0x140, pt, mac[:]) {
+		t.Fatal("address substitution accepted")
+	}
+	if e.VerifyLine(0x100, pt, mac[:8]) {
+		t.Fatal("short MAC accepted")
+	}
+}
+
+func TestIVDependsOnAddress(t *testing.T) {
+	e := newEngine(t, 32)
+	pt := make([]byte, 32)
+	ct1, _ := e.EncryptLine(0x0, pt)
+	ct2, _ := e.EncryptLine(0x20, pt)
+	if bytes.Equal(ct1, ct2) {
+		t.Fatal("same plaintext at different addresses produced same ciphertext")
+	}
+}
+
+func TestChunks(t *testing.T) {
+	if newEngine(t, 64).Chunks() != 4 {
+		t.Error("chunks(64)")
+	}
+	if newEngine(t, 32).Chunks() != 2 {
+		t.Error("chunks(32)")
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	if _, err := NewEngine(make([]byte, 32), make([]byte, 32), 24); err == nil {
+		t.Error("line size 24 accepted")
+	}
+	if _, err := NewEngine(make([]byte, 3), make([]byte, 32), 32); err == nil {
+		t.Error("bad enc key accepted")
+	}
+	if _, err := NewEngine(make([]byte, 32), make([]byte, 3), 32); err == nil {
+		t.Error("bad mac key accepted")
+	}
+	e := newEngine(t, 32)
+	if _, err := e.EncryptLine(0, make([]byte, 16)); err == nil {
+		t.Error("short encrypt accepted")
+	}
+	if _, err := e.DecryptLine(0, make([]byte, 16)); err == nil {
+		t.Error("short decrypt accepted")
+	}
+	if _, err := e.MacLine(0, make([]byte, 16)); err == nil {
+		t.Error("short mac accepted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	e := newEngine(t, 32)
+	f := func(addr uint64, data [32]byte) bool {
+		ct, err := e.EncryptLine(addr, data[:])
+		if err != nil {
+			return false
+		}
+		dec, err := e.DecryptLine(addr, ct)
+		return err == nil && bytes.Equal(dec, data[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package hmac
+
+import (
+	"bytes"
+	stdhmac "crypto/hmac"
+	stdsha "crypto/sha256"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 4231 test vectors for HMAC-SHA256.
+func TestRFC4231(t *testing.T) {
+	cases := []struct{ key, data, want string }{
+		{
+			"0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b",
+			"4869205468657265", // "Hi There"
+			"b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
+		},
+		{
+			"4a656665", // "Jefe"
+			"7768617420646f2079612077616e7420666f72206e6f7468696e673f",
+			"5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
+		},
+		{
+			"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+			"dddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddddd" + "dddd",
+			"773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe",
+		},
+	}
+	for i, c := range cases {
+		key, _ := hex.DecodeString(c.key)
+		data, _ := hex.DecodeString(c.data)
+		got := Mac(key, data)
+		if hex.EncodeToString(got[:]) != c.want {
+			t.Errorf("case %d: %x want %s", i, got, c.want)
+		}
+	}
+}
+
+func TestLongKeyIsHashed(t *testing.T) {
+	key := bytes.Repeat([]byte{0xaa}, 131) // RFC 4231 case 6-style key > blocksize
+	data := []byte("Test Using Larger Than Block-Size Key - Hash Key First")
+	got := Mac(key, data)
+	std := stdhmac.New(stdsha.New, key)
+	std.Write(data)
+	if !bytes.Equal(got[:], std.Sum(nil)) {
+		t.Errorf("long-key mismatch with stdlib")
+	}
+}
+
+func TestAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		key := make([]byte, rng.Intn(100))
+		msg := make([]byte, rng.Intn(200))
+		rng.Read(key)
+		rng.Read(msg)
+		got := Mac(key, msg)
+		std := stdhmac.New(stdsha.New, key)
+		std.Write(msg)
+		if !bytes.Equal(got[:], std.Sum(nil)) {
+			t.Fatalf("mismatch keylen=%d msglen=%d", len(key), len(msg))
+		}
+	}
+}
+
+func TestTruncatedVerify(t *testing.T) {
+	key := []byte("processor-integrity-key")
+	msg := []byte("a 64-byte cache line of protected data.........................")
+	mac := Truncated(key, msg, 8)
+	if len(mac) != 8 {
+		t.Fatalf("mac length %d", len(mac))
+	}
+	if !Verify(key, msg, mac) {
+		t.Fatal("valid MAC rejected")
+	}
+	// Any single-bit tamper in the message must be detected.
+	for bit := 0; bit < len(msg)*8; bit += 37 {
+		tampered := append([]byte(nil), msg...)
+		tampered[bit/8] ^= 1 << (bit % 8)
+		if Verify(key, tampered, mac) {
+			t.Fatalf("tampered bit %d accepted", bit)
+		}
+	}
+	// Tampered MAC must be rejected.
+	badMac := append([]byte(nil), mac...)
+	badMac[0] ^= 1
+	if Verify(key, msg, badMac) {
+		t.Fatal("tampered MAC accepted")
+	}
+}
+
+func TestVerifyEdgeCases(t *testing.T) {
+	if Verify([]byte("k"), []byte("m"), nil) {
+		t.Error("empty MAC accepted")
+	}
+	if Verify([]byte("k"), []byte("m"), make([]byte, 33)) {
+		t.Error("oversize MAC accepted")
+	}
+}
+
+func TestTruncatedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Truncated([]byte("k"), []byte("m"), 0)
+}
+
+// Property: verification succeeds iff the message is untampered.
+func TestQuickTamperDetection(t *testing.T) {
+	key := []byte("quick-key")
+	f := func(msg []byte, flipByte uint16, flipBit uint8) bool {
+		if len(msg) == 0 {
+			return true
+		}
+		mac := Truncated(key, msg, 8)
+		if !Verify(key, msg, mac) {
+			return false
+		}
+		tampered := append([]byte(nil), msg...)
+		tampered[int(flipByte)%len(msg)] ^= 1 << (flipBit % 8)
+		return !Verify(key, tampered, mac)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaddedBlocksMatchesLineCost(t *testing.T) {
+	// A 64-byte cache line costs 2 hash blocks (64+9 > 64); with the
+	// paper's 74ns hash-unit this is the per-line verification work.
+	if PaddedBlocks(64) != 2 {
+		t.Errorf("PaddedBlocks(64) = %d", PaddedBlocks(64))
+	}
+	if PaddedBlocks(32) != 1 {
+		t.Errorf("PaddedBlocks(32) = %d", PaddedBlocks(32))
+	}
+}

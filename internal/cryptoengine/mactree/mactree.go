@@ -1,0 +1,219 @@
+// Package mactree implements an m-ary MAC tree over a protected memory
+// region, in the style of the CHTree/AEGIS scheme the paper evaluates in
+// Section 5.3.3. Leaves are per-line MACs; each internal node is a truncated
+// HMAC over the concatenation of its children; the root lives on-chip and is
+// unconditionally trusted.
+//
+// The tree gives replay protection: a stale-but-correctly-MACed line cannot
+// be substituted because its leaf digest no longer matches the path to the
+// trusted root.
+//
+// Verification cost is what matters to the simulator: verifying a line walks
+// from its leaf toward the root, and may stop early at any node the caller
+// vouches for (modeling the on-chip hash-tree cache of verified nodes). The
+// walk reports exactly which nodes it visited so the memory-system model can
+// charge node fetches and hash latencies.
+package mactree
+
+import (
+	"fmt"
+
+	"authpoint/internal/cryptoengine/hmac"
+)
+
+// NodeID names a tree node. Level 0 holds the per-line leaf digests; the
+// level Levels()-1 holds the children of the trusted root.
+type NodeID struct {
+	Level int
+	Index int
+}
+
+// Tree is an m-ary MAC tree. Node storage models the untrusted external
+// memory (it can be tampered with); only the root digest is trusted.
+type Tree struct {
+	key       []byte
+	arity     int
+	macSize   int
+	numLeaves int
+	// levels[l] stores the concatenated node digests of level l.
+	// levels[0] has numLeaves digests; each higher level has
+	// ceil(prev/arity) digests.
+	levels [][]byte
+	root   []byte
+}
+
+// New builds an empty tree (all-zero leaves) for numLeaves lines.
+func New(key []byte, numLeaves, arity, macSize int) (*Tree, error) {
+	if numLeaves <= 0 {
+		return nil, fmt.Errorf("mactree: numLeaves must be positive, got %d", numLeaves)
+	}
+	if arity < 2 {
+		return nil, fmt.Errorf("mactree: arity must be >= 2, got %d", arity)
+	}
+	if macSize <= 0 || macSize > hmac.Size {
+		return nil, fmt.Errorf("mactree: macSize must be in 1..%d, got %d", hmac.Size, macSize)
+	}
+	t := &Tree{key: append([]byte(nil), key...), arity: arity, macSize: macSize, numLeaves: numLeaves}
+	n := numLeaves
+	for {
+		t.levels = append(t.levels, make([]byte, n*macSize))
+		if n == 1 {
+			break
+		}
+		n = (n + arity - 1) / arity
+	}
+	// Initialize all levels bottom-up from the zero leaves.
+	for l := 1; l < len(t.levels); l++ {
+		for i := 0; i < t.nodeCount(l); i++ {
+			t.recomputeNode(l, i)
+		}
+	}
+	t.root = t.macOfChildren(len(t.levels)-1, 0, 1)
+	return t, nil
+}
+
+// Levels returns the number of stored levels (leaf level included, trusted
+// root excluded).
+func (t *Tree) Levels() int { return len(t.levels) }
+
+// NodeCount returns the number of nodes at a level.
+func (t *Tree) NodeCount(level int) int { return t.nodeCount(level) }
+
+func (t *Tree) nodeCount(level int) int { return len(t.levels[level]) / t.macSize }
+
+// Arity returns the tree fan-out.
+func (t *Tree) Arity() int { return t.arity }
+
+// MacSize returns the digest size per node in bytes.
+func (t *Tree) MacSize() int { return t.macSize }
+
+// node returns the stored digest of a node.
+func (t *Tree) node(level, index int) []byte {
+	return t.levels[level][index*t.macSize : (index+1)*t.macSize]
+}
+
+// Node returns a copy of the stored digest of id (for inspection in tests).
+func (t *Tree) Node(id NodeID) []byte {
+	return append([]byte(nil), t.node(id.Level, id.Index)...)
+}
+
+// leafDigest computes the digest of raw leaf data for leaf i. The leaf index
+// is mixed in so identical lines at different addresses have distinct leaves.
+func (t *Tree) leafDigest(i int, leafData []byte) []byte {
+	msg := make([]byte, 8+len(leafData))
+	for b := 0; b < 8; b++ {
+		msg[b] = byte(uint64(i) >> (8 * b))
+	}
+	copy(msg[8:], leafData)
+	return hmac.Truncated(t.key, msg, t.macSize)
+}
+
+// macOfChildren computes the digest of the node at (level,index) from its
+// children stored at level-1 (or, for level == Levels(), from the top stored
+// level — that is the root computation).
+func (t *Tree) macOfChildren(childLevel, firstChild, nChildren int) []byte {
+	msg := make([]byte, 0, nChildren*t.macSize+8)
+	var hdr [8]byte
+	v := uint64(childLevel)<<32 | uint64(firstChild)
+	for b := 0; b < 8; b++ {
+		hdr[b] = byte(v >> (8 * b))
+	}
+	msg = append(msg, hdr[:]...)
+	for c := firstChild; c < firstChild+nChildren; c++ {
+		msg = append(msg, t.node(childLevel, c)...)
+	}
+	return hmac.Truncated(t.key, msg, t.macSize)
+}
+
+func (t *Tree) recomputeNode(level, index int) {
+	first := index * t.arity
+	n := t.arity
+	if first+n > t.nodeCount(level-1) {
+		n = t.nodeCount(level-1) - first
+	}
+	copy(t.node(level, index), t.macOfChildren(level-1, first, n))
+}
+
+// SetLeaf installs new leaf data for line i and updates the path to the
+// root. It returns the node IDs rewritten (leaf upward), which the memory
+// model charges as tree-update work on write-back.
+func (t *Tree) SetLeaf(i int, leafData []byte) ([]NodeID, error) {
+	if i < 0 || i >= t.numLeaves {
+		return nil, fmt.Errorf("mactree: leaf %d out of range [0,%d)", i, t.numLeaves)
+	}
+	copy(t.node(0, i), t.leafDigest(i, leafData))
+	path := []NodeID{{0, i}}
+	idx := i
+	for l := 1; l < len(t.levels); l++ {
+		idx /= t.arity
+		t.recomputeNode(l, idx)
+		path = append(path, NodeID{l, idx})
+	}
+	t.root = t.macOfChildren(len(t.levels)-1, 0, 1)
+	return path, nil
+}
+
+// VerifyLeaf checks leaf data for line i against the tree, walking upward
+// and stopping at the first node for which trusted returns true (the on-chip
+// node cache), or at the on-chip root. It returns whether verification
+// succeeded and the nodes whose stored digests were consulted (the memory
+// model charges a fetch per consulted node group and a hash latency per
+// level climbed).
+//
+// trusted may be nil, meaning only the root is trusted (worst case: the walk
+// always reaches the root).
+func (t *Tree) VerifyLeaf(i int, leafData []byte, trusted func(NodeID) bool) (bool, []NodeID) {
+	if i < 0 || i >= t.numLeaves {
+		return false, nil
+	}
+	var visited []NodeID
+	computed := t.leafDigest(i, leafData)
+	id := NodeID{0, i}
+	for {
+		visited = append(visited, id)
+		stored := t.node(id.Level, id.Index)
+		if !equal(computed, stored) {
+			return false, visited
+		}
+		if trusted != nil && trusted(id) {
+			return true, visited
+		}
+		// Climb: the parent digest must match the MAC over this node's
+		// sibling group.
+		if id.Level == len(t.levels)-1 {
+			// Parent is the trusted on-chip root.
+			return equal(t.macOfChildren(id.Level, 0, t.nodeCount(id.Level)), t.root), visited
+		}
+		parent := NodeID{id.Level + 1, id.Index / t.arity}
+		first := parent.Index * t.arity
+		n := t.arity
+		if first+n > t.nodeCount(id.Level) {
+			n = t.nodeCount(id.Level) - first
+		}
+		computed = t.macOfChildren(id.Level, first, n)
+		id = parent
+	}
+}
+
+// TamperNode XORs mask into a stored node digest, modeling an adversary
+// rewriting tree nodes in external memory.
+func (t *Tree) TamperNode(id NodeID, mask []byte) {
+	n := t.node(id.Level, id.Index)
+	for i := range n {
+		n[i] ^= mask[i%len(mask)]
+	}
+}
+
+// Root returns a copy of the trusted root digest.
+func (t *Tree) Root() []byte { return append([]byte(nil), t.root...) }
+
+func equal(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var d byte
+	for i := range a {
+		d |= a[i] ^ b[i]
+	}
+	return d == 0
+}

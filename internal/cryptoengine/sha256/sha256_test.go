@@ -1,0 +1,125 @@
+package sha256
+
+import (
+	"bytes"
+	stdsha "crypto/sha256"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// FIPS 180-2 test vectors.
+func TestVectors(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+		{"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+		{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+			"248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"},
+	}
+	for _, c := range cases {
+		got := Sum256([]byte(c.in))
+		if hex.EncodeToString(got[:]) != c.want {
+			t.Errorf("Sum256(%q) = %x want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMillionA(t *testing.T) {
+	d := New()
+	chunk := bytes.Repeat([]byte{'a'}, 1000)
+	for i := 0; i < 1000; i++ {
+		d.Write(chunk)
+	}
+	want := "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+	if got := hex.EncodeToString(d.Sum(nil)); got != want {
+		t.Errorf("million a = %s want %s", got, want)
+	}
+}
+
+func TestAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(300)
+		msg := make([]byte, n)
+		rng.Read(msg)
+		got := Sum256(msg)
+		want := stdsha.Sum256(msg)
+		if got != want {
+			t.Fatalf("len %d: %x vs %x", n, got, want)
+		}
+	}
+}
+
+// Property: chunked writes produce the same digest as one write.
+func TestQuickChunking(t *testing.T) {
+	f := func(msg []byte, splits []uint8) bool {
+		d := New()
+		rest := msg
+		for _, s := range splits {
+			if len(rest) == 0 {
+				break
+			}
+			n := int(s) % (len(rest) + 1)
+			d.Write(rest[:n])
+			rest = rest[n:]
+		}
+		d.Write(rest)
+		return bytes.Equal(d.Sum(nil), func() []byte { s := Sum256(msg); return s[:] }())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumDoesNotDisturbStream(t *testing.T) {
+	d := New()
+	d.Write([]byte("ab"))
+	first := d.Sum(nil)
+	second := d.Sum(nil)
+	if !bytes.Equal(first, second) {
+		t.Error("repeated Sum differs")
+	}
+	d.Write([]byte("c"))
+	want := Sum256([]byte("abc"))
+	if !bytes.Equal(d.Sum(nil), want[:]) {
+		t.Error("write after Sum corrupted state")
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New()
+	d.Write([]byte("garbage"))
+	d.Reset()
+	d.Write([]byte("abc"))
+	want := Sum256([]byte("abc"))
+	if !bytes.Equal(d.Sum(nil), want[:]) {
+		t.Error("reset did not restore initial state")
+	}
+}
+
+func TestPaddedBlocks(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 1},
+		{1, 1},
+		{55, 1}, // 55+9 = 64: exactly one block
+		{56, 2}, // spills
+		{64, 2},
+		{119, 2}, // 119+9 = 128
+		{120, 3},
+		{512 / 8, 2},
+	}
+	for _, c := range cases {
+		if got := PaddedBlocks(c.n); got != c.want {
+			t.Errorf("PaddedBlocks(%d) = %d want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func BenchmarkSum256_64B(b *testing.B) {
+	msg := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		Sum256(msg)
+	}
+}

@@ -1,0 +1,150 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{Banks: 0, RowBytes: 2048, CorePerBus: 5, BusBytes: 8},
+		{Banks: 8, RowBytes: 0, CorePerBus: 5, BusBytes: 8},
+		{Banks: 8, RowBytes: 2048, CorePerBus: 0, BusBytes: 8},
+		{Banks: 8, RowBytes: 2048, CorePerBus: 5, BusBytes: 0},
+		{Banks: 8, RowBytes: 2048, CorePerBus: 5, BusBytes: 8, CASBus: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := New(Default()); err != nil {
+		t.Errorf("default rejected: %v", err)
+	}
+}
+
+func TestRowEmptyThenHit(t *testing.T) {
+	d := MustNew(Default())
+	cfg := d.Config()
+	cpb := uint64(cfg.CorePerBus)
+
+	// First access: bank precharged -> RCD+CAS.
+	first, done := d.Access(0, 0, 64)
+	wantFirst := uint64(cfg.RCDBus+cfg.CASBus) * cpb
+	if first != wantFirst {
+		t.Errorf("empty-row first data at %d want %d", first, wantFirst)
+	}
+	beats := uint64(64 / cfg.BusBytes)
+	if done != first+beats*cpb {
+		t.Errorf("done %d want %d", done, first+beats*cpb)
+	}
+
+	// Second access to the same row after the bank is free: row hit -> CAS.
+	start := done
+	first2, _ := d.Access(start, 64, 64)
+	if got := first2 - start; got != uint64(cfg.CASBus)*cpb {
+		t.Errorf("row-hit latency %d want %d", got, uint64(cfg.CASBus)*cpb)
+	}
+
+	s := d.Stats()
+	if s.Hits != 1 || s.Empties != 1 || s.Conflicts != 0 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestRowConflict(t *testing.T) {
+	d := MustNew(Default())
+	cfg := d.Config()
+	cpb := uint64(cfg.CorePerBus)
+	rowStride := uint64(cfg.RowBytes * cfg.Banks) // same bank, next row
+
+	_, done := d.Access(0, 0, 64)
+	first, _ := d.Access(done, rowStride, 64)
+	want := uint64(cfg.RPBus+cfg.RCDBus+cfg.CASBus) * cpb
+	if got := first - done; got != want {
+		t.Errorf("conflict latency %d want %d", got, want)
+	}
+	if d.Stats().Conflicts != 1 {
+		t.Errorf("stats %+v", d.Stats())
+	}
+}
+
+func TestBankColumnPipelining(t *testing.T) {
+	d := MustNew(Default())
+	cfg := d.Config()
+	cpb := uint64(cfg.CorePerBus)
+	burst := uint64(64/cfg.BusBytes) * cpb
+	// Back-to-back row hits to the same bank stream at burst rate: CAS of
+	// the second overlaps the first transfer.
+	_, done1 := d.Access(0, 0, 64)
+	_, done2 := d.Access(0, 64, 64)
+	if done2 != done1+burst {
+		t.Errorf("row-hit stream: done2=%d want %d (burst-rate pipelining)", done2, done1+burst)
+	}
+	if d.Stats().BusyCycles == 0 {
+		t.Error("bank-command queueing not accounted")
+	}
+}
+
+func TestBankParallelismSharedBus(t *testing.T) {
+	d := MustNew(Default())
+	cfg := d.Config()
+	cpb := uint64(cfg.CorePerBus)
+	burst := uint64(64/cfg.BusBytes) * cpb
+	// Different banks overlap their row activations but share the data bus:
+	// the second burst lands right behind the first.
+	rowBytes := uint64(cfg.RowBytes)
+	_, done1 := d.Access(0, 0, 64)
+	first2, done2 := d.Access(0, rowBytes, 64) // next row -> next bank
+	if first2 != done1 {
+		t.Errorf("second bank's burst should queue on the data bus: first2=%d done1=%d", first2, done1)
+	}
+	if done2 != done1+burst {
+		t.Errorf("done2=%d want %d", done2, done1+burst)
+	}
+	if d.Stats().BusyCycles != 0 {
+		t.Error("no bank-command queueing expected across banks")
+	}
+}
+
+func TestSmallBurst(t *testing.T) {
+	d := MustNew(Default())
+	first, done := d.Access(0, 0, 1)
+	if done != first+uint64(d.Config().CorePerBus) {
+		t.Errorf("1-byte burst should take one beat: first=%d done=%d", first, done)
+	}
+}
+
+// Property: time never flows backwards, and outcomes partition accesses.
+func TestQuickMonotonic(t *testing.T) {
+	d := MustNew(Default())
+	now := uint64(0)
+	f := func(addrRaw uint32, advance uint16) bool {
+		now += uint64(advance)
+		addr := uint64(addrRaw)
+		first, done := d.Access(now, addr, 64)
+		if first < now || done <= first {
+			return false
+		}
+		s := d.Stats()
+		return s.Hits+s.Empties+s.Conflicts > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if RowHit.String() == "" || RowEmpty.String() == "" || RowConflict.String() == "" {
+		t.Error("empty Kind strings")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	d := MustNew(Default())
+	d.Access(0, 0, 64)
+	d.ResetStats()
+	if s := d.Stats(); s.Empties != 0 {
+		t.Error("stats survived reset")
+	}
+}

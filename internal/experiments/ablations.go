@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"authpoint/internal/secmem"
+	"authpoint/internal/sim"
+)
+
+// AblationPoint is one configuration's result: normalized IPC (against the
+// same-variant decrypt-only baseline) and absolute IPC. Both matter: a
+// variant that slows the baseline too can show a *higher* ratio while being
+// absolutely slower — counter prediction and decrypt latency do exactly
+// that.
+type AblationPoint struct {
+	Label   string
+	Mean    float64 // mean normalized IPC
+	MeanIPC float64 // mean absolute IPC under the scheme
+}
+
+// Ablation is one named sensitivity study.
+type Ablation struct {
+	Title  string
+	Points []AblationPoint
+}
+
+// Render prints one study.
+func (a *Ablation) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", a.Title)
+	for _, pt := range a.Points {
+		fmt.Fprintf(w, "  %-28s normalized %6.3f   absolute IPC %7.4f\n", pt.Label, pt.Mean, pt.MeanIPC)
+	}
+}
+
+// ablate runs one scheme under a sequence of config variants and collects
+// each variant's mean normalized and absolute IPC.
+func ablate(title string, p Params, scheme sim.Scheme, points []struct {
+	label   string
+	variant Variant
+}) (*Ablation, error) {
+	a := &Ablation{Title: title}
+	for _, pt := range points {
+		sw, err := RunSweep(pt.label, p, []sim.Scheme{scheme}, pt.variant)
+		if err != nil {
+			return nil, err
+		}
+		abs := 0.0
+		for _, r := range sw.Rows {
+			abs += r.IPC[scheme]
+		}
+		a.Points = append(a.Points, AblationPoint{
+			Label:   pt.label,
+			Mean:    sw.MeanNormalized(scheme),
+			MeanIPC: abs / float64(max(len(sw.Rows), 1)),
+		})
+	}
+	return a, nil
+}
+
+// AblationFetchVariants compares the two authen-then-fetch implementations
+// the paper sketches in §4.2.4: the LastRequest-register (per-instruction
+// tag) variant against the simpler drain variant.
+func AblationFetchVariants(p Params) (*Ablation, error) {
+	return ablate("Ablation: authen-then-fetch implementation variants (§4.2.4)", p, sim.SchemeThenFetch,
+		[]struct {
+			label   string
+			variant Variant
+		}{
+			{"LastRequest-register tag", nil},
+			{"drain the queue", func(c *sim.Config) { c.Mem.FetchDrain = true }},
+		})
+}
+
+// AblationDecryptLatency sweeps the AES pipeline latency under
+// authen-then-commit. Counter-mode pads overlap the fetch, so moderate
+// increases should be largely hidden (Table 1's MAX(fetch, decrypt)).
+func AblationDecryptLatency(p Params) (*Ablation, error) {
+	var pts []struct {
+		label   string
+		variant Variant
+	}
+	for _, ns := range []int{40, 80, 160, 320} {
+		ns := ns
+		pts = append(pts, struct {
+			label   string
+			variant Variant
+		}{fmt.Sprintf("decrypt %dns", ns), func(c *sim.Config) { c.Sec.DecryptLat = ns }})
+	}
+	return ablate("Ablation: decryption latency sensitivity (authen-then-commit)", p, sim.SchemeThenCommit, pts)
+}
+
+// AblationMacLatency sweeps the hash-unit latency under authen-then-issue —
+// the scheme most exposed to the verification gap.
+func AblationMacLatency(p Params) (*Ablation, error) {
+	var pts []struct {
+		label   string
+		variant Variant
+	}
+	for _, ns := range []int{37, 74, 148, 296} {
+		ns := ns
+		pts = append(pts, struct {
+			label   string
+			variant Variant
+		}{fmt.Sprintf("MAC %dns", ns), func(c *sim.Config) { c.Sec.MacLat = ns }})
+	}
+	return ablate("Ablation: MAC latency sensitivity (authen-then-issue)", p, sim.SchemeThenIssue, pts)
+}
+
+// AblationCtrPrediction toggles [19]-style counter prediction: without it a
+// counter-cache miss delays pad generation behind a metadata fetch.
+func AblationCtrPrediction(p Params) (*Ablation, error) {
+	return ablate("Ablation: counter prediction/precomputation ([19], authen-then-commit)", p, sim.SchemeThenCommit,
+		[]struct {
+			label   string
+			variant Variant
+		}{
+			{"prediction on (reference)", nil},
+			{"prediction off", func(c *sim.Config) { c.Sec.CtrPredict = false }},
+		})
+}
+
+// AblationMacWidth sweeps the truncated MAC width: wider MACs cost only
+// bus bandwidth in the flat scheme, so the effect should be small — the
+// security/storage trade-off is nearly performance-free.
+func AblationMacWidth(p Params) (*Ablation, error) {
+	var pts []struct {
+		label   string
+		variant Variant
+	}
+	for _, b := range []int{4, 8, 16} {
+		b := b
+		pts = append(pts, struct {
+			label   string
+			variant Variant
+		}{fmt.Sprintf("%d-bit MAC", b*8), func(c *sim.Config) { c.Sec.MacB = b }})
+	}
+	return ablate("Ablation: truncated MAC width (authen-then-commit)", p, sim.SchemeThenCommit, pts)
+}
+
+// AblationMacUnits scales the number of parallel verification engines under
+// authen-then-issue. One unit (the paper's design) saturates on miss-dense
+// kernels; extra units recover throughput until the bus becomes the limit.
+func AblationMacUnits(p Params) (*Ablation, error) {
+	var pts []struct {
+		label   string
+		variant Variant
+	}
+	for _, n := range []int{1, 2, 4} {
+		n := n
+		pts = append(pts, struct {
+			label   string
+			variant Variant
+		}{fmt.Sprintf("%d verification unit(s)", n), func(c *sim.Config) { c.Sec.MacUnits = n }})
+	}
+	return ablate("Ablation: parallel verification engines (authen-then-issue)", p, sim.SchemeThenIssue, pts)
+}
+
+// AblationEncryptionMode reproduces the paper's Section 2 argument for
+// counter mode: under CBC both decryption and verification serialize behind
+// the fetch, so every scheme slows down — but the decrypt/verify gap nearly
+// closes, collapsing the difference between authen-then-issue and
+// authen-then-commit.
+func AblationEncryptionMode(p Params) (*Ablation, error) {
+	a := &Ablation{Title: "Ablation: encryption mode (counter vs CBC, Table 1 / §5.2.2)"}
+	for _, cfg := range []struct {
+		label  string
+		scheme sim.Scheme
+		mode   secmem.Mode
+	}{
+		{"ctr, then-commit", sim.SchemeThenCommit, secmem.ModeCTR},
+		{"ctr, then-issue", sim.SchemeThenIssue, secmem.ModeCTR},
+		{"cbc, then-commit", sim.SchemeThenCommit, secmem.ModeCBC},
+		{"cbc, then-issue", sim.SchemeThenIssue, secmem.ModeCBC},
+	} {
+		cfg := cfg
+		sw, err := RunSweep(cfg.label, p, []sim.Scheme{cfg.scheme},
+			func(c *sim.Config) { c.Sec.Mode = cfg.mode })
+		if err != nil {
+			return nil, err
+		}
+		// Normalization is within-mode (CBC rows normalize against a CBC
+		// decrypt-only baseline): the ratio shows the scheme cost inside
+		// each mode, the absolute column shows the mode cost itself.
+		abs := 0.0
+		for _, r := range sw.Rows {
+			abs += r.IPC[cfg.scheme]
+		}
+		a.Points = append(a.Points, AblationPoint{
+			Label:   cfg.label,
+			Mean:    sw.MeanNormalized(cfg.scheme),
+			MeanIPC: abs / float64(max(len(sw.Rows), 1)),
+		})
+	}
+	return a, nil
+}
+
+// AblationMSHR bounds outstanding misses: the paper-era machines held ~8
+// miss registers; the model defaults to unbounded. Memory-level parallelism
+// (and with it, the relative cost of every authentication gate) depends on
+// this bound.
+func AblationMSHR(p Params) (*Ablation, error) {
+	var pts []struct {
+		label   string
+		variant Variant
+	}
+	for _, n := range []int{0, 16, 8, 4} {
+		n := n
+		label := fmt.Sprintf("%d MSHRs", n)
+		if n == 0 {
+			label = "unbounded MSHRs (default)"
+		}
+		pts = append(pts, struct {
+			label   string
+			variant Variant
+		}{label, func(c *sim.Config) { c.Mem.MSHRs = n }})
+	}
+	return ablate("Ablation: outstanding-miss bound (authen-then-commit)", p, sim.SchemeThenCommit, pts)
+}
+
+// AblationPrefetch toggles the next-line L2 prefetcher under the baseline
+// and under authen-then-fetch: prefetches help streaming kernels but also
+// consume verification-engine throughput and are themselves gated.
+func AblationPrefetch(p Params) (*Ablation, error) {
+	a := &Ablation{Title: "Ablation: next-line L2 prefetch"}
+	for _, cfg := range []struct {
+		label  string
+		scheme sim.Scheme
+		pf     bool
+	}{
+		{"baseline, no prefetch", sim.SchemeBaseline, false},
+		{"baseline, prefetch", sim.SchemeBaseline, true},
+		{"then-fetch, no prefetch", sim.SchemeThenFetch, false},
+		{"then-fetch, prefetch", sim.SchemeThenFetch, true},
+	} {
+		cfg := cfg
+		sw, err := RunSweep(cfg.label, p, []sim.Scheme{cfg.scheme},
+			func(c *sim.Config) { c.Mem.NextLinePrefetch = cfg.pf })
+		if err != nil {
+			return nil, err
+		}
+		abs := 0.0
+		for _, r := range sw.Rows {
+			abs += r.IPC[cfg.scheme]
+		}
+		a.Points = append(a.Points, AblationPoint{
+			Label:   cfg.label,
+			Mean:    sw.MeanNormalized(cfg.scheme),
+			MeanIPC: abs / float64(max(len(sw.Rows), 1)),
+		})
+	}
+	return a, nil
+}
+
+// AllAblations runs every sensitivity study.
+func AllAblations(p Params) ([]*Ablation, error) {
+	var out []*Ablation
+	for _, f := range []func(Params) (*Ablation, error){
+		AblationFetchVariants,
+		AblationDecryptLatency,
+		AblationMacLatency,
+		AblationCtrPrediction,
+		AblationMacWidth,
+		AblationMacUnits,
+		AblationMSHR,
+		AblationEncryptionMode,
+		AblationPrefetch,
+	} {
+		a, err := f(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

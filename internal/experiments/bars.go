@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"authpoint/internal/sim"
+)
+
+// RenderBars prints a sweep as per-workload bar groups, the visual shape of
+// the paper's figures. Bars span [0, 1.05] normalized IPC.
+func (s *Sweep) RenderBars(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", s.Title)
+	const width = 42
+	bar := func(v float64) string {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1.05 {
+			v = 1.05
+		}
+		n := int(v / 1.05 * width)
+		return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+	}
+	for _, r := range s.Rows {
+		fmt.Fprintf(w, "%s (baseline IPC %.3f)\n", r.Workload, r.BaselineIPC)
+		for _, sc := range s.Schemes {
+			v := r.Normalized(sc)
+			fmt.Fprintf(w, "  %-20s |%s| %.3f\n", shortScheme(sc), bar(v), v)
+		}
+	}
+	fmt.Fprintln(w, "MEAN")
+	for _, sc := range s.Schemes {
+		v := s.MeanNormalized(sc)
+		fmt.Fprintf(w, "  %-20s |%s| %.3f\n", shortScheme(sc), bar(v), v)
+	}
+}
+
+func shortScheme(s sim.Scheme) string {
+	switch s {
+	case sim.SchemeThenIssue:
+		return "then-issue"
+	case sim.SchemeThenWrite:
+		return "then-write"
+	case sim.SchemeThenCommit:
+		return "then-commit"
+	case sim.SchemeThenFetch:
+		return "then-fetch"
+	case sim.SchemeCommitPlusFetch:
+		return "commit+fetch"
+	case sim.SchemeCommitPlusObfuscation:
+		return "commit+obfuscation"
+	case sim.SchemeBaseline:
+		return "baseline"
+	}
+	return s.String()
+}

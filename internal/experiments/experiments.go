@@ -1,0 +1,388 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5) plus the security matrix (Table 2). Each experiment
+// returns a structured result and renders the same rows/series the paper
+// reports; EXPERIMENTS.md records the comparison against the published
+// numbers.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"authpoint/internal/attack"
+	"authpoint/internal/harness"
+	"authpoint/internal/sim"
+	"authpoint/internal/workload"
+)
+
+// Params sets the global sweep knobs.
+type Params struct {
+	Warmup    uint64
+	Measure   uint64
+	Workloads []workload.Workload
+}
+
+// DefaultParams covers all 18 kernels at the default windows.
+func DefaultParams() Params {
+	return Params{
+		Warmup:    harness.DefaultWarmup,
+		Measure:   harness.DefaultMeasure,
+		Workloads: workload.All(),
+	}
+}
+
+// QuickParams is a fast subset for smoke runs.
+func QuickParams() Params {
+	names := []string{"mcfx", "twolfx", "gccx", "swimx", "artx", "lucasx"}
+	var ws []workload.Workload
+	for _, n := range names {
+		w, ok := workload.ByName(n)
+		if !ok {
+			panic("unknown quick workload " + n)
+		}
+		ws = append(ws, w)
+	}
+	return Params{Warmup: 10_000, Measure: 40_000, Workloads: ws}
+}
+
+// PerfSchemes is the order the paper plots (Figure 7): five authentication
+// schemes plus address obfuscation on top of then-commit.
+var PerfSchemes = []sim.Scheme{
+	sim.SchemeThenIssue,
+	sim.SchemeThenWrite,
+	sim.SchemeThenCommit,
+	sim.SchemeThenFetch,
+	sim.SchemeCommitPlusFetch,
+	sim.SchemeCommitPlusObfuscation,
+}
+
+// IPCRow is one workload's results across schemes.
+type IPCRow struct {
+	Workload string
+	FP       bool
+	// BaselineIPC is the decrypt-only IPC everything normalizes against.
+	BaselineIPC float64
+	// IPC maps scheme -> absolute measured IPC.
+	IPC map[sim.Scheme]float64
+}
+
+// Normalized returns IPC(scheme)/IPC(baseline).
+func (r IPCRow) Normalized(s sim.Scheme) float64 {
+	if r.BaselineIPC == 0 {
+		return 0
+	}
+	return r.IPC[s] / r.BaselineIPC
+}
+
+// Sweep is a full normalized-IPC experiment (the Figure 7/10/12 family).
+type Sweep struct {
+	Title   string
+	Schemes []sim.Scheme
+	Rows    []IPCRow
+}
+
+// MeanNormalized returns the arithmetic mean of normalized IPC for a scheme
+// (the paper's "average IPC" statements).
+func (s *Sweep) MeanNormalized(scheme sim.Scheme) float64 {
+	if len(s.Rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range s.Rows {
+		sum += r.Normalized(scheme)
+	}
+	return sum / float64(len(s.Rows))
+}
+
+// Variant mutates the machine configuration for a sweep (L2 size, RUU size,
+// tree mode, remap cache size...).
+type Variant func(*sim.Config)
+
+// RunSweep measures every workload under the baseline plus each scheme.
+func RunSweep(title string, p Params, schemes []sim.Scheme, variant Variant) (*Sweep, error) {
+	sw := &Sweep{Title: title, Schemes: schemes}
+	for _, w := range p.Workloads {
+		row := IPCRow{Workload: w.Name, FP: w.FP, IPC: map[sim.Scheme]float64{}}
+		base := sim.DefaultConfig()
+		if variant != nil {
+			variant(&base)
+		}
+		base.Scheme = sim.SchemeBaseline
+		mb, err := harness.Measure(harness.Spec{Workload: w, Config: base, WarmupInsts: p.Warmup, MeasureInsts: p.Measure})
+		if err != nil {
+			return nil, fmt.Errorf("%s baseline: %w", w.Name, err)
+		}
+		row.BaselineIPC = mb.IPC
+		for _, scheme := range schemes {
+			cfg := sim.DefaultConfig()
+			if variant != nil {
+				variant(&cfg)
+			}
+			cfg.Scheme = scheme
+			m, err := harness.Measure(harness.Spec{Workload: w, Config: cfg, WarmupInsts: p.Warmup, MeasureInsts: p.Measure})
+			if err != nil {
+				return nil, fmt.Errorf("%s %v: %w", w.Name, scheme, err)
+			}
+			row.IPC[scheme] = m.IPC
+		}
+		sw.Rows = append(sw.Rows, row)
+	}
+	return sw, nil
+}
+
+// Render prints the sweep as a normalized-IPC table.
+func (s *Sweep) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", s.Title)
+	fmt.Fprintf(w, "%-10s %9s", "workload", "base-IPC")
+	for _, sc := range s.Schemes {
+		fmt.Fprintf(w, " %18s", sc)
+	}
+	fmt.Fprintln(w)
+	for _, r := range s.Rows {
+		fmt.Fprintf(w, "%-10s %9.3f", r.Workload, r.BaselineIPC)
+		for _, sc := range s.Schemes {
+			fmt.Fprintf(w, " %18.3f", r.Normalized(sc))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-10s %9s", "MEAN", "")
+	for _, sc := range s.Schemes {
+		fmt.Fprintf(w, " %18.3f", s.MeanNormalized(sc))
+	}
+	fmt.Fprintln(w)
+}
+
+// SpeedupRow is one workload's IPC speedup over authen-then-issue (Figure
+// 8/11/13 family).
+type SpeedupRow struct {
+	Workload string
+	Speedup  map[sim.Scheme]float64
+}
+
+// Speedups derives the Figure 8-style view from a sweep: IPC(scheme) /
+// IPC(then-issue).
+func (s *Sweep) Speedups(schemes []sim.Scheme) []SpeedupRow {
+	var out []SpeedupRow
+	for _, r := range s.Rows {
+		ref := r.IPC[sim.SchemeThenIssue]
+		row := SpeedupRow{Workload: r.Workload, Speedup: map[sim.Scheme]float64{}}
+		for _, sc := range schemes {
+			if ref > 0 {
+				row.Speedup[sc] = r.IPC[sc] / ref
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// RenderSpeedups prints a Figure 8-style table.
+func RenderSpeedups(w io.Writer, title string, rows []SpeedupRow, schemes []sim.Scheme) {
+	fmt.Fprintf(w, "%s\n%-10s", title, "workload")
+	for _, sc := range schemes {
+		fmt.Fprintf(w, " %18s", sc)
+	}
+	fmt.Fprintln(w)
+	means := map[sim.Scheme]float64{}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s", r.Workload)
+		for _, sc := range schemes {
+			fmt.Fprintf(w, " %18.3f", r.Speedup[sc])
+			means[sc] += r.Speedup[sc]
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-10s", "MEAN")
+	for _, sc := range schemes {
+		fmt.Fprintf(w, " %18.3f", means[sc]/float64(len(rows)))
+	}
+	fmt.Fprintln(w)
+}
+
+// --- Figure 7 -------------------------------------------------------------
+
+// Fig7 runs one quadrant of Figure 7: normalized IPC of the six schemes for
+// INT or FP workloads at the given L2 size.
+func Fig7(p Params, fp bool, l2B, l2Lat int) (*Sweep, error) {
+	var ws []workload.Workload
+	for _, w := range p.Workloads {
+		if w.FP == fp {
+			ws = append(ws, w)
+		}
+	}
+	p.Workloads = ws
+	kind := "INT"
+	if fp {
+		kind = "FP"
+	}
+	title := fmt.Sprintf("Figure 7: normalized IPC, %s, %dKB L2 (baseline: decryption only)", kind, l2B>>10)
+	return RunSweep(title, p, PerfSchemes, func(c *sim.Config) {
+		c.Mem.L2B = l2B
+		c.Mem.L2Lat = l2Lat
+	})
+}
+
+// --- Figure 9 -------------------------------------------------------------
+
+// Fig9Point is one re-map cache size's mean normalized IPC.
+type Fig9Point struct {
+	RemapCacheB int
+	PerRow      []IPCRow
+	Mean        float64
+}
+
+// Fig9 sweeps the address-obfuscation re-map cache size under then-commit +
+// obfuscation (paper: IPC improves with re-map cache size).
+func Fig9(p Params, sizes []int) ([]Fig9Point, error) {
+	var out []Fig9Point
+	for _, size := range sizes {
+		size := size
+		sw, err := RunSweep(
+			fmt.Sprintf("Figure 9: obfuscation re-map cache %dKB", size>>10),
+			p, []sim.Scheme{sim.SchemeCommitPlusObfuscation},
+			func(c *sim.Config) { c.Sec.RemapCacheB = size },
+		)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig9Point{
+			RemapCacheB: size,
+			PerRow:      sw.Rows,
+			Mean:        sw.MeanNormalized(sim.SchemeCommitPlusObfuscation),
+		})
+	}
+	return out, nil
+}
+
+// RenderFig9 prints the re-map sweep.
+func RenderFig9(w io.Writer, pts []Fig9Point) {
+	fmt.Fprintln(w, "Figure 9: normalized IPC vs re-map cache size (obfuscation + then-commit)")
+	fmt.Fprintf(w, "%-10s", "workload")
+	for _, pt := range pts {
+		fmt.Fprintf(w, " %10dKB", pt.RemapCacheB>>10)
+	}
+	fmt.Fprintln(w)
+	if len(pts) == 0 {
+		return
+	}
+	for i := range pts[0].PerRow {
+		fmt.Fprintf(w, "%-10s", pts[0].PerRow[i].Workload)
+		for _, pt := range pts {
+			fmt.Fprintf(w, " %12.3f", pt.PerRow[i].Normalized(sim.SchemeCommitPlusObfuscation))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-10s", "MEAN")
+	for _, pt := range pts {
+		fmt.Fprintf(w, " %12.3f", pt.Mean)
+	}
+	fmt.Fprintln(w)
+}
+
+// --- Figures 10-13 ---------------------------------------------------------
+
+// Fig10Schemes are the four schemes of the RUU study.
+var Fig10Schemes = []sim.Scheme{
+	sim.SchemeThenIssue, sim.SchemeThenWrite, sim.SchemeThenCommit, sim.SchemeCommitPlusFetch,
+}
+
+// Fig10 runs the 64-entry RUU sensitivity study.
+func Fig10(p Params) (*Sweep, error) {
+	return RunSweep("Figure 10: normalized IPC, 64-entry RUU, 256KB L2", p, Fig10Schemes,
+		func(c *sim.Config) {
+			c.Pipeline.RUUSize = 64
+			c.Pipeline.LSQSize = 32
+		})
+}
+
+// Fig12Schemes are the five schemes of the MAC-tree study.
+var Fig12Schemes = []sim.Scheme{
+	sim.SchemeThenIssue, sim.SchemeThenWrite, sim.SchemeThenCommit,
+	sim.SchemeThenFetch, sim.SchemeCommitPlusFetch,
+}
+
+// Fig12 runs the MAC-tree (CHTree-style) authentication study. The baseline
+// stays decryption-only, as in the paper. Tree-mode runs simulate several
+// times more cycles per instruction, so the windows are scaled down to keep
+// the sweep tractable; normalized IPC is a ratio and stabilizes quickly.
+func Fig12(p Params) (*Sweep, error) {
+	p.Warmup = p.Warmup/2 + 1
+	p.Measure = p.Measure/3 + 1
+	return RunSweep("Figure 12: normalized IPC under MAC-tree authentication", p, Fig12Schemes,
+		func(c *sim.Config) { c.Sec.UseTree = true })
+}
+
+// --- Table 2 ----------------------------------------------------------------
+
+// Table2Row is one scheme's demonstrated security properties.
+type Table2Row struct {
+	Scheme sim.Scheme
+	// PreventsFetchLeak: the pointer-conversion exploit failed to disclose
+	// the secret through fetch addresses.
+	PreventsFetchLeak bool
+	// PreciseException: the I/O-port disclosing kernel could not retire its
+	// OUT (no unverified instruction changed architectural state).
+	PreciseException bool
+	// AuthenticatedMemory: tainted data never persisted to external memory.
+	AuthenticatedMemory bool
+	// AuthenticatedProcessor: same witness as PreciseException (retirement
+	// of unverified results).
+	AuthenticatedProcessor bool
+	// Detected: the tampering raised a security exception at all.
+	Detected bool
+}
+
+// Table2Schemes are the paper's five rows.
+var Table2Schemes = []sim.Scheme{
+	sim.SchemeThenIssue,
+	sim.SchemeThenWrite,
+	sim.SchemeThenCommit,
+	sim.SchemeCommitPlusFetch,
+	sim.SchemeCommitPlusObfuscation,
+}
+
+// Table2 demonstrates every cell of the characteristics matrix by running
+// the exploit suite against each scheme.
+func Table2() ([]Table2Row, error) {
+	var out []Table2Row
+	for _, scheme := range Table2Schemes {
+		pc, err := attack.PointerConversion(scheme)
+		if err != nil {
+			return nil, err
+		}
+		io_, err := attack.IOPortDisclosure(scheme)
+		if err != nil {
+			return nil, err
+		}
+		mt, err := attack.MemoryTaint(scheme)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table2Row{
+			Scheme:                 scheme,
+			PreventsFetchLeak:      !pc.Leaked,
+			PreciseException:       !io_.Leaked && io_.Detected,
+			AuthenticatedMemory:    !mt.Leaked,
+			AuthenticatedProcessor: !io_.Leaked && io_.Detected,
+			Detected:               pc.Detected,
+		})
+	}
+	return out, nil
+}
+
+// RenderTable2 prints the matrix in the paper's layout.
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "-"
+	}
+	fmt.Fprintln(w, "Table 2: characteristics comparison (every cell demonstrated by running the exploit suite)")
+	fmt.Fprintf(w, "%-22s %12s %10s %10s %10s\n", "", "prevent-leak", "precise-ex", "auth-mem", "auth-proc")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %12s %10s %10s %10s\n", r.Scheme,
+			mark(r.PreventsFetchLeak), mark(r.PreciseException),
+			mark(r.AuthenticatedMemory), mark(r.AuthenticatedProcessor))
+	}
+}

@@ -1,0 +1,113 @@
+// Package harness runs measured simulations: assemble a workload, warm the
+// machine up for a committed-instruction window, then measure IPC over a
+// second window — the simulation-friendly analogue of the paper's SimPoint
+// fast-forward + 400M-instruction methodology.
+package harness
+
+import (
+	"fmt"
+
+	"authpoint/internal/asm"
+	"authpoint/internal/sim"
+	"authpoint/internal/workload"
+)
+
+// Spec describes one measured run.
+type Spec struct {
+	Workload workload.Workload
+	Config   sim.Config
+	// WarmupInsts are committed before measurement starts (caches and
+	// predictors warm during this window).
+	WarmupInsts uint64
+	// MeasureInsts is the measured window length.
+	MeasureInsts uint64
+}
+
+// DefaultWarmup and DefaultMeasure size the windows so a full figure sweep
+// completes in minutes while past the cold-start transient.
+const (
+	DefaultWarmup  = 30_000
+	DefaultMeasure = 120_000
+)
+
+// Measurement is the outcome of one run.
+type Measurement struct {
+	Name   string
+	Scheme sim.Scheme
+	IPC    float64 // measured-window IPC
+	Cycles uint64  // measured-window cycles
+	Insts  uint64  // measured-window instructions
+	Result sim.Result
+}
+
+// Measure runs one spec.
+func Measure(spec Spec) (Measurement, error) {
+	if spec.WarmupInsts == 0 {
+		spec.WarmupInsts = DefaultWarmup
+	}
+	spec.WarmupInsts += spec.Workload.InitInsts
+	if spec.MeasureInsts == 0 {
+		spec.MeasureInsts = DefaultMeasure
+	}
+	p, err := asm.Assemble(spec.Workload.Source)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("harness: %s: %w", spec.Workload.Name, err)
+	}
+	cfg := spec.Config
+	cfg.MaxInsts = spec.WarmupInsts
+	m, err := sim.NewMachine(cfg, p)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("harness: %s: %w", spec.Workload.Name, err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		return Measurement{}, fmt.Errorf("harness: %s warmup: %w", spec.Workload.Name, err)
+	}
+	if res.Reason != sim.StopMaxInsts {
+		return Measurement{}, fmt.Errorf("harness: %s warmup stopped early: %v", spec.Workload.Name, res.Reason)
+	}
+	warmCycles, warmInsts := res.Cycles, res.Insts
+
+	m.Cfg.MaxInsts = spec.WarmupInsts + spec.MeasureInsts
+	res, err = m.Run()
+	if err != nil {
+		return Measurement{}, fmt.Errorf("harness: %s measure: %w", spec.Workload.Name, err)
+	}
+	if res.Reason != sim.StopMaxInsts {
+		return Measurement{}, fmt.Errorf("harness: %s measure stopped early: %v", spec.Workload.Name, res.Reason)
+	}
+	mc := res.Cycles - warmCycles
+	mi := res.Insts - warmInsts
+	out := Measurement{
+		Name:   spec.Workload.Name,
+		Scheme: spec.Config.Scheme,
+		Cycles: mc,
+		Insts:  mi,
+		Result: res,
+	}
+	if mc > 0 {
+		out.IPC = float64(mi) / float64(mc)
+	}
+	return out, nil
+}
+
+// NormalizedIPC runs a workload under scheme and under the baseline with the
+// same machine configuration, returning IPC(scheme)/IPC(baseline) — the
+// paper's normalized-IPC metric (Figure 7 and friends).
+func NormalizedIPC(w workload.Workload, cfg sim.Config, scheme sim.Scheme, warmup, measure uint64) (float64, error) {
+	base := cfg
+	base.Scheme = sim.SchemeBaseline
+	mb, err := Measure(Spec{Workload: w, Config: base, WarmupInsts: warmup, MeasureInsts: measure})
+	if err != nil {
+		return 0, err
+	}
+	cfg.Scheme = scheme
+	ms, err := Measure(Spec{Workload: w, Config: cfg, WarmupInsts: warmup, MeasureInsts: measure})
+	if err != nil {
+		return 0, err
+	}
+	if mb.IPC == 0 {
+		return 0, fmt.Errorf("harness: %s baseline IPC is zero", w.Name)
+	}
+	return ms.IPC / mb.IPC, nil
+}

@@ -1,0 +1,179 @@
+package interp
+
+import (
+	"testing"
+
+	"authpoint/internal/asm"
+)
+
+func run(t *testing.T, src string) *Machine {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p)
+	if r := m.Run(1_000_000); r != StopHalt {
+		t.Fatalf("stopped with %v (%v)", r, m)
+	}
+	return m
+}
+
+func TestArithmeticAndLoops(t *testing.T) {
+	m := run(t, `
+		_start:
+			addi r1, r0, 0
+			addi r2, r0, 100
+		loop:
+			add  r1, r1, r2
+			addi r2, r2, -1
+			bne  r2, r0, loop
+			halt
+	`)
+	if m.Regs[1] != 5050 {
+		t.Errorf("sum %d", m.Regs[1])
+	}
+	if m.Insts == 0 {
+		t.Error("no instructions counted")
+	}
+}
+
+func TestMemoryAndCalls(t *testing.T) {
+	m := run(t, `
+		_start:
+			la   r1, buf
+			addi r2, r0, 77
+			sd   r2, 8(r1)
+			call f
+			halt
+		f:
+			ld   r3, 8(r1)
+			addi r3, r3, 1
+			ret
+		.data
+		buf: .space 64
+	`)
+	if m.Regs[3] != 78 {
+		t.Errorf("r3 = %d", m.Regs[3])
+	}
+}
+
+func TestFPAndOut(t *testing.T) {
+	m := run(t, `
+		_start:
+			la    r1, v
+			fld   f1, 0(r1)
+			fld   f2, 8(r1)
+			fmul  f3, f1, f2
+			fcvtfi r2, f3
+			out   r2, 5
+			halt
+		.data
+		v: .float 2.5, 4.0
+	`)
+	if len(m.Outs) != 1 || m.Outs[0].Val != 10 || m.Outs[0].Port != 5 {
+		t.Errorf("outs %+v", m.Outs)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind string
+	}{
+		{"_start:\n li r1, 0x30000000\n ld r2, 0(r1)\n halt", "load"},
+		{"_start:\n li r1, 0x30000000\n sd r2, 0(r1)\n halt", "store"},
+		{"_start:\n la r1, buf\n ld r2, 1(r1)\n halt\n.data\nbuf: .space 16", "misaligned"},
+		{"_start:\n li r1, 0x30000000\n jalr r0, r1, 0\n halt", "ifetch"},
+	}
+	for _, c := range cases {
+		p, err := asm.Assemble(c.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := New(p)
+		if r := m.Run(1000); r != StopFault {
+			t.Errorf("%q: stopped with %v", c.kind, r)
+			continue
+		}
+		kind, _, ok := m.Fault()
+		if !ok || kind != c.kind {
+			t.Errorf("fault kind %q want %q", kind, c.kind)
+		}
+	}
+}
+
+func TestIllegalInstruction(t *testing.T) {
+	p := asm.MustAssemble("_start: halt")
+	p.Text[0] = 0xfe // invalid opcode
+	m := New(p)
+	m.Mem.WriteUint(p.TextBase, uint64(p.Text[0]), 4)
+	if r := m.Run(10); r != StopFault {
+		t.Fatalf("stopped with %v", r)
+	}
+	if kind, _, _ := m.Fault(); kind != "illegal" {
+		t.Errorf("kind %q", kind)
+	}
+}
+
+func TestMaxInsts(t *testing.T) {
+	p := asm.MustAssemble("_start: b _start")
+	m := New(p)
+	if r := m.Run(500); r != StopMaxInsts {
+		t.Fatalf("stopped with %v", r)
+	}
+	if m.Insts != 500 {
+		t.Errorf("insts %d", m.Insts)
+	}
+}
+
+func TestR0IsHardwiredZero(t *testing.T) {
+	m := run(t, `
+		_start:
+			addi r0, r0, 99
+			add  r1, r0, r0
+			halt
+	`)
+	if m.Regs[0] != 0 || m.Regs[1] != 0 {
+		t.Errorf("r0=%d r1=%d", m.Regs[0], m.Regs[1])
+	}
+}
+
+func TestFaultLogRecordsAddress(t *testing.T) {
+	p := asm.MustAssemble("_start:\n li r1, 0x30000440\n ld r2, 0(r1)\n halt")
+	m := New(p)
+	m.Run(100)
+	log := m.Space.FaultLog()
+	if len(log) != 1 || log[0] != 0x30000440 {
+		t.Errorf("fault log %#x", log)
+	}
+}
+
+func TestMapExtra(t *testing.T) {
+	p := asm.MustAssemble("_start:\n li r1, 0x20000000\n ld r2, 0(r1)\n halt")
+	m := New(p)
+	m.MapExtra(0x20000000, 4096)
+	if r := m.Run(100); r != StopHalt {
+		t.Fatalf("stopped with %v (%v)", r, m)
+	}
+}
+
+// Throughput sanity: the functional interpreter should be at least an order
+// of magnitude faster than the timing simulator.
+func BenchmarkInterp(b *testing.B) {
+	p := asm.MustAssemble(`
+		_start:
+			addi r1, r0, 0
+			li   r2, 1000000000
+		loop:
+			addi r1, r1, 1
+			bne  r1, r2, loop
+			halt
+	`)
+	m := New(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "insts/s")
+}

@@ -1,0 +1,148 @@
+package isa
+
+import "math"
+
+// EvalALU computes the result of an integer ALU or long-latency integer
+// operation given the (already immediate-substituted) operand values.
+// For immediate-form ops pass the immediate as b. Division by zero follows
+// the usual RISC convention: quotient is all ones, remainder is the dividend.
+func EvalALU(op Op, a, b uint64) uint64 {
+	switch op {
+	case OpADD, OpADDI:
+		return a + b
+	case OpSUB:
+		return a - b
+	case OpMUL:
+		return a * b
+	case OpDIV:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		return uint64(int64(a) / int64(b))
+	case OpREM:
+		if b == 0 {
+			return a
+		}
+		return uint64(int64(a) % int64(b))
+	case OpAND, OpANDI:
+		return a & b
+	case OpOR, OpORI:
+		return a | b
+	case OpXOR, OpXORI:
+		return a ^ b
+	case OpSLL, OpSLLI:
+		return a << (b & 63)
+	case OpSRL, OpSRLI:
+		return a >> (b & 63)
+	case OpSRA, OpSRAI:
+		return uint64(int64(a) >> (b & 63))
+	case OpSLT, OpSLTI:
+		if int64(a) < int64(b) {
+			return 1
+		}
+		return 0
+	case OpSLTU:
+		if a < b {
+			return 1
+		}
+		return 0
+	case OpLUI:
+		return b << 16
+	case OpLUIH:
+		return a | b<<32
+	}
+	return 0
+}
+
+// ImmOperand returns the value the immediate contributes as operand b for an
+// immediate-form ALU op (sign- vs zero-extension was resolved at decode).
+func ImmOperand(imm int32) uint64 {
+	return uint64(int64(imm))
+}
+
+// EvalBranch evaluates a conditional branch's taken/not-taken outcome for
+// integer compare-and-branch ops.
+func EvalBranch(op Op, a, b uint64) bool {
+	switch op {
+	case OpBEQ:
+		return a == b
+	case OpBNE:
+		return a != b
+	case OpBLT:
+		return int64(a) < int64(b)
+	case OpBGE:
+		return int64(a) >= int64(b)
+	case OpBLTU:
+		return a < b
+	case OpBGEU:
+		return a >= b
+	}
+	return false
+}
+
+// EvalFPBranch evaluates FP compare-and-branch outcome.
+func EvalFPBranch(op Op, a, b float64) bool {
+	switch op {
+	case OpFBLT:
+		return a < b
+	case OpFBGE:
+		return a >= b
+	}
+	return false
+}
+
+// EvalFPU computes the result of an FP arithmetic op on FP operands.
+func EvalFPU(op Op, a, b float64) float64 {
+	switch op {
+	case OpFADD:
+		return a + b
+	case OpFSUB:
+		return a - b
+	case OpFMUL:
+		return a * b
+	case OpFDIV:
+		return a / b // IEEE semantics: ±Inf/NaN on zero divisor
+	case OpFNEG:
+		return -a
+	}
+	return 0
+}
+
+// CvtIntToFP implements FCVTIF.
+func CvtIntToFP(a uint64) float64 { return float64(int64(a)) }
+
+// CvtFPToInt implements FCVTFI with saturation on overflow and 0 for NaN.
+func CvtFPToInt(a float64) uint64 {
+	switch {
+	case math.IsNaN(a):
+		return 0
+	case a >= math.MaxInt64:
+		return uint64(math.MaxInt64)
+	case a <= math.MinInt64:
+		return uint64(1) << 63 // MinInt64 bit pattern
+	}
+	return uint64(int64(a))
+}
+
+// BranchTarget computes the target of a PC-relative control transfer. The
+// immediate counts instruction words relative to the *next* instruction.
+func BranchTarget(pc uint64, imm int32) uint64 {
+	return pc + InstBytes + uint64(int64(imm))*InstBytes
+}
+
+// SignExtendLoad sign/zero extends raw little-endian load data per op.
+func SignExtendLoad(op Op, raw uint64) uint64 {
+	switch op {
+	case OpLD, OpFLD, OpPREF:
+		return raw
+	case OpLW:
+		return uint64(int64(int32(uint32(raw))))
+	case OpLWU:
+		return uint64(uint32(raw))
+	case OpLB:
+		return uint64(int64(int8(uint8(raw))))
+	case OpLBU:
+		return uint64(uint8(raw))
+	}
+	return raw
+}

@@ -1,0 +1,314 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpNamesUniqueAndComplete(t *testing.T) {
+	seen := map[string]Op{}
+	for op := Op(0); int(op) < NumOps; op++ {
+		name := opTable[op].name
+		if name == "" {
+			t.Fatalf("op %d has no table entry", op)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("duplicate mnemonic %q for ops %d and %d", name, prev, op)
+		}
+		seen[name] = op
+		got, ok := OpByName(name)
+		if !ok || got != op {
+			t.Fatalf("OpByName(%q) = %v,%v want %v", name, got, ok, op)
+		}
+	}
+}
+
+func TestInvalidOpHandling(t *testing.T) {
+	bad := Op(200)
+	if bad.Valid() {
+		t.Fatal("op 200 should be invalid")
+	}
+	if bad.String() == "" {
+		t.Fatal("invalid op should still print")
+	}
+	if _, err := Encode(Inst{Op: bad}); err == nil {
+		t.Fatal("encoding invalid op should fail")
+	}
+	if got := Decode(uint32(bad)); got.Op.Valid() {
+		t.Fatalf("decoding invalid opcode gave valid op %v", got.Op)
+	}
+}
+
+// roundTrippable reports whether inst survives Encode/Decode exactly.
+func encodeDecode(t *testing.T, inst Inst) Inst {
+	t.Helper()
+	w, err := Encode(inst)
+	if err != nil {
+		t.Fatalf("encode %v: %v", inst, err)
+	}
+	return Decode(w)
+}
+
+func TestEncodeDecodeRFormat(t *testing.T) {
+	cases := []Inst{
+		{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpSUB, Rd: 31, Rs1: 30, Rs2: 29},
+		{Op: OpMUL, Rd: 17, Rs1: 16, Rs2: 31},
+		{Op: OpXOR, Rd: 0, Rs1: 0, Rs2: 0},
+		{Op: OpFADD, Rd: 5, Rs1: 6, Rs2: 7},
+		{Op: OpFCVTIF, Rd: 1, Rs1: 9},
+		{Op: OpHALT},
+		{Op: OpNOP},
+	}
+	for _, c := range cases {
+		if got := encodeDecode(t, c); got != c {
+			t.Errorf("round trip %v -> %v", c, got)
+		}
+	}
+}
+
+func TestEncodeDecodeIFormat(t *testing.T) {
+	cases := []Inst{
+		{Op: OpADDI, Rd: 1, Rs1: 2, Imm: -32768},
+		{Op: OpADDI, Rd: 15, Rs1: 15, Imm: 32767},
+		{Op: OpORI, Rd: 3, Rs1: 3, Imm: 0xffff},
+		{Op: OpLUI, Rd: 4, Imm: 0xbeef},
+		{Op: OpLUIH, Rd: 4, Imm: 0xdead},
+		{Op: OpLD, Rd: 7, Rs1: 8, Imm: 1024},
+		{Op: OpLB, Rd: 0, Rs1: 15, Imm: -1},
+		{Op: OpSD, Rs2: 9, Rs1: 10, Imm: -8},
+		{Op: OpSB, Rs2: 15, Rs1: 0, Imm: 255},
+		{Op: OpBEQ, Rs1: 1, Rs2: 2, Imm: -100},
+		{Op: OpBGEU, Rs1: 14, Rs2: 13, Imm: 200},
+		{Op: OpJAL, Rd: 15, Imm: 5000},
+		{Op: OpJALR, Rd: 1, Rs1: 2, Imm: 0},
+		{Op: OpFLD, Rd: 3, Rs1: 4, Imm: 16},
+		{Op: OpFSD, Rs2: 5, Rs1: 6, Imm: 24},
+		{Op: OpFBLT, Rs1: 7, Rs2: 8, Imm: -4},
+		{Op: OpOUT, Rs2: 2, Imm: 0x80},
+		{Op: OpPREF, Rs1: 3, Imm: 64},
+	}
+	for _, c := range cases {
+		if got := encodeDecode(t, c); got != c {
+			t.Errorf("round trip %v -> %v", c, got)
+		}
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	cases := []Inst{
+		{Op: OpADDI, Rd: 16, Rs1: 1, Imm: 0},     // I-format reg > 15
+		{Op: OpADDI, Rd: 1, Rs1: 16, Imm: 0},     // I-format reg > 15
+		{Op: OpSD, Rs2: 16, Rs1: 1, Imm: 0},      // store source in rd slot
+		{Op: OpADDI, Rd: 1, Rs1: 1, Imm: 40000},  // signed imm overflow
+		{Op: OpADDI, Rd: 1, Rs1: 1, Imm: -40000}, // signed imm underflow
+		{Op: OpORI, Rd: 1, Rs1: 1, Imm: 1 << 16}, // unsigned imm overflow
+		{Op: OpADD, Rd: 32, Rs1: 1, Rs2: 1},      // reg out of range entirely
+	}
+	for _, c := range cases {
+		if _, err := Encode(c); err == nil {
+			t.Errorf("Encode(%v) should have failed", c)
+		}
+	}
+}
+
+// Property: every encodable instruction round-trips exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(opRaw uint8, rd, rs1, rs2 uint8, imm int16) bool {
+		op := Op(opRaw % uint8(NumOps))
+		inst := Inst{Op: op, Rd: rd % 16, Rs1: rs1 % 16, Rs2: rs2 % 16, Imm: int32(imm)}
+		if !op.HasImm() {
+			inst.Imm = 0
+			inst.Rd, inst.Rs1, inst.Rs2 = rd%32, rs1%32, rs2%32
+		} else {
+			switch op {
+			case OpANDI, OpORI, OpXORI, OpLUI, OpLUIH, OpOUT:
+				inst.Imm = int32(uint16(imm))
+			}
+			// I-format: rd and rs2 share a slot; only one is meaningful.
+			if usesRs2InRd(op) {
+				inst.Rd = 0
+			} else {
+				inst.Rs2 = 0
+			}
+		}
+		w, err := Encode(inst)
+		if err != nil {
+			return false
+		}
+		return Decode(w) == inst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Decode never panics on arbitrary 32-bit words (tampered
+// ciphertext decodes to *something*).
+func TestQuickDecodeTotal(t *testing.T) {
+	f := func(w uint32) bool {
+		inst := Decode(w)
+		_ = inst.String()
+		_ = inst.IsMem()
+		_ = inst.IsBranchOrJump()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// negU64 returns the two's-complement bit pattern of -v.
+func negU64(v int64) uint64 { return uint64(-v) }
+
+func TestEvalALUBasics(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b uint64
+		want uint64
+	}{
+		{OpADD, 3, 4, 7},
+		{OpSUB, 3, 4, ^uint64(0)},
+		{OpMUL, 7, 6, 42},
+		{OpDIV, 42, 6, 7},
+		{OpDIV, uint64(math.MaxUint64), 0, ^uint64(0)}, // div-by-zero convention
+		{OpDIV, 42, ^uint64(0) /* -1 */, negU64(42)},
+		{OpREM, 43, 6, 1},
+		{OpREM, 43, 0, 43},
+		{OpAND, 0xf0, 0x3c, 0x30},
+		{OpOR, 0xf0, 0x0f, 0xff},
+		{OpXOR, 0xff, 0x0f, 0xf0},
+		{OpSLL, 1, 63, 1 << 63},
+		{OpSLL, 1, 64, 1}, // shift amount masked to 6 bits
+		{OpSRL, 1 << 63, 63, 1},
+		{OpSRA, negU64(8), 1, negU64(4)},
+		{OpSLT, negU64(1), 0, 1},
+		{OpSLT, 0, negU64(1), 0},
+		{OpSLTU, 0, ^uint64(0), 1},
+		{OpSLTU, ^uint64(0), 0, 0},
+		{OpLUI, 0, 0xbeef, 0xbeef0000},
+		{OpLUIH, 0xbeef0000, 0xdead, 0xdead_beef_0000},
+	}
+	for _, c := range cases {
+		if got := EvalALU(c.op, c.a, c.b); got != c.want {
+			t.Errorf("EvalALU(%v,%#x,%#x) = %#x want %#x", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalBranch(t *testing.T) {
+	neg1 := negU64(1)
+	cases := []struct {
+		op   Op
+		a, b uint64
+		want bool
+	}{
+		{OpBEQ, 5, 5, true},
+		{OpBEQ, 5, 6, false},
+		{OpBNE, 5, 6, true},
+		{OpBLT, neg1, 0, true},
+		{OpBLT, 0, neg1, false},
+		{OpBGE, 0, neg1, true},
+		{OpBLTU, 0, neg1, true}, // unsigned: -1 is max
+		{OpBGEU, neg1, 0, true},
+	}
+	for _, c := range cases {
+		if got := EvalBranch(c.op, c.a, c.b); got != c.want {
+			t.Errorf("EvalBranch(%v,%#x,%#x) = %v want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalFPU(t *testing.T) {
+	if got := EvalFPU(OpFADD, 1.5, 2.25); got != 3.75 {
+		t.Errorf("fadd = %v", got)
+	}
+	if got := EvalFPU(OpFDIV, 1, 0); !math.IsInf(got, 1) {
+		t.Errorf("fdiv by zero = %v, want +Inf", got)
+	}
+	if got := EvalFPU(OpFNEG, 2.5, 0); got != -2.5 {
+		t.Errorf("fneg = %v", got)
+	}
+	if !EvalFPBranch(OpFBLT, 1, 2) || EvalFPBranch(OpFBLT, 2, 1) {
+		t.Error("fblt wrong")
+	}
+	if !EvalFPBranch(OpFBGE, 2, 2) {
+		t.Error("fbge wrong")
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if CvtIntToFP(negU64(3)) != -3.0 {
+		t.Error("fcvtif")
+	}
+	if CvtFPToInt(-3.7) != negU64(3) {
+		t.Error("fcvtfi trunc")
+	}
+	if CvtFPToInt(math.NaN()) != 0 {
+		t.Error("fcvtfi NaN")
+	}
+	if CvtFPToInt(math.Inf(1)) != uint64(math.MaxInt64) {
+		t.Error("fcvtfi +Inf saturate")
+	}
+	if CvtFPToInt(math.Inf(-1)) != uint64(1)<<63 {
+		t.Error("fcvtfi -Inf saturate")
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	if got := BranchTarget(100, 0); got != 104 {
+		t.Errorf("fallthrough target %d", got)
+	}
+	if got := BranchTarget(100, -1); got != 100 {
+		t.Errorf("self loop target %d", got)
+	}
+	if got := BranchTarget(100, 5); got != 124 {
+		t.Errorf("forward target %d", got)
+	}
+}
+
+func TestSignExtendLoad(t *testing.T) {
+	cases := []struct {
+		op   Op
+		raw  uint64
+		want uint64
+	}{
+		{OpLD, 0xdeadbeefcafebabe, 0xdeadbeefcafebabe},
+		{OpLW, 0xffffffff80000000, negU64(2147483648)},
+		{OpLWU, 0xffffffff80000000, 0x80000000},
+		{OpLB, 0xff, negU64(1)},
+		{OpLBU, 0xff, 0xff},
+	}
+	for _, c := range cases {
+		if got := SignExtendLoad(c.op, c.raw); got != c.want {
+			t.Errorf("SignExtendLoad(%v,%#x)=%#x want %#x", c.op, c.raw, got, c.want)
+		}
+	}
+}
+
+func TestMemClassification(t *testing.T) {
+	ld := Inst{Op: OpLD}
+	sd := Inst{Op: OpSD}
+	fld := Inst{Op: OpFLD}
+	fsd := Inst{Op: OpFSD}
+	add := Inst{Op: OpADD}
+	if !ld.IsMem() || !ld.IsLoad() || ld.IsStore() {
+		t.Error("ld classification")
+	}
+	if !sd.IsMem() || !sd.IsStore() || sd.IsLoad() {
+		t.Error("sd classification")
+	}
+	if !fld.IsLoad() || !fsd.IsStore() {
+		t.Error("fp mem classification")
+	}
+	if add.IsMem() {
+		t.Error("add is not mem")
+	}
+	if ld.MemBytes() != 8 || sd.MemBytes() != 8 {
+		t.Error("64-bit size")
+	}
+	if (Inst{Op: OpLW}).MemBytes() != 4 || (Inst{Op: OpSB}).MemBytes() != 1 {
+		t.Error("sub-word sizes")
+	}
+}

@@ -1,0 +1,172 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteBasics(t *testing.T) {
+	m := New()
+	if m.LoadByte(0x1234) != 0 {
+		t.Error("fresh memory not zero")
+	}
+	m.StoreByte(0x1234, 0xab)
+	if m.LoadByte(0x1234) != 0xab {
+		t.Error("byte write lost")
+	}
+	data := []byte{1, 2, 3, 4, 5}
+	m.Write(0xfff_e, data) // crosses page boundary
+	if got := m.Read(0xfff_e, 5); !bytes.Equal(got, data) {
+		t.Errorf("cross-page read %v", got)
+	}
+}
+
+func TestUintAccessors(t *testing.T) {
+	m := New()
+	m.WriteUint(0x100, 0xdeadbeefcafebabe, 8)
+	if got := m.ReadUint(0x100, 8); got != 0xdeadbeefcafebabe {
+		t.Errorf("u64 %#x", got)
+	}
+	if got := m.ReadUint(0x100, 4); got != 0xcafebabe {
+		t.Errorf("u32 low half %#x", got)
+	}
+	m.WriteUint(0x200, 0x11223344, 4)
+	if got := m.ReadUint(0x200, 8); got != 0x11223344 {
+		t.Errorf("u32 zero-extends: %#x", got)
+	}
+}
+
+func TestXorRange(t *testing.T) {
+	m := New()
+	m.Write(0x40, []byte{0xf0, 0x0f})
+	m.XorRange(0x40, []byte{0xff, 0xff})
+	if got := m.Read(0x40, 2); !bytes.Equal(got, []byte{0x0f, 0xf0}) {
+		t.Errorf("xor result %x", got)
+	}
+}
+
+func TestSnapshotReplay(t *testing.T) {
+	m := New()
+	m.Write(0x80, []byte("old"))
+	snap := m.Snapshot(0x80, 3)
+	m.Write(0x80, []byte("new"))
+	m.Write(0x80, snap)
+	if got := m.Read(0x80, 3); string(got) != "old" {
+		t.Errorf("replay got %q", got)
+	}
+}
+
+func TestQuickMemoryConsistency(t *testing.T) {
+	m := New()
+	shadow := map[uint64]byte{}
+	f := func(addr uint64, v byte) bool {
+		addr %= 1 << 30
+		m.StoreByte(addr, v)
+		shadow[addr] = v
+		return m.LoadByte(addr) == shadow[addr]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressSpaceValidity(t *testing.T) {
+	s := NewAddressSpace()
+	if s.Valid(0x1000) {
+		t.Error("unmapped address valid")
+	}
+	s.MapRange(0x1000, 8192)
+	for _, a := range []uint64{0x1000, 0x1fff, 0x2000, 0x2fff} {
+		if !s.Valid(a) {
+			t.Errorf("%#x should be valid", a)
+		}
+	}
+	if s.Valid(0x3000) {
+		t.Error("page past range valid")
+	}
+	if s.MappedPages() != 2 {
+		t.Errorf("mapped pages %d", s.MappedPages())
+	}
+	s.UnmapPage(0x1000)
+	if s.Valid(0x1800) {
+		t.Error("unmapped page still valid")
+	}
+	s.MapRange(0x5000, 0) // no-op
+	if s.Valid(0x5000) {
+		t.Error("zero-length map mapped a page")
+	}
+}
+
+func TestAddressSpaceDisabled(t *testing.T) {
+	s := NewAddressSpace()
+	s.Disabled = true
+	if !s.Valid(0xdeadbeef) {
+		t.Error("disabled translation should accept anything")
+	}
+}
+
+func TestFaultLog(t *testing.T) {
+	s := NewAddressSpace()
+	s.Fault(0xdead)
+	s.Fault(0xbeef)
+	log := s.FaultLog()
+	if len(log) != 2 || log[0] != 0xdead || log[1] != 0xbeef {
+		t.Errorf("fault log %v", log)
+	}
+	// The returned slice is a copy.
+	log[0] = 0
+	if s.FaultLog()[0] != 0xdead {
+		t.Error("FaultLog returned live slice")
+	}
+}
+
+func TestTLBBehaviour(t *testing.T) {
+	tlb, err := NewTLB(128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tlb.Lookup(0x1000) {
+		t.Error("cold TLB hit")
+	}
+	if !tlb.Lookup(0x1234) { // same page
+		t.Error("same-page miss")
+	}
+	hits, misses := tlb.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats %d/%d", hits, misses)
+	}
+	tlb.Flush()
+	if tlb.Lookup(0x1000) {
+		t.Error("hit after flush")
+	}
+}
+
+func TestTLBLRUWithinSet(t *testing.T) {
+	tlb, err := NewTLB(8, 4) // 2 sets, 4 ways
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pages mapping to set 0: page numbers 0,2,4,... (pn % 2).
+	pages := []uint64{0, 2, 4, 6} // fill set 0
+	for _, pn := range pages {
+		tlb.Lookup(pn << PageShift)
+	}
+	tlb.Lookup(0 << PageShift) // touch page 0: MRU
+	tlb.Lookup(8 << PageShift) // evicts LRU = page 2
+	if !tlb.Lookup(0 << PageShift) {
+		t.Error("page 0 should survive")
+	}
+	if tlb.Lookup(2 << PageShift) {
+		t.Error("page 2 should have been evicted")
+	}
+}
+
+func TestTLBBadShape(t *testing.T) {
+	if _, err := NewTLB(0, 4); err == nil {
+		t.Error("0 entries accepted")
+	}
+	if _, err := NewTLB(10, 4); err == nil {
+		t.Error("non-divisible shape accepted")
+	}
+}

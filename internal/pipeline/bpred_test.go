@@ -1,0 +1,126 @@
+package pipeline
+
+import "testing"
+
+func TestBimodalTrainsBothWays(t *testing.T) {
+	p := NewPredictor(DefaultPredictorConfig())
+	pc := uint64(0x1000)
+	if p.PredictCond(pc) {
+		t.Fatal("cold prediction should be weakly not-taken")
+	}
+	// Train taken: two updates flip the 2-bit counter.
+	p.UpdateCond(pc, false, true)
+	p.UpdateCond(pc, false, true)
+	if !p.PredictCond(pc) {
+		t.Fatal("should predict taken after training")
+	}
+	// Saturation: one not-taken does not flip a strong counter.
+	p.UpdateCond(pc, true, true) // now strongly taken
+	p.UpdateCond(pc, true, false)
+	if !p.PredictCond(pc) {
+		t.Fatal("strong counter flipped by one opposite outcome")
+	}
+	p.UpdateCond(pc, true, false)
+	p.UpdateCond(pc, true, false)
+	if p.PredictCond(pc) {
+		t.Fatal("should predict not-taken after retraining")
+	}
+}
+
+func TestBimodalAccuracyAccounting(t *testing.T) {
+	p := NewPredictor(DefaultPredictorConfig())
+	pc := uint64(0x40)
+	for i := 0; i < 10; i++ {
+		pred := p.PredictCond(pc)
+		p.UpdateCond(pc, pred, true) // always taken
+	}
+	acc := p.CondAccuracy()
+	if acc < 0.7 || acc > 1 {
+		t.Fatalf("accuracy %.2f for an always-taken branch", acc)
+	}
+	if NewPredictor(DefaultPredictorConfig()).CondAccuracy() != 0 {
+		t.Fatal("accuracy with no lookups should be 0")
+	}
+}
+
+func TestBTBInstallAndLookup(t *testing.T) {
+	p := NewPredictor(DefaultPredictorConfig())
+	if _, ok := p.LookupBTB(0x2000); ok {
+		t.Fatal("cold BTB hit")
+	}
+	p.UpdateBTB(0x2000, 0x3000)
+	tgt, ok := p.LookupBTB(0x2000)
+	if !ok || tgt != 0x3000 {
+		t.Fatalf("lookup %v %#x", ok, tgt)
+	}
+	// Retarget.
+	p.UpdateBTB(0x2000, 0x4000)
+	if tgt, _ := p.LookupBTB(0x2000); tgt != 0x4000 {
+		t.Fatalf("retarget failed: %#x", tgt)
+	}
+	// Filling a set beyond its ways evicts something but never corrupts.
+	cfg := PredictorConfig{BimodalEntries: 16, BTBEntries: 8, BTBWays: 2, RASEntries: 4}
+	q := NewPredictor(cfg)
+	for i := uint64(0); i < 64; i++ {
+		q.UpdateBTB(0x1000+i*16, 0x9000+i)
+	}
+	hits := 0
+	for i := uint64(0); i < 64; i++ {
+		if tgt, ok := q.LookupBTB(0x1000 + i*16); ok {
+			hits++
+			if tgt != 0x9000+i {
+				t.Fatalf("corrupted BTB entry for %#x", 0x1000+i*16)
+			}
+		}
+	}
+	if hits == 0 || hits > 8 {
+		t.Fatalf("hits %d out of bounds for an 8-entry BTB", hits)
+	}
+}
+
+func TestRASLIFO(t *testing.T) {
+	p := NewPredictor(DefaultPredictorConfig())
+	if _, ok := p.PopRAS(); ok {
+		t.Fatal("pop from empty RAS")
+	}
+	p.PushRAS(0x100)
+	p.PushRAS(0x200)
+	p.PushRAS(0x300)
+	for _, want := range []uint64{0x300, 0x200, 0x100} {
+		got, ok := p.PopRAS()
+		if !ok || got != want {
+			t.Fatalf("pop %#x want %#x", got, want)
+		}
+	}
+	if _, ok := p.PopRAS(); ok {
+		t.Fatal("RAS underflow not detected")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	p := NewPredictor(PredictorConfig{BimodalEntries: 16, BTBEntries: 8, BTBWays: 2, RASEntries: 4})
+	for i := uint64(1); i <= 6; i++ { // 6 pushes into a 4-deep stack
+		p.PushRAS(i * 0x10)
+	}
+	// The newest four survive, oldest two were overwritten.
+	for _, want := range []uint64{0x60, 0x50, 0x40, 0x30} {
+		got, ok := p.PopRAS()
+		if !ok || got != want {
+			t.Fatalf("pop %#x want %#x", got, want)
+		}
+	}
+}
+
+func TestPredictorSizingRoundsUp(t *testing.T) {
+	p := NewPredictor(PredictorConfig{BimodalEntries: 100, BTBEntries: 9, BTBWays: 3, RASEntries: 0})
+	if len(p.bimodal) != 128 {
+		t.Fatalf("bimodal %d want 128", len(p.bimodal))
+	}
+	if len(p.ras) != 1 {
+		t.Fatalf("ras %d want 1", len(p.ras))
+	}
+	// Must not panic on lookups with odd shapes.
+	p.PredictCond(0x123)
+	p.UpdateBTB(0x123, 0x456)
+	p.LookupBTB(0x123)
+}

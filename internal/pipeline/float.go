@@ -1,0 +1,6 @@
+package pipeline
+
+import "math"
+
+func float64bits(f float64) uint64     { return math.Float64bits(f) }
+func float64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,310 @@
+// Package pipeline implements the 8-wide out-of-order core of the simulated
+// secure processor: fetch with branch prediction, dispatch into a
+// SimpleScalar-style Register Update Unit (RUU), dataflow issue to functional
+// units, a load/store queue with store-to-load forwarding, and in-order
+// commit.
+//
+// Two properties matter for the paper and shape the design:
+//
+//  1. Execution is value-accurate along *both* correct and wrong paths:
+//     speculatively fetched instructions — including tampered,
+//     not-yet-authenticated ones — really execute with real operand values,
+//     and their loads really reach the memory system. That is precisely the
+//     behaviour that turns memory fetch into a side channel.
+//
+//  2. The authentication control points are commit-/issue-/write-time gates
+//     driven by the secure memory controller's per-line verification
+//     results (Config.GateIssue, GateCommit, StoreWaitAuth; the fetch gate
+//     lives in the memory system, which sees every external fetch).
+package pipeline
+
+import (
+	"fmt"
+
+	"authpoint/internal/isa"
+)
+
+// Config parameterizes the core.
+type Config struct {
+	FetchWidth  int
+	IssueWidth  int
+	CommitWidth int
+	RUUSize     int
+	LSQSize     int
+	IFQSize     int
+
+	IntMulLat int
+	IntDivLat int
+	FPLat     int
+	FPDivLat  int
+
+	// GateIssue implements authen-then-issue: an instruction may not issue
+	// until the authentication of its own I-line has completed. (Operand
+	// gating is realized by the memory system returning load values at
+	// their authentication-completion cycle under this policy.)
+	GateIssue bool
+
+	// GateCommit implements authen-then-commit: the RUU head may not commit
+	// until the authentication requests covering the instruction and its
+	// loaded data have completed.
+	GateCommit bool
+
+	// StoreWaitAuth implements authen-then-write: committed stores carry
+	// the LastRequest tag captured at issue, and the memory system's store
+	// buffer refuses to release them externally until that request
+	// verifies.
+	StoreWaitAuth bool
+
+	Predictor PredictorConfig
+}
+
+// DefaultConfig returns the paper's Table 3 core.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:  8,
+		IssueWidth:  8,
+		CommitWidth: 8,
+		RUUSize:     128,
+		LSQSize:     64,
+		IFQSize:     32,
+		IntMulLat:   3,
+		IntDivLat:   12,
+		FPLat:       4,
+		FPDivLat:    12,
+		Predictor:   DefaultPredictorConfig(),
+	}
+}
+
+// FaultKind classifies architectural faults.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	FaultNone FaultKind = iota
+	FaultIllegalInst
+	FaultBadAddr
+	FaultMisaligned
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultIllegalInst:
+		return "illegal-instruction"
+	case FaultBadAddr:
+		return "invalid-address"
+	case FaultMisaligned:
+		return "misaligned-access"
+	}
+	return "?"
+}
+
+type entryState uint8
+
+const (
+	stWaiting entryState = iota
+	stIssued
+	stDone
+)
+
+// entry is one RUU slot.
+type entry struct {
+	valid bool
+	seq   uint64
+	pc    uint64
+	inst  isa.Inst
+
+	nsrc   int
+	srcTag [2]int // producer RUU index, -1 = value captured
+	srcVal [2]uint64
+
+	hasDest bool
+	destFP  bool
+	destReg uint8
+	result  uint64
+
+	state     entryState
+	doneCycle uint64
+
+	isLoad    bool
+	isStore   bool
+	addr      uint64
+	addrValid bool
+	memSize   int
+
+	isCtl     bool
+	predNPC   uint64
+	actualNPC uint64
+	predTaken bool // conditional prediction, for trainer
+	isCond    bool
+	taken     bool
+
+	instAuthIdx  uint64
+	instAuthDone uint64
+	dataAuthIdx  uint64
+	dataAuthDone uint64
+	authTagIssue uint64 // LastRequest at issue (authen-then-write tag)
+
+	fault     FaultKind
+	faultAddr uint64
+}
+
+type fetchedInst struct {
+	pc           uint64
+	inst         isa.Inst
+	predNPC      uint64
+	predTaken    bool
+	isCond       bool
+	instAuthIdx  uint64
+	instAuthDone uint64
+	illegal      bool
+}
+
+// Stats counts core events.
+type Stats struct {
+	Cycles      uint64
+	Fetched     uint64
+	Dispatched  uint64
+	Issued      uint64
+	Committed   uint64
+	Squashed    uint64
+	Mispredicts uint64
+	Forwards    uint64
+
+	// Stall accounting (cycles in which the stage was blocked for the
+	// given reason while work was available).
+	CommitAuthStall uint64 // authen-then-commit head waiting for verification
+	IssueAuthStall  uint64 // authen-then-issue entries held back
+	SBFullStall     uint64 // store buffer full at commit
+}
+
+// Core is the out-of-order processor core.
+type Core struct {
+	cfg Config
+	mem MemPort
+	bp  *Predictor
+
+	pc    uint64
+	regs  [isa.NumIntRegs]uint64
+	fregs [isa.NumFPRegs]uint64
+
+	renameInt [isa.NumIntRegs]int
+	renameFP  [isa.NumFPRegs]int
+
+	ruu   []entry
+	head  int
+	tail  int
+	count int
+
+	lsqCount int
+
+	ifq          []fetchedInst
+	fetchBlocked uint64 // no fetch before this cycle
+	fetchFaulted bool   // fetch ran into an unmapped page; waits for redirect
+	fetchTag     uint64 // LastRequest at the control transfer steering fetch
+
+	nextSeq uint64
+	now     uint64
+
+	waiting      int    // RUU entries in stWaiting (skip issue scan when 0)
+	inflight     int    // RUU entries in stIssued
+	earliestDone uint64 // lower bound on the next completion cycle
+
+	halted   bool
+	fault    FaultKind
+	faultPC  uint64
+	faultVal uint64
+
+	outLog []OutEvent
+
+	// CommitHook, when set, observes every committed instruction in program
+	// order (pc, instruction, result value). Used by tracing tools and
+	// lockstep differential tests.
+	CommitHook func(pc uint64, inst isa.Inst, result uint64)
+
+	stats Stats
+}
+
+// New builds a core with architectural state zeroed and PC at entry.
+func New(cfg Config, mem MemPort, entryPC uint64) (*Core, error) {
+	if cfg.RUUSize <= 0 || cfg.LSQSize <= 0 || cfg.IFQSize <= 0 {
+		return nil, fmt.Errorf("pipeline: non-positive queue sizes %+v", cfg)
+	}
+	if cfg.FetchWidth <= 0 || cfg.IssueWidth <= 0 || cfg.CommitWidth <= 0 {
+		return nil, fmt.Errorf("pipeline: non-positive widths %+v", cfg)
+	}
+	c := &Core{
+		cfg: cfg,
+		mem: mem,
+		bp:  NewPredictor(cfg.Predictor),
+		pc:  entryPC,
+		ruu: make([]entry, cfg.RUUSize),
+	}
+	for i := range c.renameInt {
+		c.renameInt[i] = -1
+	}
+	for i := range c.renameFP {
+		c.renameFP[i] = -1
+	}
+	return c, nil
+}
+
+// SetReg initializes an architectural integer register (loader use).
+func (c *Core) SetReg(r uint8, v uint64) { c.regs[r] = v }
+
+// Reg reads an architectural integer register.
+func (c *Core) Reg(r uint8) uint64 { return c.regs[r] }
+
+// FReg reads an architectural FP register.
+func (c *Core) FReg(r uint8) uint64 { return c.fregs[r] }
+
+// PC returns the architectural (fetch) PC.
+func (c *Core) PC() uint64 { return c.pc }
+
+// Halted reports whether a HALT instruction has committed.
+func (c *Core) Halted() bool { return c.halted }
+
+// Faulted returns the architectural fault taken at commit, if any.
+func (c *Core) Faulted() (FaultKind, uint64, uint64) { return c.fault, c.faultPC, c.faultVal }
+
+// OutLog returns all OUT events retired so far.
+func (c *Core) OutLog() []OutEvent { return c.outLog }
+
+// Stats returns a copy of the counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Predictor exposes the branch predictor (for stats).
+func (c *Core) Predictor() *Predictor { return c.bp }
+
+// ruuOrder iterates RUU indices from oldest to youngest.
+func (c *Core) ruuOrder(f func(idx int, e *entry) bool) {
+	for i, idx := 0, c.head; i < c.count; i, idx = i+1, (idx+1)%c.cfg.RUUSize {
+		if !f(idx, &c.ruu[idx]) {
+			return
+		}
+	}
+}
+
+// Step advances the machine one cycle. Stages run in reverse pipeline order
+// so same-cycle structural hazards resolve like hardware.
+func (c *Core) Step() {
+	if c.halted || c.fault != FaultNone {
+		return
+	}
+	c.stats.Cycles++
+	c.mem.Tick(c.now)
+	c.commit()
+	if c.halted || c.fault != FaultNone {
+		c.now++
+		return
+	}
+	c.writeback()
+	c.issue()
+	c.dispatch()
+	c.fetch()
+	c.now++
+}
+
+// Now returns the current cycle.
+func (c *Core) Now() uint64 { return c.now }

@@ -1,0 +1,652 @@
+// Pipeline stages, in the reverse order Step runs them: commit, writeback,
+// issue/execute, dispatch, fetch. Each stage touches only this cycle's
+// state; reverse order makes same-cycle structural hazards resolve the way
+// hardware does.
+
+package pipeline
+
+import (
+	"authpoint/internal/isa"
+)
+
+// ---------------------------------------------------------------- commit --
+
+func (c *Core) commit() {
+	for n := 0; n < c.cfg.CommitWidth && c.count > 0; n++ {
+		e := &c.ruu[c.head]
+		if e.state != stDone {
+			return
+		}
+		if c.cfg.GateCommit {
+			gate := max(e.instAuthDone, e.dataAuthDone)
+			if c.now < gate {
+				c.stats.CommitAuthStall++
+				return
+			}
+		}
+		if e.fault != FaultNone {
+			// Precise exception at commit: the faulting address becomes
+			// architecturally visible (logged/displayed by the OS).
+			c.fault = e.fault
+			c.faultPC = e.pc
+			c.faultVal = e.faultAddr
+			if e.fault == FaultBadAddr {
+				c.mem.LogFault(e.faultAddr)
+			}
+			return
+		}
+		switch e.inst.Op.Class() {
+		case isa.ClassHalt:
+			c.halted = true
+		case isa.ClassOut:
+			c.outLog = append(c.outLog, OutEvent{Cycle: c.now, Port: uint32(e.inst.Imm), Val: e.srcVal[0]})
+		}
+		if e.isStore {
+			if !c.mem.CommitStore(c.now, e.addr, e.srcVal[1], e.memSize, e.authTagIssue) {
+				c.stats.SBFullStall++
+				return
+			}
+		}
+		if e.hasDest {
+			if e.destFP {
+				c.fregs[e.destReg] = e.result
+				if c.renameFP[e.destReg] == c.head {
+					c.renameFP[e.destReg] = -1
+				}
+			} else if e.destReg != isa.RegZero {
+				c.regs[e.destReg] = e.result
+				if c.renameInt[e.destReg] == c.head {
+					c.renameInt[e.destReg] = -1
+				}
+			}
+		}
+		if e.isLoad || e.isStore {
+			c.lsqCount--
+		}
+		if c.CommitHook != nil {
+			c.CommitHook(e.pc, e.inst, e.result)
+		}
+		e.valid = false
+		c.head = (c.head + 1) % c.cfg.RUUSize
+		c.count--
+		c.stats.Committed++
+		if c.halted {
+			return
+		}
+	}
+}
+
+// ------------------------------------------------------------- writeback --
+
+func (c *Core) writeback() {
+	if c.inflight == 0 || c.now < c.earliestDone {
+		return
+	}
+	next := ^uint64(0)
+	// Complete in age order so the oldest mispredicted branch wins.
+	var redirect *entry
+	var redirectIdx int
+	c.ruuOrder(func(idx int, e *entry) bool {
+		if e.state != stIssued {
+			return true
+		}
+		if e.doneCycle > c.now {
+			if e.doneCycle < next {
+				next = e.doneCycle
+			}
+			return true
+		}
+		e.state = stDone
+		c.inflight--
+		c.broadcast(idx, e)
+		if e.isCond {
+			c.bp.UpdateCond(e.pc, e.predTaken, e.taken)
+		}
+		if e.isCtl && e.inst.Op == isa.OpJALR {
+			c.bp.UpdateBTB(e.pc, e.actualNPC)
+		}
+		if e.isCtl && e.actualNPC != e.predNPC && redirect == nil {
+			redirect = e
+			redirectIdx = idx
+		}
+		return true
+	})
+	c.earliestDone = next
+	if redirect != nil {
+		c.stats.Mispredicts++
+		c.squashAfter(redirectIdx)
+		c.pc = redirect.actualNPC
+		c.fetchBlocked = c.now + 1
+		c.fetchFaulted = false
+		c.fetchTag = c.mem.LastAuthRequest(c.now)
+		c.ifq = c.ifq[:0]
+	}
+}
+
+// broadcast wakes consumers of entry idx. Consumers are always younger than
+// their producer, so the scan starts just past idx.
+func (c *Core) broadcast(idx int, e *entry) {
+	for p := (idx + 1) % c.cfg.RUUSize; p != c.tail; p = (p + 1) % c.cfg.RUUSize {
+		w := &c.ruu[p]
+		if !w.valid {
+			continue
+		}
+		for s := 0; s < w.nsrc; s++ {
+			if w.srcTag[s] == idx {
+				w.srcTag[s] = -1
+				w.srcVal[s] = e.result
+			}
+		}
+	}
+}
+
+// squashAfter removes every entry younger than RUU index idx and rebuilds
+// the rename tables from the survivors.
+func (c *Core) squashAfter(idx int) {
+	// Count survivors from head through idx.
+	keep := 0
+	for i, p := 0, c.head; i < c.count; i, p = i+1, (p+1)%c.cfg.RUUSize {
+		keep++
+		if p == idx {
+			break
+		}
+	}
+	for i, p := keep, (idx+1)%c.cfg.RUUSize; i < c.count; i, p = i+1, (p+1)%c.cfg.RUUSize {
+		e := &c.ruu[p]
+		if e.valid {
+			if e.isLoad || e.isStore {
+				c.lsqCount--
+			}
+			switch e.state {
+			case stWaiting:
+				c.waiting--
+			case stIssued:
+				c.inflight--
+			}
+			e.valid = false
+			c.stats.Squashed++
+		}
+	}
+	c.earliestDone = 0
+	c.count = keep
+	c.tail = (idx + 1) % c.cfg.RUUSize
+	for i := range c.renameInt {
+		c.renameInt[i] = -1
+	}
+	for i := range c.renameFP {
+		c.renameFP[i] = -1
+	}
+	c.ruuOrder(func(p int, e *entry) bool {
+		if e.hasDest {
+			if e.destFP {
+				c.renameFP[e.destReg] = p
+			} else if e.destReg != isa.RegZero {
+				c.renameInt[e.destReg] = p
+			}
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------- issue --
+
+func (c *Core) issue() {
+	if c.waiting == 0 {
+		return
+	}
+	issued := 0
+	c.ruuOrder(func(idx int, e *entry) bool {
+		if issued >= c.cfg.IssueWidth {
+			return false
+		}
+		if e.state != stWaiting {
+			return true
+		}
+		// Early store-address calculation (does not consume an issue slot):
+		// lets younger loads disambiguate sooner.
+		if e.isStore && !e.addrValid && e.srcTag[0] == -1 {
+			c.computeAddr(e)
+		}
+		for s := 0; s < e.nsrc; s++ {
+			if e.srcTag[s] != -1 {
+				return true // operands outstanding
+			}
+		}
+		if c.cfg.GateIssue && c.now < e.instAuthDone {
+			c.stats.IssueAuthStall++
+			return true
+		}
+		if e.isLoad {
+			if !c.issueLoad(idx, e) {
+				return true
+			}
+			issued++
+			c.stats.Issued++
+			return true
+		}
+		c.execute(e)
+		issued++
+		c.stats.Issued++
+		return true
+	})
+}
+
+func (c *Core) computeAddr(e *entry) {
+	e.addr = e.srcVal[0] + uint64(int64(e.inst.Imm))
+	e.addrValid = true
+	e.memSize = e.inst.MemBytes()
+}
+
+// issueLoad attempts to issue a load; reports whether it consumed an issue
+// slot (false = blocked by disambiguation, retry next cycle).
+func (c *Core) issueLoad(idx int, e *entry) bool {
+	if !e.addrValid {
+		c.computeAddr(e)
+	}
+	// Memory disambiguation against older stores, scanned oldest to
+	// youngest: the youngest older store governs. An older store with an
+	// unresolved address hard-blocks the load — and must invalidate any
+	// forwarding candidate found so far, because the unresolved store is
+	// younger than that candidate and may overwrite it. A younger exact
+	// covering match, conversely, supersedes an older partial overlap.
+	var forward *entry
+	blocked := false
+	c.ruuOrder(func(p int, older *entry) bool {
+		if p == idx {
+			return false
+		}
+		if !older.isStore {
+			return true
+		}
+		if !older.addrValid {
+			forward = nil
+			blocked = true // conservative: unknown older store address
+			return false
+		}
+		if rangesOverlap(older.addr, older.memSize, e.addr, e.memSize) {
+			if older.addr == e.addr && older.memSize >= e.memSize && older.srcTag[1] == -1 {
+				forward = older // youngest older matching store wins
+				blocked = false
+			} else {
+				forward = nil
+				blocked = true // partial overlap or data not ready
+			}
+		}
+		return true
+	})
+	if blocked {
+		return false
+	}
+	c.markIssued(e)
+	if forward != nil {
+		c.stats.Forwards++
+		raw := truncate(forward.srcVal[1], e.memSize)
+		c.finishLoad(e, raw, c.now+2)
+		return true
+	}
+	if e.addr%uint64(e.memSize) != 0 {
+		e.fault = FaultMisaligned
+		e.faultAddr = e.addr
+		e.doneCycle = c.now + 2
+		return true
+	}
+	if !c.mem.ValidAddr(e.addr) {
+		// Translation fault: no memory access reaches the bus; the fault
+		// is taken (and the address disclosed) only if the load commits.
+		e.fault = FaultBadAddr
+		e.faultAddr = e.addr
+		e.doneCycle = c.now + 2
+		return true
+	}
+	if e.inst.Op == isa.OpPREF {
+		// Prefetch: touches the hierarchy, produces no value.
+		c.mem.ReadData(c.now+1, e.addr, e.memSize, e.authTagIssue)
+		e.result = 0
+		e.doneCycle = c.now + 2
+		return true
+	}
+	r := c.mem.ReadData(c.now+1, e.addr, e.memSize, e.authTagIssue)
+	e.dataAuthIdx = r.AuthIdx
+	e.dataAuthDone = r.AuthDone
+	c.finishLoad(e, r.Raw, max(r.Ready, c.now+2))
+	return true
+}
+
+func (c *Core) finishLoad(e *entry, raw uint64, ready uint64) {
+	if e.inst.Op == isa.OpFLD {
+		e.result = raw
+	} else {
+		e.result = isa.SignExtendLoad(e.inst.Op, raw)
+	}
+	e.doneCycle = ready
+}
+
+func truncate(v uint64, size int) uint64 {
+	if size >= 8 {
+		return v
+	}
+	return v & (1<<(8*size) - 1)
+}
+
+func rangesOverlap(a uint64, an int, b uint64, bn int) bool {
+	return a < b+uint64(bn) && b < a+uint64(an)
+}
+
+// markIssued transitions an entry out of stWaiting, capturing the
+// LastRequest tag and maintaining the scheduler counts.
+func (c *Core) markIssued(e *entry) {
+	e.state = stIssued
+	e.authTagIssue = c.mem.LastAuthRequest(c.now)
+	c.waiting--
+	c.inflight++
+	c.earliestDone = 0 // recomputed on the next writeback scan
+}
+
+// execute computes results for non-load instructions at issue and schedules
+// completion.
+func (c *Core) execute(e *entry) {
+	c.markIssued(e)
+	lat := 1
+	op := e.inst.Op
+	switch op.Class() {
+	case isa.ClassNop, isa.ClassHalt, isa.ClassOut:
+		// OUT's value is srcVal[0]; emitted at commit.
+	case isa.ClassALU:
+		b := e.srcVal[1]
+		if op.HasImm() {
+			b = isa.ImmOperand(e.inst.Imm)
+		}
+		e.result = isa.EvalALU(op, e.srcVal[0], b)
+	case isa.ClassMul:
+		e.result = isa.EvalALU(op, e.srcVal[0], e.srcVal[1])
+		lat = c.cfg.IntMulLat
+		if op == isa.OpDIV || op == isa.OpREM {
+			lat = c.cfg.IntDivLat
+		}
+	case isa.ClassStore, isa.ClassFPStore:
+		if !e.addrValid {
+			c.computeAddr(e)
+		}
+		switch {
+		case e.addr%uint64(e.memSize) != 0:
+			e.fault = FaultMisaligned
+			e.faultAddr = e.addr
+		case !c.mem.ValidAddr(e.addr):
+			e.fault = FaultBadAddr
+			e.faultAddr = e.addr
+		}
+	case isa.ClassBranch:
+		e.isCond = true
+		if op == isa.OpFBLT || op == isa.OpFBGE {
+			e.taken = isa.EvalFPBranch(op, f64(e.srcVal[0]), f64(e.srcVal[1]))
+		} else {
+			e.taken = isa.EvalBranch(op, e.srcVal[0], e.srcVal[1])
+		}
+		if e.taken {
+			e.actualNPC = isa.BranchTarget(e.pc, e.inst.Imm)
+		} else {
+			e.actualNPC = e.pc + isa.InstBytes
+		}
+	case isa.ClassJump:
+		if op == isa.OpJAL {
+			e.actualNPC = isa.BranchTarget(e.pc, e.inst.Imm)
+		} else {
+			e.actualNPC = (e.srcVal[0] + uint64(int64(e.inst.Imm))) &^ 3
+		}
+		e.result = e.pc + isa.InstBytes
+	case isa.ClassFPU:
+		switch op {
+		case isa.OpFCVTIF:
+			e.result = bits(isa.CvtIntToFP(e.srcVal[0]))
+		case isa.OpFCVTFI:
+			e.result = isa.CvtFPToInt(f64(e.srcVal[0]))
+		default:
+			e.result = bits(isa.EvalFPU(op, f64(e.srcVal[0]), f64(e.srcVal[1])))
+		}
+		lat = c.cfg.FPLat
+		if op == isa.OpFDIV {
+			lat = c.cfg.FPDivLat
+		}
+	default:
+		e.fault = FaultIllegalInst
+		e.faultAddr = e.pc
+	}
+	e.doneCycle = c.now + uint64(lat)
+}
+
+// ------------------------------------------------------------- dispatch --
+
+func (c *Core) dispatch() {
+	for n := 0; n < c.cfg.IssueWidth && len(c.ifq) > 0; n++ {
+		if c.count >= c.cfg.RUUSize {
+			return
+		}
+		fi := c.ifq[0]
+		isMem := fi.inst.IsMem()
+		if isMem && c.lsqCount >= c.cfg.LSQSize {
+			return
+		}
+		c.ifq = c.ifq[1:]
+		idx := c.tail
+		c.tail = (c.tail + 1) % c.cfg.RUUSize
+		c.count++
+		e := &c.ruu[idx]
+		*e = entry{
+			valid:        true,
+			seq:          c.nextSeq,
+			pc:           fi.pc,
+			inst:         fi.inst,
+			state:        stWaiting,
+			predNPC:      fi.predNPC,
+			predTaken:    fi.predTaken,
+			instAuthIdx:  fi.instAuthIdx,
+			instAuthDone: fi.instAuthDone,
+		}
+		c.nextSeq++
+		if fi.illegal {
+			e.fault = FaultIllegalInst
+			e.faultAddr = fi.pc
+			e.state = stIssued
+			e.doneCycle = c.now + 1
+			c.inflight++
+			c.earliestDone = 0
+			c.stats.Dispatched++
+			continue
+		}
+		c.wireOperands(idx, e)
+		if isMem {
+			c.lsqCount++
+		}
+		if e.nsrc == 0 && !e.isLoad && e.inst.Op.Class() == isa.ClassNop {
+			e.state = stIssued
+			e.doneCycle = c.now + 1
+			c.inflight++
+			c.earliestDone = 0
+		} else {
+			c.waiting++
+		}
+		c.stats.Dispatched++
+	}
+}
+
+// wireOperands decodes register sources/destination and renames them.
+func (c *Core) wireOperands(idx int, e *entry) {
+	op := e.inst.Op
+	type src struct {
+		reg uint8
+		fp  bool
+	}
+	var srcs []src
+	switch op.Class() {
+	case isa.ClassALU:
+		if op.HasImm() {
+			srcs = []src{{e.inst.Rs1, false}}
+		} else {
+			srcs = []src{{e.inst.Rs1, false}, {e.inst.Rs2, false}}
+		}
+		c.setDest(e, e.inst.Rd, false)
+	case isa.ClassMul:
+		srcs = []src{{e.inst.Rs1, false}, {e.inst.Rs2, false}}
+		c.setDest(e, e.inst.Rd, false)
+	case isa.ClassLoad:
+		e.isLoad = true
+		srcs = []src{{e.inst.Rs1, false}}
+		if op != isa.OpPREF {
+			c.setDest(e, e.inst.Rd, false)
+		}
+	case isa.ClassFPLoad:
+		e.isLoad = true
+		srcs = []src{{e.inst.Rs1, false}}
+		c.setDest(e, e.inst.Rd, true)
+	case isa.ClassStore:
+		e.isStore = true
+		srcs = []src{{e.inst.Rs1, false}, {e.inst.Rs2, false}}
+	case isa.ClassFPStore:
+		e.isStore = true
+		srcs = []src{{e.inst.Rs1, false}, {e.inst.Rs2, true}}
+	case isa.ClassBranch:
+		e.isCtl = true
+		fp := op == isa.OpFBLT || op == isa.OpFBGE
+		srcs = []src{{e.inst.Rs1, fp}, {e.inst.Rs2, fp}}
+	case isa.ClassJump:
+		e.isCtl = true
+		if op == isa.OpJALR {
+			srcs = []src{{e.inst.Rs1, false}}
+		}
+		c.setDest(e, e.inst.Rd, false)
+	case isa.ClassFPU:
+		switch op {
+		case isa.OpFCVTIF:
+			srcs = []src{{e.inst.Rs1, false}}
+			c.setDest(e, e.inst.Rd, true)
+		case isa.OpFCVTFI:
+			srcs = []src{{e.inst.Rs1, true}}
+			c.setDest(e, e.inst.Rd, false)
+		case isa.OpFNEG:
+			srcs = []src{{e.inst.Rs1, true}}
+			c.setDest(e, e.inst.Rd, true)
+		default:
+			srcs = []src{{e.inst.Rs1, true}, {e.inst.Rs2, true}}
+			c.setDest(e, e.inst.Rd, true)
+		}
+	case isa.ClassOut:
+		srcs = []src{{e.inst.Rs2, false}}
+	}
+	e.nsrc = len(srcs)
+	for i, s := range srcs {
+		tag := -1
+		if s.fp {
+			tag = c.renameFP[s.reg]
+		} else if s.reg != isa.RegZero {
+			tag = c.renameInt[s.reg]
+		}
+		if tag == -1 {
+			if s.fp {
+				e.srcVal[i] = c.fregs[s.reg]
+			} else {
+				e.srcVal[i] = c.regs[s.reg]
+			}
+			e.srcTag[i] = -1
+		} else if c.ruu[tag].state == stDone {
+			e.srcVal[i] = c.ruu[tag].result
+			e.srcTag[i] = -1
+		} else {
+			e.srcTag[i] = tag
+		}
+	}
+	// Destination renaming happens after source lookup so an instruction
+	// reading and writing the same register sees the old producer.
+	if e.hasDest {
+		if e.destFP {
+			c.renameFP[e.destReg] = idx
+		} else if e.destReg != isa.RegZero {
+			c.renameInt[e.destReg] = idx
+		}
+	}
+}
+
+func (c *Core) setDest(e *entry, reg uint8, fp bool) {
+	e.hasDest = true
+	e.destReg = reg
+	e.destFP = fp
+}
+
+// ---------------------------------------------------------------- fetch --
+
+func (c *Core) fetch() {
+	if c.now < c.fetchBlocked || c.fetchFaulted {
+		return
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if len(c.ifq) >= c.cfg.IFQSize {
+			return
+		}
+		f := c.mem.FetchInst(c.now, c.pc, c.fetchTag)
+		if f.Fault {
+			// Fetch ran off into an unmapped page (wrong path, or a wild
+			// indirect target). Stall until a redirect rescues us.
+			c.fetchFaulted = true
+			return
+		}
+		if f.Ready > c.now {
+			c.fetchBlocked = f.Ready
+			return
+		}
+		inst := isa.Decode(f.Word)
+		fi := fetchedInst{
+			pc:           c.pc,
+			inst:         inst,
+			instAuthIdx:  f.AuthIdx,
+			instAuthDone: f.AuthDone,
+			illegal:      !inst.Op.Valid(),
+		}
+		npc := c.pc + isa.InstBytes
+		stop := false
+		switch inst.Op.Class() {
+		case isa.ClassBranch:
+			fi.isCond = true
+			fi.predTaken = c.bp.PredictCond(c.pc)
+			if fi.predTaken {
+				npc = isa.BranchTarget(c.pc, inst.Imm)
+				stop = true
+			}
+		case isa.ClassJump:
+			if inst.Op == isa.OpJAL {
+				npc = isa.BranchTarget(c.pc, inst.Imm)
+				if inst.Rd == isa.RegRA {
+					c.bp.PushRAS(c.pc + isa.InstBytes)
+				}
+			} else { // JALR
+				if inst.Rd == isa.RegZero && inst.Rs1 == isa.RegRA {
+					if t, ok := c.bp.PopRAS(); ok {
+						npc = t
+					} else if t, ok := c.bp.LookupBTB(c.pc); ok {
+						npc = t
+					}
+				} else {
+					if t, ok := c.bp.LookupBTB(c.pc); ok {
+						npc = t
+					}
+					if inst.Rd == isa.RegRA {
+						c.bp.PushRAS(c.pc + isa.InstBytes)
+					}
+				}
+			}
+			stop = true
+		}
+		fi.predNPC = npc
+		c.ifq = append(c.ifq, fi)
+		c.stats.Fetched++
+		c.pc = npc
+		if stop {
+			// Fetch now follows a (predicted) control transfer; requests
+			// issued after this instant must not gate its external fetches.
+			c.fetchTag = c.mem.LastAuthRequest(c.now)
+			return // taken control flow ends the fetch group
+		}
+	}
+}
+
+func f64(bitsv uint64) float64 { return float64frombits(bitsv) }
+
+func bits(f float64) uint64 { return float64bits(f) }

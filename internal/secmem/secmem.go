@@ -1,0 +1,757 @@
+// Package secmem implements the secure memory controller: the component
+// that sits between the L2 cache and the front-side bus and performs, for
+// every external line transfer, counter-mode decryption and MAC-based
+// integrity verification (Figure 5 of the paper).
+//
+// It is the home of the paper's central mechanism, the authentication queue:
+// every fetched line enqueues a verification request; an in-order
+// verification engine drains the queue; the LastRequest register names the
+// newest request. The five authentication control points (then-issue,
+// then-commit, then-write, then-fetch, and combinations) are implemented in
+// the pipeline by consuming this package's timing results — the controller
+// itself only reports, for every fetch, when plaintext became available and
+// when (and whether) verification completed.
+//
+// Everything is functional as well as timed: ciphertext and MACs really are
+// stored in external memory, so the attack package can flip ciphertext bits
+// and the verification engine really catches it.
+package secmem
+
+import (
+	"fmt"
+
+	"authpoint/internal/bus"
+	"authpoint/internal/cache"
+	"authpoint/internal/cryptoengine/ctr"
+	"authpoint/internal/cryptoengine/hmac"
+	"authpoint/internal/cryptoengine/mactree"
+	"authpoint/internal/dram"
+	"authpoint/internal/mem"
+)
+
+// Mode selects the memory encryption mode.
+type Mode int
+
+// Encryption modes.
+const (
+	// ModeCTR is counter-mode encryption with pad precomputation — the
+	// reference design. Decryption overlaps the fetch; the decrypt/verify
+	// gap is the full MAC latency (Table 1, row 1).
+	ModeCTR Mode = iota
+	// ModeCBC is CBC encryption with serial decryption: the critical chunk
+	// is available one cipher latency after the data arrives, the full
+	// line after N serial cipher operations — and a CBC-MAC costs the same
+	// N operations, so the decrypt/verify gap nearly closes while both
+	// latencies balloon (Table 1, row 2). Functionally the line is still
+	// counter-mode at rest; ModeCBC changes only the timing, which is what
+	// the paper's comparison concerns.
+	ModeCBC
+)
+
+func (m Mode) String() string {
+	if m == ModeCBC {
+		return "cbc"
+	}
+	return "ctr"
+}
+
+// Config describes the secure memory controller.
+type Config struct {
+	LineB int // external transfer granularity (the L2 line size)
+
+	// Mode selects the encryption mode's timing behaviour.
+	Mode Mode
+
+	// Crypto timing (core cycles at 1 GHz == ns with the paper's clock).
+	DecryptLat int // counter-mode pad generation (80ns reference)
+	MacLat     int // HMAC verification per line (74ns reference)
+
+	MacB int // truncated MAC size in bytes (8 = 64-bit reference)
+
+	// Authenticate enables integrity verification. Off = the paper's
+	// baseline ("decryption only with no authentication"): no MAC
+	// bandwidth, no verification engine.
+	Authenticate bool
+
+	// UseTree replaces flat per-line MACs with the CHTree-style MAC tree
+	// (Section 5.3.3). TreeCacheB is the on-chip cache of verified tree
+	// nodes (8KB reference).
+	UseTree    bool
+	TreeCacheB int
+
+	// Counter cache (for pad precomputation). A hit lets pad generation
+	// start when the fetch address is generated; a miss first fetches the
+	// counter from memory — unless CtrPredict is set.
+	CtrCacheB    int
+	CtrCacheWays int
+
+	// MacUnits is the number of parallel verification engines draining the
+	// authentication queue (default 1, the paper's design). Results still
+	// complete in order; extra units raise throughput when misses arrive
+	// faster than one unit's latency — the saturation regime several of the
+	// memory-bound kernels reach.
+	MacUnits int
+
+	// MacCoversCounter includes the per-line write counter in the MAC
+	// message (default true). Disabling it is a deliberately weakened
+	// design used to demonstrate why the binding matters: without it, an
+	// adversary can replay a stale ciphertext/MAC pair after rolling the
+	// stored counter back (§5.2.3's replay discussion; the MAC tree exists
+	// for the full-strength version of this attack).
+	MacCoversCounter bool
+
+	// CtrPredict models the paper's reference encryption implementation
+	// ([19]: counter prediction and precomputation): on a counter-cache
+	// miss the engine predicts the counter and starts pad generation
+	// immediately, so decryption latency is MAX(fetch, decrypt) as in
+	// Table 1. The counter block is still fetched (bandwidth and cache
+	// fill); only the pad-start dependence is removed. Disable for the
+	// no-prediction ablation.
+	CtrPredict bool
+
+	// Remap enables HIDE-style address obfuscation (Section 5.2.4): every
+	// external line lives at a remapped location, re-shuffled on each
+	// write-back, with an on-chip re-map cache. RemapCacheB sets its size.
+	Remap          bool
+	RemapCacheB    int
+	RemapCacheWays int
+}
+
+// DefaultConfig returns the paper's reference configuration.
+func DefaultConfig() Config {
+	return Config{
+		LineB:            64,
+		DecryptLat:       80,
+		MacLat:           74,
+		MacB:             8,
+		Authenticate:     true,
+		UseTree:          false,
+		TreeCacheB:       8 << 10,
+		CtrCacheB:        32 << 10,
+		CtrCacheWays:     4,
+		CtrPredict:       true,
+		MacUnits:         1,
+		MacCoversCounter: true,
+		Remap:            false,
+		RemapCacheB:      256 << 10,
+		RemapCacheWays:   4,
+	}
+}
+
+// FetchResult reports the outcome and timing of one external line fetch.
+type FetchResult struct {
+	Data []byte // decrypted line (possibly attacker-influenced garbage)
+
+	AddrVisible uint64 // cycle the (possibly remapped) address hit the bus
+	DataReady   uint64 // cycle the ciphertext finished arriving
+	PlainReady  uint64 // cycle the plaintext was available to the pipeline
+	AuthDone    uint64 // cycle the verification engine finished this line
+	AuthOK      bool   // verification verdict
+	AuthIdx     uint64 // authentication-queue request index (1-based)
+}
+
+// Stats counts controller events.
+type Stats struct {
+	Fetches       uint64
+	Writebacks    uint64
+	CtrHits       uint64
+	CtrMisses     uint64
+	TreeNodeFetch uint64
+	TreeCacheHits uint64
+	RemapHits     uint64
+	RemapMisses   uint64
+	AuthRequests  uint64
+	AuthFailures  uint64
+	// AuthWaitCycles accumulates authDone - plainReady over all fetches:
+	// the raw decrypt/verify gap of Table 1, as realized under load.
+	AuthWaitCycles uint64
+}
+
+// Fault describes the first failed verification.
+type Fault struct {
+	Idx   uint64
+	Addr  uint64
+	Cycle uint64 // when the engine flagged it
+}
+
+// Controller is the secure memory controller.
+type Controller struct {
+	cfg  Config
+	mem  *mem.Memory
+	bus  *bus.Bus
+	dram *dram.DRAM
+
+	enc    *ctr.Engine
+	macKey []byte
+
+	protected []addrRange
+
+	// MAC store: macs[lineAddr] would be the natural model, but the MACs
+	// live in external memory so they can be tampered with; we place them at
+	// MacBase + leafIndex*MacB.
+	macBase uint64
+
+	tree      *mactree.Tree
+	treeCache *cache.Cache
+	leafIdx   map[uint64]int // protected line addr -> tree leaf / MAC index
+	leafAddrs []uint64       // leaf index -> line addr
+
+	ctrCache *cache.Cache
+
+	remap *Remapper
+
+	// Authentication queue state. Requests complete strictly in order;
+	// doneCycle[i] is when request i+1 (1-based idx) completed, okFlag[i]
+	// its verdict, arriveCycle[i] when its data arrived (the cycle the
+	// request entered the queue — LastRequest advances then, not at fetch
+	// initiation: outstanding fetches never gate a new fetch, §4.2.4).
+	doneCycle   []uint64
+	okFlag      []bool
+	arriveCycle []uint64
+	engineFree  []uint64 // per verification unit
+
+	fault *Fault
+
+	// updateFree is the tree-update unit's occupancy horizon (write-back
+	// path recomputation; does not gate verifications).
+	updateFree uint64
+
+	stats Stats
+}
+
+type addrRange struct{ start, end uint64 }
+
+// MacBase is where the MAC store begins in physical memory (outside any
+// program-visible range).
+const MacBase = 0x8000_0000
+
+// RemapBase is where remapped (obfuscated) line slots live.
+const RemapBase = 0x4000_0000
+
+// New builds a controller over the given memory, bus, and DRAM models.
+func New(cfg Config, m *mem.Memory, b *bus.Bus, d *dram.DRAM, encKey, macKey []byte) (*Controller, error) {
+	if cfg.LineB <= 0 || cfg.LineB&(cfg.LineB-1) != 0 {
+		return nil, fmt.Errorf("secmem: line size %d not a power of two", cfg.LineB)
+	}
+	if cfg.DecryptLat < 0 || cfg.MacLat < 0 {
+		return nil, fmt.Errorf("secmem: negative crypto latency")
+	}
+	if cfg.MacB <= 0 || cfg.MacB > 32 {
+		return nil, fmt.Errorf("secmem: bad MAC size %d", cfg.MacB)
+	}
+	if cfg.MacUnits == 0 {
+		cfg.MacUnits = 1
+	}
+	if cfg.MacUnits < 0 {
+		return nil, fmt.Errorf("secmem: negative MacUnits")
+	}
+	enc, err := ctr.NewEngine(encKey, cfg.LineB)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:     cfg,
+		mem:     m,
+		bus:     b,
+		dram:    d,
+		enc:     enc,
+		macKey:  append([]byte(nil), macKey...),
+		macBase: MacBase,
+		leafIdx: map[uint64]int{},
+	}
+	c.engineFree = make([]uint64, cfg.MacUnits)
+	if cfg.CtrCacheB > 0 {
+		cc, err := cache.New(cache.Config{
+			Name: "ctr", SizeB: cfg.CtrCacheB, LineB: cfg.LineB, Ways: max(1, cfg.CtrCacheWays),
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.ctrCache = cc
+	}
+	if cfg.Remap {
+		r, err := NewRemapper(cfg, m, b, d)
+		if err != nil {
+			return nil, err
+		}
+		c.remap = r
+	}
+	return c, nil
+}
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Memory returns the external memory (for the attack package).
+func (c *Controller) Memory() *mem.Memory { return c.mem }
+
+// Encryptor exposes the counter-mode engine (for attack-scenario plumbing
+// such as counter rollback in replay experiments).
+func (c *Controller) Encryptor() *ctr.Engine { return c.enc }
+
+// Tree exposes the MAC tree when UseTree is enabled (attack experiments
+// tamper its node storage, which models untrusted external memory).
+func (c *Controller) Tree() *mactree.Tree { return c.tree }
+
+// Protect marks [start, start+n) as a protected (encrypted+authenticated)
+// region and initializes its lines from plaintext zeroes. Must be called
+// before LoadPlain into that range. Ranges must be line-aligned.
+func (c *Controller) Protect(start, n uint64) error {
+	lb := uint64(c.cfg.LineB)
+	if start%lb != 0 || n%lb != 0 {
+		return fmt.Errorf("secmem: unaligned protected range [%#x,+%#x)", start, n)
+	}
+	c.protected = append(c.protected, addrRange{start, start + n})
+	for a := start; a < start+n; a += lb {
+		if _, dup := c.leafIdx[a]; dup {
+			return fmt.Errorf("secmem: line %#x protected twice", a)
+		}
+		c.leafIdx[a] = len(c.leafAddrs)
+		c.leafAddrs = append(c.leafAddrs, a)
+	}
+	return nil
+}
+
+// FinishProtection seals the protected layout: it encrypts every protected
+// line (as all-zero plaintext), writes MACs, and builds the MAC tree if
+// enabled. Call after all Protect calls and before LoadPlain/Fetch.
+func (c *Controller) FinishProtection() error {
+	if c.cfg.UseTree {
+		tr, err := mactree.New(c.macKey, max(1, len(c.leafAddrs)), c.cfg.LineB/c.cfg.MacB, c.cfg.MacB)
+		if err != nil {
+			return err
+		}
+		c.tree = tr
+		// The node cache holds 64-byte sibling groups (eight digests), the
+		// granularity the verification actually consumes: computing a
+		// parent requires the whole group, and neighbouring leaves share
+		// their upper-level groups.
+		tc, err := cache.New(cache.Config{
+			Name: "treecache", SizeB: c.cfg.TreeCacheB, LineB: 64, Ways: 4,
+		})
+		if err != nil {
+			return err
+		}
+		c.treeCache = tc
+	}
+	zero := make([]byte, c.cfg.LineB)
+	for _, a := range c.leafAddrs {
+		if err := c.storeLine(a, zero); err != nil {
+			return err
+		}
+	}
+	if c.remap != nil {
+		c.remap.Init(c.leafAddrs)
+	}
+	return nil
+}
+
+// IsProtected reports whether addr lies in a protected range.
+func (c *Controller) IsProtected(addr uint64) bool {
+	for _, r := range c.protected {
+		if addr >= r.start && addr < r.end {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadPlain installs plaintext into a protected region at program-load time
+// (encrypting and MACing each touched line). Not a timed operation.
+func (c *Controller) LoadPlain(addr uint64, data []byte) error {
+	lb := uint64(c.cfg.LineB)
+	for len(data) > 0 {
+		la := addr &^ (lb - 1)
+		if _, ok := c.leafIdx[la]; !ok {
+			return fmt.Errorf("secmem: LoadPlain outside protected region at %#x", addr)
+		}
+		line, err := c.loadLinePlain(la)
+		if err != nil {
+			return err
+		}
+		off := int(addr - la)
+		n := copy(line[off:], data)
+		if err := c.storeLine(la, line); err != nil {
+			return err
+		}
+		addr += uint64(n)
+		data = data[n:]
+	}
+	return nil
+}
+
+// ReadPlain reads plaintext back from a protected region (untimed; for
+// loaders, debuggers, and result checking).
+func (c *Controller) ReadPlain(addr uint64, n int) ([]byte, error) {
+	lb := uint64(c.cfg.LineB)
+	out := make([]byte, 0, n)
+	for n > 0 {
+		la := addr &^ (lb - 1)
+		line, err := c.loadLinePlain(la)
+		if err != nil {
+			return nil, err
+		}
+		off := int(addr - la)
+		take := c.cfg.LineB - off
+		if take > n {
+			take = n
+		}
+		out = append(out, line[off:off+take]...)
+		addr += uint64(take)
+		n -= take
+	}
+	return out, nil
+}
+
+// loadLinePlain decrypts the stored ciphertext of a protected line
+// (functional only, no timing, no verification).
+func (c *Controller) loadLinePlain(lineAddr uint64) ([]byte, error) {
+	ct := c.mem.Read(lineAddr, c.cfg.LineB)
+	return c.enc.DecryptLine(lineAddr, ct)
+}
+
+// storeLine encrypts and stores a protected line, refreshing MAC/tree
+// (functional only).
+func (c *Controller) storeLine(lineAddr uint64, plaintext []byte) error {
+	ct, err := c.enc.EncryptLine(lineAddr, plaintext)
+	if err != nil {
+		return err
+	}
+	c.mem.Write(lineAddr, ct)
+	idx, ok := c.leafIdx[lineAddr]
+	if !ok {
+		return fmt.Errorf("secmem: store to unprotected line %#x", lineAddr)
+	}
+	if c.tree != nil {
+		_, err := c.tree.SetLeaf(idx, c.authMessage(lineAddr, ct))
+		return err
+	}
+	mac := hmac.Truncated(c.macKey, c.authMessage(lineAddr, ct), c.cfg.MacB)
+	c.mem.Write(c.macAddr(idx), mac)
+	return nil
+}
+
+// authMessage is the byte string the MAC covers: line address, current
+// counter (unless the weakened MacCoversCounter=false configuration is
+// selected), and ciphertext. Covering the counter defeats counter-rollback
+// replay; covering the address defeats line relocation.
+func (c *Controller) authMessage(lineAddr uint64, ct []byte) []byte {
+	msg := make([]byte, 16+len(ct))
+	for i := 0; i < 8; i++ {
+		msg[i] = byte(lineAddr >> (8 * i))
+		if c.cfg.MacCoversCounter {
+			msg[8+i] = byte(c.enc.Counter(lineAddr) >> (8 * i))
+		}
+	}
+	copy(msg[16:], ct)
+	return msg
+}
+
+func (c *Controller) macAddr(leafIdx int) uint64 {
+	return c.macBase + uint64(leafIdx)*uint64(c.cfg.MacB)
+}
+
+// verifyLine checks the stored MAC (or tree path) for a line's current
+// ciphertext. Returns the verdict plus the extra engine work performed
+// beyond the flat per-line MAC (tree levels climbed, uncached node fetches).
+func (c *Controller) verifyLine(lineAddr uint64, ct []byte) (ok bool, treeLevels, nodeFetches int) {
+	idx := c.leafIdx[lineAddr]
+	msg := c.authMessage(lineAddr, ct)
+	if c.tree == nil {
+		stored := c.mem.Read(c.macAddr(idx), c.cfg.MacB)
+		return hmac.Verify(c.macKey, msg, stored), 0, 0
+	}
+	trusted := func(id mactree.NodeID) bool {
+		if id.Level == 0 {
+			return false // leaf digests are never implicitly trusted
+		}
+		_, hit := c.treeCache.Access(c.treeNodeAddr(id), false)
+		if hit {
+			c.stats.TreeCacheHits++
+		}
+		return hit
+	}
+	okv, visited := c.tree.VerifyLeaf(idx, msg, trusted)
+	// Cache the verified path nodes (only on success: unverified nodes must
+	// never become trusted).
+	fetches := 0
+	for _, id := range visited {
+		if id.Level == 0 {
+			continue
+		}
+		fetches++
+		if okv {
+			c.treeCache.Fill(c.treeNodeAddr(id), false)
+		}
+	}
+	return okv, len(visited), fetches
+}
+
+// treeNodeAddr assigns each tree node a synthetic external-memory address
+// for the node cache and node-fetch bus transactions.
+func (c *Controller) treeNodeAddr(id mactree.NodeID) uint64 {
+	// Levels are laid out consecutively above the MAC store.
+	base := c.macBase + 0x1000_0000
+	var off uint64
+	for l := 0; l < id.Level; l++ {
+		off += uint64(c.tree.NodeCount(l))
+	}
+	return base + (off+uint64(id.Index))*uint64(c.cfg.MacB)
+}
+
+// Fetch performs a timed external fetch of the protected line at lineAddr.
+// now is the cycle the L2 miss reached the controller; earliestBusStart is a
+// policy-imposed lower bound on when the fetch address may be driven onto
+// the bus (authen-then-fetch passes the completion cycle of the relevant
+// authentication request; everyone else passes 0).
+func (c *Controller) Fetch(now uint64, lineAddr uint64, earliestBusStart uint64) (FetchResult, error) {
+	if _, ok := c.leafIdx[lineAddr]; !ok {
+		return FetchResult{}, fmt.Errorf("secmem: fetch of unprotected line %#x", lineAddr)
+	}
+	c.stats.Fetches++
+	start := max(now, earliestBusStart)
+
+	// The line fetch goes onto the bus first — it is the critical transfer
+	// (and the address phase is the disclosure); the counter-block fetch,
+	// if needed, queues behind it.
+	burst := c.cfg.LineB
+	if c.cfg.Authenticate && !c.cfg.UseTree {
+		burst += c.cfg.MacB // flat MAC travels with the line
+	}
+	busAddr := lineAddr
+	busStart := start
+	if c.remap != nil {
+		var remapReady uint64
+		busAddr, remapReady = c.remap.Lookup(start, lineAddr)
+		busStart = max(busStart, remapReady)
+	}
+	addrDone, dataArrive := c.busDramRead(busStart, busAddr, burst, bus.ReadLine)
+
+	// Counter availability gates pad precomputation. Counters are cached in
+	// 64-byte blocks of eight 8-byte entries, so one counter fetch covers
+	// eight neighbouring lines (the standard counter-cache organization of
+	// the counter-mode designs the paper builds on).
+	padStart := start
+	if c.ctrCache != nil {
+		key := c.ctrKey(lineAddr)
+		if _, hit := c.ctrCache.Access(key, false); hit {
+			c.stats.CtrHits++
+		} else {
+			c.stats.CtrMisses++
+			// Fetch the counter block; without prediction, pads wait for
+			// it. With [19]-style prediction the pad starts immediately
+			// from the predicted counter and the fetched block only
+			// confirms it.
+			_, ctrArrive := c.busDramRead(start, c.counterAddr(lineAddr), 64, bus.ReadMeta)
+			if !c.cfg.CtrPredict {
+				padStart = ctrArrive
+			}
+			c.ctrCache.Fill(key, false)
+		}
+	}
+
+	var plainReady uint64
+	if c.cfg.Mode == ModeCBC {
+		// Serial CBC decryption: the critical chunk needs one cipher
+		// latency after arrival (chunk n would need n+1; the pipeline
+		// consumes the critical word first).
+		plainReady = dataArrive + uint64(c.cfg.DecryptLat)
+	} else {
+		padReady := padStart + uint64(c.cfg.DecryptLat)
+		plainReady = max(dataArrive, padReady)
+	}
+
+	ct := c.mem.Read(lineAddr, c.cfg.LineB)
+	pt, err := c.enc.DecryptLine(lineAddr, ct)
+	if err != nil {
+		return FetchResult{}, err
+	}
+
+	res := FetchResult{
+		Data:        pt,
+		AddrVisible: addrDone,
+		DataReady:   dataArrive,
+		PlainReady:  plainReady,
+		AuthOK:      true,
+	}
+
+	if !c.cfg.Authenticate {
+		res.AuthDone = plainReady
+		return res, nil
+	}
+
+	// Enqueue on the authentication queue: the in-order engine starts this
+	// request when the data has arrived and every earlier request is done.
+	ok, treeLevels, nodeFetches := c.verifyLine(lineAddr, ct)
+	var authDone uint64
+	switch {
+	case c.cfg.Mode == ModeCBC && c.tree == nil:
+		// CBC-MAC: N serial cipher operations over the line.
+		authDone = c.engineRun(dataArrive, uint64(c.cfg.DecryptLat)*uint64(c.cfg.LineB/16))
+	case c.tree == nil:
+		authDone = c.engineRun(dataArrive, uint64(c.cfg.MacLat))
+	default:
+		// CHTree-style concurrent verification (the paper's implementation
+		// "performs the verification of the internal hash tree nodes
+		// concurrently when it is allowed"): the uncached nodes of the walk
+		// are fetched in one metadata burst that overlaps the engine's
+		// previous hashing, and the per-level checks are independent given
+		// the fetched nodes, so they pipeline through the hash unit — full
+		// latency for the first level, one initiation interval for each
+		// further level.
+		c.stats.TreeNodeFetch += uint64(nodeFetches)
+		nodesReady := dataArrive
+		if nodeFetches > 0 {
+			_, arr := c.busDramRead(dataArrive, c.macBase+0x1000_0000, nodeFetches*c.cfg.LineB, bus.ReadMeta)
+			nodesReady = max(nodesReady, arr)
+		}
+		if treeLevels < 1 {
+			treeLevels = 1
+		}
+		hashTime := uint64(c.cfg.MacLat) + uint64((treeLevels-1)*c.cfg.MacLat/4)
+		authDone = c.engineRun(nodesReady, hashTime)
+	}
+	// The queue completes strictly in order.
+	if n := len(c.doneCycle); n > 0 && c.doneCycle[n-1] > authDone {
+		authDone = c.doneCycle[n-1]
+	}
+
+	c.stats.AuthRequests++
+	arrive := dataArrive
+	if n := len(c.arriveCycle); n > 0 && c.arriveCycle[n-1] > arrive {
+		arrive = c.arriveCycle[n-1] // keep the arrival sequence monotone
+	}
+	c.arriveCycle = append(c.arriveCycle, arrive)
+	c.doneCycle = append(c.doneCycle, authDone)
+	c.okFlag = append(c.okFlag, ok)
+	res.AuthIdx = uint64(len(c.doneCycle))
+	res.AuthDone = authDone
+	res.AuthOK = ok
+	c.stats.AuthWaitCycles += authDone - plainReady
+	if !ok {
+		c.stats.AuthFailures++
+		if c.fault == nil {
+			c.fault = &Fault{Idx: res.AuthIdx, Addr: lineAddr, Cycle: authDone}
+		}
+	}
+	return res, nil
+}
+
+// ctrKey maps a line address to its counter-block cache key: eight
+// consecutive lines share one 64-byte counter block.
+func (c *Controller) ctrKey(lineAddr uint64) uint64 {
+	return lineAddr / uint64(c.cfg.LineB) * 8
+}
+
+func (c *Controller) counterAddr(lineAddr uint64) uint64 {
+	return c.macBase + 0x2000_0000 + uint64(c.leafIdx[lineAddr])*8
+}
+
+// busDramRead performs one address+data transaction: bus command, DRAM
+// access, data return. Returns (address-visible cycle, data-arrival cycle).
+func (c *Controller) busDramRead(start uint64, addr uint64, nbytes int, kind bus.Kind) (uint64, uint64) {
+	addrDone, _ := c.bus.Transact(start, kind, addr, nbytes)
+	_, done := c.dram.Access(addrDone, addr, nbytes)
+	return addrDone, done
+}
+
+// WriteBack performs a timed external write-back of a dirty protected line.
+// It returns the cycle the write completes on the bus. Under
+// authen-then-write the *pipeline* delays calling this until the store's
+// authentication tag clears; the controller itself writes unconditionally.
+func (c *Controller) WriteBack(now uint64, lineAddr uint64, plaintext []byte) (uint64, error) {
+	if _, ok := c.leafIdx[lineAddr]; !ok {
+		return 0, fmt.Errorf("secmem: writeback of unprotected line %#x", lineAddr)
+	}
+	c.stats.Writebacks++
+	if err := c.storeLine(lineAddr, plaintext); err != nil {
+		return 0, err
+	}
+	if c.ctrCache != nil {
+		c.ctrCache.Fill(c.ctrKey(lineAddr), true)
+	}
+	burst := c.cfg.LineB + 8 // line + fresh counter
+	if c.cfg.Authenticate && !c.cfg.UseTree {
+		burst += c.cfg.MacB
+	}
+	busAddr := lineAddr
+	busStart := now
+	if c.remap != nil {
+		var ready uint64
+		busAddr, ready = c.remap.Reshuffle(now, lineAddr)
+		busStart = max(busStart, ready)
+	}
+	_, done := c.bus.Transact(busStart, bus.WriteLine, busAddr, burst)
+	if c.cfg.Authenticate && c.cfg.UseTree {
+		// Tree path update: recompute/stash the path nodes. This work is
+		// off the verification critical path in a real design (a separate
+		// update unit, or idle engine slots); charging it to the in-order
+		// verification engine couples write-back storms to every pending
+		// verification and lets the engine drift unboundedly ahead of the
+		// core. A dedicated update-unit accumulator tracks its occupancy.
+		c.updateFree = max(c.updateFree, now) + uint64(c.tree.Levels()*c.cfg.MacLat)
+	}
+	return done, nil
+}
+
+// engineRun schedules one verification of the given duration, whose inputs
+// are ready at `ready`, onto the earliest-free verification unit. It returns
+// the completion cycle.
+func (c *Controller) engineRun(ready uint64, dur uint64) uint64 {
+	best := 0
+	for i := 1; i < len(c.engineFree); i++ {
+		if c.engineFree[i] < c.engineFree[best] {
+			best = i
+		}
+	}
+	start := max(ready, c.engineFree[best])
+	c.engineFree[best] = start + dur
+	return start + dur
+}
+
+// LastRequest returns the index of the newest authentication request (the
+// LastRequest register of Figure 5). Zero means no requests yet.
+func (c *Controller) LastRequest() uint64 { return uint64(len(c.doneCycle)) }
+
+// LastRequestAt returns the value the LastRequest register held at the
+// given cycle: the newest request whose data had arrived (entered the
+// authentication queue) by then. Fetches still outstanding at that cycle
+// are not counted — they must not gate a new fetch (§4.2.4).
+func (c *Controller) LastRequestAt(now uint64) uint64 {
+	// Binary search the monotone arrival sequence.
+	lo, hi := 0, len(c.arriveCycle)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.arriveCycle[mid] <= now {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint64(lo)
+}
+
+// DoneAt returns the completion cycle and verdict of request idx (1-based).
+// idx 0 (no dependency) reports done at cycle 0.
+func (c *Controller) DoneAt(idx uint64) (cycle uint64, ok bool) {
+	if idx == 0 {
+		return 0, true
+	}
+	if idx > uint64(len(c.doneCycle)) {
+		panic(fmt.Sprintf("secmem: DoneAt(%d) beyond LastRequest %d", idx, len(c.doneCycle)))
+	}
+	return c.doneCycle[idx-1], c.okFlag[idx-1]
+}
+
+// Fault returns the first verification failure, if any.
+func (c *Controller) Fault() *Fault { return c.fault }
+
+// Stats returns a copy of the counters (remap stats folded in).
+func (c *Controller) Stats() Stats {
+	s := c.stats
+	if c.remap != nil {
+		s.RemapHits = c.remap.hits
+		s.RemapMisses = c.remap.misses
+	}
+	return s
+}

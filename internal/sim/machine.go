@@ -1,0 +1,364 @@
+package sim
+
+import (
+	"fmt"
+
+	"authpoint/internal/asm"
+	"authpoint/internal/bus"
+	"authpoint/internal/dram"
+	"authpoint/internal/isa"
+	"authpoint/internal/mem"
+	"authpoint/internal/pipeline"
+	"authpoint/internal/secmem"
+)
+
+// Scheme names one of the paper's authentication control points.
+type Scheme int
+
+// The evaluated design points (Section 4.2 + 4.3 of the paper).
+const (
+	// SchemeBaseline is decryption only, no integrity verification — the
+	// normalization baseline of every figure.
+	SchemeBaseline Scheme = iota
+	// SchemeThenIssue gates instruction issue and operand use on completed
+	// verification (authen-then-issue).
+	SchemeThenIssue
+	// SchemeThenWrite holds committed stores until their authentication tag
+	// clears (authen-then-write).
+	SchemeThenWrite
+	// SchemeThenCommit gates instruction retirement on verification of the
+	// instruction and its operands (authen-then-commit).
+	SchemeThenCommit
+	// SchemeThenFetch holds new external fetches until the authentication
+	// queue has drained the requests outstanding at fetch creation
+	// (authen-then-fetch).
+	SchemeThenFetch
+	// SchemeCommitPlusFetch combines then-commit and then-fetch — the
+	// paper's recommended secure-and-fast point.
+	SchemeCommitPlusFetch
+	// SchemeCommitPlusObfuscation combines then-commit with HIDE-style
+	// address obfuscation (re-map cache).
+	SchemeCommitPlusObfuscation
+)
+
+// Schemes lists every scheme in presentation order.
+var Schemes = []Scheme{
+	SchemeBaseline, SchemeThenIssue, SchemeThenWrite, SchemeThenCommit,
+	SchemeThenFetch, SchemeCommitPlusFetch, SchemeCommitPlusObfuscation,
+}
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeBaseline:
+		return "baseline"
+	case SchemeThenIssue:
+		return "authen-then-issue"
+	case SchemeThenWrite:
+		return "authen-then-write"
+	case SchemeThenCommit:
+		return "authen-then-commit"
+	case SchemeThenFetch:
+		return "authen-then-fetch"
+	case SchemeCommitPlusFetch:
+		return "commit+fetch"
+	case SchemeCommitPlusObfuscation:
+		return "commit+obfuscation"
+	}
+	return "?"
+}
+
+// Config is the full machine configuration.
+type Config struct {
+	Pipeline pipeline.Config
+	Mem      MemConfig
+	Sec      secmem.Config
+	DRAM     dram.Config
+	Bus      bus.Config
+
+	Scheme Scheme
+
+	// StackB is the protected stack region size.
+	StackB uint64
+
+	// MaxInsts stops the run after this many committed instructions
+	// (0 = run to HALT).
+	MaxInsts uint64
+
+	// WatchdogCycles aborts if no instruction commits for this long.
+	WatchdogCycles uint64
+
+	// TraceBus keeps the full bus trace (attack experiments need it; long
+	// performance runs turn it off).
+	TraceBus bool
+}
+
+// DefaultConfig returns the paper's Table 3 machine, baseline scheme.
+func DefaultConfig() Config {
+	return Config{
+		Pipeline:       pipeline.DefaultConfig(),
+		Mem:            DefaultMemConfig(),
+		Sec:            secmem.DefaultConfig(),
+		DRAM:           dram.Default(),
+		Bus:            bus.Default(),
+		Scheme:         SchemeBaseline,
+		StackB:         64 << 10,
+		WatchdogCycles: 2_000_000,
+		TraceBus:       false,
+	}
+}
+
+// applyScheme translates the scheme into component knobs.
+func (c *Config) applyScheme() {
+	c.Sec.Authenticate = true
+	c.Sec.Remap = false
+	c.Pipeline.GateIssue = false
+	c.Pipeline.GateCommit = false
+	c.Pipeline.StoreWaitAuth = false
+	c.Mem.GateFetch = false
+	c.Mem.UseAtAuth = false
+	switch c.Scheme {
+	case SchemeBaseline:
+		c.Sec.Authenticate = false
+	case SchemeThenIssue:
+		c.Pipeline.GateIssue = true
+		c.Mem.UseAtAuth = true
+	case SchemeThenWrite:
+		c.Pipeline.StoreWaitAuth = true
+	case SchemeThenCommit:
+		c.Pipeline.GateCommit = true
+	case SchemeThenFetch:
+		c.Mem.GateFetch = true
+	case SchemeCommitPlusFetch:
+		c.Pipeline.GateCommit = true
+		c.Mem.GateFetch = true
+	case SchemeCommitPlusObfuscation:
+		c.Pipeline.GateCommit = true
+		c.Sec.Remap = true
+	}
+}
+
+// StopReason says why a run ended.
+type StopReason int
+
+// Stop reasons.
+const (
+	StopHalt StopReason = iota
+	StopMaxInsts
+	StopSecurityFault // integrity verification failed
+	StopArchFault     // precise architectural exception
+	StopWatchdog
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopHalt:
+		return "halt"
+	case StopMaxInsts:
+		return "max-insts"
+	case StopSecurityFault:
+		return "security-fault"
+	case StopArchFault:
+		return "arch-fault"
+	case StopWatchdog:
+		return "watchdog"
+	}
+	return "?"
+}
+
+// Result summarizes a run.
+type Result struct {
+	Reason StopReason
+	Cycles uint64
+	Insts  uint64
+	IPC    float64
+
+	SecurityFault *secmem.Fault
+	ArchFault     pipeline.FaultKind
+	ArchFaultAddr uint64
+
+	Core pipeline.Stats
+	Sec  secmem.Stats
+}
+
+// Machine is a fully assembled secure processor system.
+type Machine struct {
+	Cfg    Config
+	Core   *pipeline.Core
+	MS     *MemSystem
+	Ctrl   *secmem.Controller
+	Bus    *bus.Bus
+	DRAM   *dram.DRAM
+	Memory *mem.Memory // external (ciphertext) memory
+	Shadow *mem.Memory // architectural plaintext
+	Space  *mem.AddressSpace
+
+	Prog *asm.Program
+}
+
+// Keys used for every machine (the secrecy of the experiment does not
+// depend on them; the adversary never needs them).
+var (
+	encKey = []byte("authpoint-encryption-key-256bit!")
+	macKey = []byte("authpoint-integrity--key-256bit!")
+)
+
+// NewMachine builds a machine and loads the program.
+func NewMachine(cfg Config, p *asm.Program) (*Machine, error) {
+	return NewMachineWithRegions(cfg, p, nil)
+}
+
+const stackBase = 0x700000
+
+func (m *Machine) stackTop() uint64 { return stackBase + m.Cfg.StackB - 64 }
+
+// load protects and installs the program image: text, data, and stack.
+func (m *Machine) load(p *asm.Program) error {
+	lb := uint64(m.Cfg.Mem.L2LineB)
+	alignUp := func(v uint64) uint64 { return (v + lb - 1) &^ (lb - 1) }
+	alignDn := func(v uint64) uint64 { return v &^ (lb - 1) }
+
+	text := p.TextBytes()
+	regions := []struct {
+		start uint64
+		size  uint64
+	}{
+		{alignDn(p.TextBase), alignUp(p.TextBase+uint64(len(text))) - alignDn(p.TextBase)},
+		{alignDn(p.DataBase), alignUp(p.DataBase+uint64(max(len(p.Data), 1))) - alignDn(p.DataBase)},
+		{stackBase, m.Cfg.StackB},
+	}
+	for _, r := range regions {
+		if r.size == 0 {
+			continue
+		}
+		if err := m.Ctrl.Protect(r.start, r.size); err != nil {
+			return err
+		}
+		m.Space.MapRange(r.start, r.size)
+	}
+	if err := m.Ctrl.FinishProtection(); err != nil {
+		return err
+	}
+	if err := m.Ctrl.LoadPlain(p.TextBase, text); err != nil {
+		return err
+	}
+	if len(p.Data) > 0 {
+		if err := m.Ctrl.LoadPlain(p.DataBase, p.Data); err != nil {
+			return err
+		}
+	}
+	m.Shadow.Write(p.TextBase, text)
+	m.Shadow.Write(p.DataBase, p.Data)
+	return nil
+}
+
+// Region is an extra protected+mapped address range.
+type Region struct {
+	Start uint64
+	Size  uint64
+}
+
+// NewMachineWithRegions is NewMachine plus extra protected regions (probe
+// windows for the attack experiments).
+func NewMachineWithRegions(cfg Config, p *asm.Program, extra []Region) (*Machine, error) {
+	cfg.applyScheme()
+	physical := mem.New()
+	b, err := bus.New(cfg.Bus)
+	if err != nil {
+		return nil, err
+	}
+	b.SetTracing(cfg.TraceBus)
+	d, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Sec.LineB = cfg.Mem.L2LineB
+	ctrl, err := secmem.New(cfg.Sec, physical, b, d, encKey, macKey)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		Cfg: cfg, Ctrl: ctrl, Bus: b, DRAM: d,
+		Memory: physical, Shadow: mem.New(), Space: mem.NewAddressSpace(), Prog: p,
+	}
+	// Declare extra regions before FinishProtection inside load: reorder by
+	// protecting them first.
+	lb := uint64(cfg.Mem.L2LineB)
+	for _, r := range extra {
+		start := r.Start &^ (lb - 1)
+		size := (r.Size + lb - 1) &^ (lb - 1)
+		if err := ctrl.Protect(start, size); err != nil {
+			return nil, err
+		}
+		m.Space.MapRange(start, size)
+	}
+	if err := m.load(p); err != nil {
+		return nil, err
+	}
+	ms, err := NewMemSystem(cfg.Mem, ctrl, m.Shadow, m.Space)
+	if err != nil {
+		return nil, err
+	}
+	ms.SetStoreWaitAuth(cfg.Pipeline.StoreWaitAuth)
+	m.MS = ms
+	core, err := pipeline.New(cfg.Pipeline, ms, p.Entry)
+	if err != nil {
+		return nil, err
+	}
+	core.SetReg(isa.RegSP, m.stackTop())
+	m.Core = core
+	return m, nil
+}
+
+// Run executes until HALT, MaxInsts, a security exception, an architectural
+// fault, or the watchdog fires.
+func (m *Machine) Run() (Result, error) {
+	lastCommit := uint64(0)
+	lastCommitCycle := uint64(0)
+	for {
+		// A pending security exception fires the moment the verification
+		// engine reaches the tampered line — before any further execution.
+		if f := m.Ctrl.Fault(); f != nil && m.Core.Now() >= f.Cycle {
+			return m.result(StopSecurityFault), nil
+		}
+		m.Core.Step()
+		st := m.Core.Stats()
+		if st.Committed != lastCommit {
+			lastCommit = st.Committed
+			lastCommitCycle = m.Core.Now()
+		}
+		if m.Core.Halted() {
+			return m.result(StopHalt), nil
+		}
+		if k, _, _ := m.Core.Faulted(); k != pipeline.FaultNone {
+			return m.result(StopArchFault), nil
+		}
+		if m.Cfg.MaxInsts > 0 && st.Committed >= m.Cfg.MaxInsts {
+			return m.result(StopMaxInsts), nil
+		}
+		if m.Core.Now()-lastCommitCycle > m.Cfg.WatchdogCycles {
+			return m.result(StopWatchdog), fmt.Errorf("sim: watchdog: no commit for %d cycles (pc=%#x)", m.Cfg.WatchdogCycles, m.Core.PC())
+		}
+	}
+}
+
+func (m *Machine) result(r StopReason) Result {
+	st := m.Core.Stats()
+	res := Result{
+		Reason: r,
+		Cycles: st.Cycles,
+		Insts:  st.Committed,
+		Core:   st,
+		Sec:    m.Ctrl.Stats(),
+	}
+	if st.Cycles > 0 {
+		res.IPC = float64(st.Committed) / float64(st.Cycles)
+	}
+	if r == StopSecurityFault {
+		res.SecurityFault = m.Ctrl.Fault()
+	}
+	if k, _, addr := m.Core.Faulted(); k != pipeline.FaultNone {
+		res.ArchFault = k
+		res.ArchFaultAddr = addr
+	}
+	return res
+}

@@ -1,0 +1,31 @@
+package sim
+
+import "authpoint/internal/bus"
+
+// ReadLineAddrsBefore returns the line-fetch addresses visible on the bus
+// strictly before the given cycle — the adversary's view of the memory-fetch
+// side channel up to the moment the machine stopped.
+//
+// The controller computes bus transactions eagerly (event-driven), so a
+// fetch that a gate scheduled *after* a security exception appears in the
+// raw trace with a future timestamp; it never actually happened. Filtering
+// by stop cycle restores the hardware semantics.
+func (m *Machine) ReadLineAddrsBefore(cycle uint64) []uint64 {
+	var out []uint64
+	for _, e := range m.Bus.Trace() {
+		if e.Kind == bus.ReadLine && e.Cycle <= cycle {
+			out = append(out, e.Addr)
+		}
+	}
+	return out
+}
+
+// StopCycle returns the cycle at which the machine stopped for the given
+// result: the security-fault cycle if verification failed, else the final
+// core cycle.
+func StopCycle(res Result) uint64 {
+	if res.SecurityFault != nil {
+		return res.SecurityFault.Cycle
+	}
+	return res.Cycles
+}

@@ -1,0 +1,787 @@
+// Package workload generates the 18 synthetic benchmark kernels that stand
+// in for the paper's SPEC2000 selection (9 INT + 9 FP, chosen for high L2
+// miss rates and memory throughput, §5.1).
+//
+// Each kernel is emitted as assembly for the authpoint ISA and mimics the
+// *memory behaviour class* of its namesake — pointer chasing for mcf,
+// streaming stencils for swim/mgrid, random table lookups for twolf/vortex,
+// sparse gathers for equake, and so on — because the paper's results depend
+// on L2 miss rate, memory-level parallelism, and whether the critical path
+// consumes loaded values, not on the benchmarks' source semantics. The
+// substitution is documented in DESIGN.md.
+//
+// Kernels run forever (outer loops sized beyond any realistic instruction
+// budget); the harness stops them at its committed-instruction budget after
+// a warmup window, mirroring the paper's SimPoint fast-forward + 400M-inst
+// methodology at simulation-friendly scale.
+package workload
+
+import "fmt"
+
+// Workload describes one synthetic benchmark.
+type Workload struct {
+	Name string
+	FP   bool
+	// Source is the full assembly text.
+	Source string
+	// MemBound marks kernels whose IPC is dominated by memory latency
+	// (harnesses may budget fewer instructions for them).
+	MemBound bool
+	// InitInsts approximates the committed-instruction length of the
+	// kernel's data-structure build phase. Harnesses add it to their warmup
+	// so measurement windows land in steady state.
+	InitInsts uint64
+}
+
+// All returns the 18 kernels in presentation order (INT then FP).
+func All() []Workload {
+	return append(INT(), FP()...)
+}
+
+// INT returns the 9 integer kernels.
+func INT() []Workload {
+	return []Workload{
+		bzip2x(), gccx(), gapx(), gzipx(), mcfx(), parserx(), twolfx(), vortexx(), vprx(),
+	}
+}
+
+// FP returns the 9 floating-point kernels.
+func FP() []Workload {
+	return []Workload{
+		ammpx(), applux(), artx(), equakex(), facerecx(), lucasx(), mgridx(), swimx(), wupwisex(),
+	}
+}
+
+// ByName looks a kernel up.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// Shared constants: the outer-loop count is effectively infinite relative to
+// instruction budgets.
+const forever = 1 << 30
+
+// lcgStep emits x' = x*a + c (64-bit LCG) into reg using tmp as scratch.
+// a is loaded once into areg by the prologue.
+func lcgStep(reg, areg string) string {
+	return fmt.Sprintf(`	mul  %[1]s, %[1]s, %[2]s
+	addi %[1]s, %[1]s, 12345
+`, reg, areg)
+}
+
+// mcfx mimics mcf: pointer chasing over a 1MB network of 64B nodes with
+// four independent chains (mcf's modest memory-level parallelism). Very
+// high L2 miss rate, load-dependent critical path.
+func mcfx() Workload {
+	const (
+		nodes  = 16384 // 16384 * 64B = 1MB
+		stride = 5651  // co-prime with nodes: a full cycle through the pool
+	)
+	src := fmt.Sprintf(`
+; mcfx: pointer-chasing network simplex analogue
+_start:
+	la   r1, nodes          ; base
+	addi r2, r0, 0          ; i
+	li   r3, %d             ; N
+build:
+	addi r4, r2, %d         ; t = i + stride
+	blt  r4, r3, nowrap
+	sub  r4, r4, r3
+nowrap:
+	slli r5, r4, 6          ; t*64
+	add  r5, r5, r1         ; next ptr
+	slli r6, r2, 6
+	add  r6, r6, r1         ; &node[i]
+	sd   r5, 0(r6)
+	addi r2, r2, 1
+	bne  r2, r3, build
+
+	; four chase chains starting at quarter offsets
+	mov  r5, r1
+	li   r6, %d
+	slli r7, r6, 6
+	add  r6, r1, r7         ; chain 2 start
+	li   r8, %d
+	slli r7, r8, 6
+	add  r8, r1, r7         ; chain 3 start (reuses r7 scratch)
+	li   r9, %d
+	slli r7, r9, 6
+	add  r9, r1, r7         ; chain 4 start
+	li   r10, %d
+chase:
+	ld   r5, 0(r5)
+	ld   r6, 0(r6)
+	ld   r8, 0(r8)
+	ld   r9, 0(r9)
+	addi r10, r10, -1
+	bne  r10, r0, chase
+	add  r11, r5, r6        ; keep results live
+	halt
+.data
+nodes: .space %d
+`, nodes, stride, nodes/4, nodes/2, 3*nodes/4, forever, nodes*64)
+	return Workload{Name: "mcfx", Source: src, MemBound: true, InitInsts: 140_000}
+}
+
+// twolfx mimics twolf: random reads and read-modify-writes of small
+// structures scattered over a 2MB array. High miss rate, little ILP.
+func twolfx() Workload {
+	src := fmt.Sprintf(`
+; twolfx: random cell swaps over a placement array
+_start:
+	la   r1, cells
+	li   r2, 987654321      ; lcg state
+	li   r3, 25214903917
+	li   r4, %d             ; iterations
+	li   r5, 0x1fffc0       ; mask to 2MB, 64B aligned
+loop:
+%s	and  r6, r2, r5
+	add  r6, r6, r1
+	ld   r7, 0(r6)          ; read cell
+	addi r7, r7, 1
+	sd   r7, 0(r6)          ; write back (dirty lines -> writebacks)
+%s	and  r8, r2, r5
+	add  r8, r8, r1
+	ld   r9, 0(r8)
+	add  r10, r7, r9
+	addi r4, r4, -1
+	bne  r4, r0, loop
+	halt
+.data
+cells: .space 2097152
+`, forever, lcgStep("r2", "r3"), lcgStep("r2", "r3"))
+	return Workload{Name: "twolfx", Source: src, MemBound: true}
+}
+
+// vprx mimics vpr: random graph-neighbour lookups (independent random
+// loads, good MLP) with an accept/reject branch.
+func vprx() Workload {
+	src := fmt.Sprintf(`
+; vprx: placement cost probes
+_start:
+	la   r1, grid
+	li   r2, 31415926535
+	li   r3, 25214903917
+	li   r4, %d
+	li   r5, 0x3fff8        ; 256K window, 8B aligned
+	addi r11, r0, 0         ; cost accumulator
+loop:
+%s	and  r6, r2, r5
+	add  r6, r6, r1
+	ld   r7, 0(r6)
+%s	and  r8, r2, r5
+	add  r8, r8, r1
+	ld   r9, 0(r8)
+	sub  r10, r7, r9
+	bge  r10, r0, accept
+	sub  r10, r0, r10       ; |delta|
+accept:
+	add  r11, r11, r10
+	addi r4, r4, -1
+	bne  r4, r0, loop
+	halt
+.data
+grid: .space 4194304
+`, forever, lcgStep("r2", "r3"), lcgStep("r2", "r3"))
+	// Window is 256KB of a 4MB array: high locality pressure right at the
+	// L2 capacity boundary... widen with a second window region below.
+	return Workload{Name: "vprx", Source: src, MemBound: true}
+}
+
+// vortexx mimics vortex: hash-table object store — hashed lookups with
+// occasional inserts (stores), moderate-to-high miss rate.
+func vortexx() Workload {
+	src := fmt.Sprintf(`
+; vortexx: OO database hash probes
+_start:
+	la   r1, table
+	li   r2, 2718281828
+	li   r3, 25214903917
+	li   r4, %d
+	li   r5, 0x3fffc0       ; 4MB, 64B-bucket aligned
+loop:
+%s	and  r6, r2, r5
+	add  r6, r6, r1         ; bucket
+	ld   r7, 0(r6)          ; key slot
+	bne  r7, r0, probe2     ; collision probe
+	sd   r2, 0(r6)          ; insert
+	b    next
+probe2:
+	ld   r8, 8(r6)
+	ld   r9, 16(r6)
+	add  r10, r8, r9
+	sd   r10, 24(r6)
+next:
+	addi r4, r4, -1
+	bne  r4, r0, loop
+	halt
+.data
+table: .space 4194304
+`, forever, lcgStep("r2", "r3"))
+	return Workload{Name: "vortexx", Source: src, MemBound: true}
+}
+
+// parserx mimics parser: short linked-list walks with insertions —
+// dependent loads over a medium working set plus dictionary lookups.
+func parserx() Workload {
+	const lists = 4096 // list heads
+	src := fmt.Sprintf(`
+; parserx: dictionary list walks
+_start:
+	; build: heads[i] -> chain of 8 nodes laid out with a large stride
+	la   r1, heads
+	la   r2, pool
+	addi r3, r0, 0          ; i
+	li   r4, %d             ; lists
+build:
+	slli r5, r3, 3
+	add  r5, r5, r1         ; &heads[i]
+	; chain node addresses: pool + ((i*8+k)*521 %% 32768)*64
+	addi r6, r0, 0          ; k
+	mov  r7, r5             ; prev slot
+buildchain:
+	slli r8, r3, 3
+	add  r8, r8, r6         ; i*8+k
+	li   r9, 521
+	mul  r8, r8, r9
+	andi r9, r8, 0x7fff
+	slli r9, r9, 6
+	add  r9, r9, r2         ; node addr
+	sd   r9, 0(r7)
+	mov  r7, r9
+	addi r6, r6, 1
+	addi r10, r6, -8
+	bne  r10, r0, buildchain
+	sd   r0, 0(r7)          ; terminate
+	addi r3, r3, 1
+	bne  r3, r4, build
+
+	; walk phase
+	li   r11, %d
+	li   r12, 1103515245
+	li   r13, 25214903917
+walk:
+%s	andi r3, r12, 0xfff     ; pick a list
+	slli r3, r3, 3
+	add  r3, r3, r1
+	ld   r5, 0(r3)          ; head
+walkchain:
+	beq  r5, r0, done
+	ld   r5, 0(r5)          ; next (dependent load)
+	b    walkchain
+done:
+	addi r11, r11, -1
+	bne  r11, r0, walk
+	halt
+.data
+heads: .space 32768
+pool:  .space 2097152
+`, lists, forever, lcgStep("r12", "r13"))
+	return Workload{Name: "parserx", Source: src, MemBound: true, InitInsts: 380_000}
+}
+
+// gccx mimics gcc: branchy traversal of a medium working set with mixed
+// ALU work — moderate miss rate, frequent mispredictions.
+func gccx() Workload {
+	src := fmt.Sprintf(`
+; gccx: RTL-walk analogue
+_start:
+	la   r1, ir
+	li   r2, 42424242
+	li   r3, 25214903917
+	li   r4, %d
+	li   r5, 0xffff8        ; 1MB window
+	addi r11, r0, 0
+loop:
+%s	and  r6, r2, r5
+	add  r6, r6, r1
+	ld   r7, 0(r6)
+	andi r8, r7, 3          ; "opcode class"
+	beq  r8, r0, c0
+	addi r9, r8, -1
+	beq  r9, r0, c1
+	addi r9, r8, -2
+	beq  r9, r0, c2
+	xor  r11, r11, r7       ; c3
+	b    next
+c0:
+	add  r11, r11, r7
+	b    next
+c1:
+	sub  r11, r11, r7
+	b    next
+c2:
+	srli r10, r7, 3
+	add  r11, r11, r10
+next:
+	ld   r9, 8(r6)          ; second field
+	add  r11, r11, r9
+	addi r4, r4, -1
+	bne  r4, r0, loop
+	halt
+.data
+ir: .space 1048640
+`, forever, lcgStep("r2", "r3"))
+	return Workload{Name: "gccx", Source: src, MemBound: true}
+}
+
+// bzip2x mimics bzip2: byte-granular scanning with small-table histogram
+// updates — streaming reads plus hot-table stores, branchy inner loop.
+func bzip2x() Workload {
+	src := fmt.Sprintf(`
+; bzip2x: byte histogram + run detection
+_start:
+	la   r1, buf
+	la   r2, hist
+	li   r4, %d             ; outer
+outer:
+	mov  r5, r1
+	li   r6, 262144         ; bytes per pass
+	addi r7, r0, -1         ; prev byte
+inner:
+	lbu  r8, 0(r5)
+	slli r9, r8, 3
+	add  r9, r9, r2
+	ld   r10, 0(r9)         ; hist[b]
+	addi r10, r10, 1
+	sd   r10, 0(r9)
+	bne  r8, r7, norun
+	addi r11, r11, 1        ; run length bonus
+norun:
+	mov  r7, r8
+	addi r5, r5, 1
+	addi r6, r6, -1
+	bne  r6, r0, inner
+	addi r4, r4, -1
+	bne  r4, r0, outer
+	halt
+.data
+hist: .space 2048
+buf:  .space 262144, 0x41
+`, forever)
+	return Workload{Name: "bzip2x", Source: src, MemBound: false}
+}
+
+// gzipx mimics gzip: LZ77 hash-chain matching — hashed lookups into a
+// window plus sequential input scanning.
+func gzipx() Workload {
+	src := fmt.Sprintf(`
+; gzipx: LZ hash-chain analogue
+_start:
+	la   r1, window
+	la   r2, hashtab
+	li   r3, %d
+	addi r4, r0, 0          ; pos
+	li   r5, 0x7fff8        ; window mask (512KB)
+	li   r6, 0x1fff8        ; hash mask (128KB table)
+loop:
+	and  r7, r4, r5
+	add  r7, r7, r1
+	ld   r8, 0(r7)          ; input word
+	mul  r9, r8, r8         ; "hash"
+	srli r9, r9, 17
+	and  r9, r9, r6
+	add  r9, r9, r2
+	ld   r10, 0(r9)         ; chain head
+	sd   r4, 0(r9)          ; update head
+	sub  r11, r4, r10       ; match distance
+	addi r4, r4, 8
+	addi r3, r3, -1
+	bne  r3, r0, loop
+	halt
+.data
+hashtab: .space 131072
+window:  .space 524288, 0x55
+`, forever)
+	return Workload{Name: "gzipx", Source: src, MemBound: true}
+}
+
+// gapx mimics gap: word-granular big-integer arithmetic — long sequential
+// passes with full ILP, misses only at streaming edges.
+func gapx() Workload {
+	src := fmt.Sprintf(`
+; gapx: multi-word add/scale passes
+_start:
+	la   r1, a
+	la   r2, b
+	li   r4, %d
+outer:
+	mov  r5, r1
+	mov  r6, r2
+	li   r7, 16384          ; words per pass
+	addi r8, r0, 0          ; carry-ish
+inner:
+	ld   r9, 0(r5)
+	ld   r10, 0(r6)
+	add  r11, r9, r10
+	add  r11, r11, r8
+	sltu r8, r11, r9        ; carry out
+	sd   r11, 0(r6)
+	addi r5, r5, 8
+	addi r6, r6, 8
+	addi r7, r7, -1
+	bne  r7, r0, inner
+	addi r4, r4, -1
+	bne  r4, r0, outer
+	halt
+.data
+a: .space 131072, 0x77
+b: .space 131072, 0x11
+`, forever)
+	return Workload{Name: "gapx", Source: src, MemBound: false}
+}
+
+// swimx mimics swim: pure streaming stencils over grids far beyond the L2 —
+// the highest memory throughput of the set.
+func swimx() Workload {
+	src := fmt.Sprintf(`
+; swimx: shallow-water stencil sweep
+_start:
+	la   r1, u
+	la   r2, v
+	la   r3, p
+	li   r4, %d
+outer:
+	mov  r5, r1
+	mov  r6, r2
+	mov  r7, r3
+	li   r8, 32768          ; points per sweep (x8B = 256KB per array)
+inner:
+	fld  f1, 0(r5)
+	fld  f2, 0(r6)
+	fld  f3, 8(r5)          ; east neighbour
+	fadd f4, f1, f2
+	fmul f5, f4, f3
+	fsd  f5, 0(r7)
+	addi r5, r5, 8
+	addi r6, r6, 8
+	addi r7, r7, 8
+	addi r8, r8, -1
+	bne  r8, r0, inner
+	addi r4, r4, -1
+	bne  r4, r0, outer
+	halt
+.data
+u: .space 262208
+v: .space 262208
+p: .space 262208
+`, forever)
+	return Workload{Name: "swimx", FP: true, Source: src, MemBound: true}
+}
+
+// mgridx mimics mgrid: multigrid relaxation — streaming with a 3-point
+// stencil and longer FP dependence chains than swim.
+func mgridx() Workload {
+	src := fmt.Sprintf(`
+; mgridx: 1D multigrid smoother sweeps
+_start:
+	la   r1, fine
+	la   r2, coarse
+	li   r4, %d
+outer:
+	mov  r5, r1
+	mov  r6, r2
+	li   r8, 49152
+inner:
+	fld  f1, 0(r5)
+	fld  f2, 8(r5)
+	fld  f3, 16(r5)
+	fadd f4, f1, f3
+	fmul f5, f4, f2
+	fadd f6, f5, f2
+	fsd  f6, 0(r6)
+	addi r5, r5, 8
+	addi r6, r6, 8
+	addi r8, r8, -1
+	bne  r8, r0, inner
+	addi r4, r4, -1
+	bne  r4, r0, outer
+	halt
+.data
+fine:   .space 393280
+coarse: .space 393280
+`, forever)
+	return Workload{Name: "mgridx", FP: true, Source: src, MemBound: true}
+}
+
+// applux mimics applu: blocked PDE solve — streaming FP with divides
+// (longer FU latencies) and two concurrent arrays.
+func applux() Workload {
+	src := fmt.Sprintf(`
+; applux: SSOR-style sweep with divides
+_start:
+	la   r1, rhs
+	la   r2, lhs
+	li   r4, %d
+outer:
+	mov  r5, r1
+	mov  r6, r2
+	li   r8, 24576
+inner:
+	fld  f1, 0(r5)
+	fld  f2, 0(r6)
+	fdiv f3, f1, f2
+	fadd f4, f3, f1
+	fsd  f4, 0(r6)
+	addi r5, r5, 8
+	addi r6, r6, 8
+	addi r8, r8, -1
+	bne  r8, r0, inner
+	addi r4, r4, -1
+	bne  r4, r0, outer
+	halt
+.data
+rhs: .space 196608, 0x3f
+lhs: .space 196608, 0x3f
+`, forever)
+	return Workload{Name: "applux", FP: true, Source: src, MemBound: true}
+}
+
+// artx mimics art: neural-net F1 layer scan — stream a large weight matrix
+// against a resident input vector, multiply-accumulate.
+func artx() Workload {
+	src := fmt.Sprintf(`
+; artx: ART weight-matrix scan
+_start:
+	la   r1, weights
+	la   r2, input
+	li   r4, %d
+outer:
+	mov  r5, r1
+	li   r8, 65536          ; weights per pass (512KB)
+	addi r9, r0, 0          ; input index
+	fadd f6, f7, f7         ; accumulator reset (f7 stays 0)
+inner:
+	fld  f1, 0(r5)
+	andi r10, r9, 0x3f8     ; input vector wraps in 1KB (stays cached)
+	add  r11, r10, r2
+	fld  f2, 0(r11)
+	fmul f3, f1, f2
+	fadd f6, f6, f3
+	addi r5, r5, 8
+	addi r9, r9, 8
+	addi r8, r8, -1
+	bne  r8, r0, inner
+	addi r4, r4, -1
+	bne  r4, r0, outer
+	halt
+.data
+input:   .space 1024, 0x3e
+weights: .space 524288, 0x3d
+`, forever)
+	return Workload{Name: "artx", FP: true, Source: src, MemBound: true}
+}
+
+// equakex mimics equake: sparse matrix-vector product — indexed gathers
+// driven by an index array, FP accumulate.
+func equakex() Workload {
+	src := fmt.Sprintf(`
+; equakex: sparse MxV gather
+_start:
+	; build index array: idx[i] = (i*2654435761) %% 262144, 8-aligned
+	la   r1, idx
+	la   r2, vec
+	addi r3, r0, 0
+	li   r4, 65536          ; nnz
+	li   r5, 2654435761
+	li   r12, 0x3fff8
+build:
+	mul  r6, r3, r5
+	and  r7, r6, r12
+	slli r8, r3, 3
+	add  r8, r8, r1
+	sd   r7, 0(r8)
+	addi r3, r3, 1
+	bne  r3, r4, build
+
+	la   r9, mat
+	li   r11, %d
+outer:
+	mov  r3, r1             ; idx cursor
+	mov  r10, r9            ; mat cursor
+	li   r4, 65536
+	fadd f6, f7, f7         ; y = 0
+inner:
+	ld   r5, 0(r3)          ; column index
+	add  r5, r5, r2
+	fld  f1, 0(r5)          ; x[col] gather
+	fld  f2, 0(r10)         ; A value
+	fmul f3, f1, f2
+	fadd f6, f6, f3
+	addi r3, r3, 8
+	addi r10, r10, 8
+	addi r4, r4, -1
+	bne  r4, r0, inner
+	addi r11, r11, -1
+	bne  r11, r0, outer
+	halt
+.data
+idx: .space 524288
+vec: .space 262144, 0x3c
+mat: .space 524288, 0x3b
+`, forever)
+	return Workload{Name: "equakex", FP: true, Source: src, MemBound: true, InitInsts: 480_000}
+}
+
+// facerecx mimics facerec: power-of-two strided passes (transform-like),
+// producing cache-set conflicts and row-buffer misses.
+func facerecx() Workload {
+	src := fmt.Sprintf(`
+; facerecx: strided gabor-bank passes
+_start:
+	la   r1, img
+	li   r2, 0x1ffff8       ; offset mask (2MB, 8B aligned)
+	li   r4, %d
+	addi r12, r0, 0         ; phase
+outer:
+	andi r13, r12, 7
+	slli r13, r13, 9        ; stride in {512..4096} step 512
+	addi r13, r13, 512
+	addi r5, r0, 0          ; offset
+	li   r8, 4096
+inner:
+	add  r9, r5, r1         ; element address
+	fld  f1, 0(r9)
+	fld  f2, 8(r9)
+	fmul f3, f1, f2
+	fadd f4, f3, f1
+	fsd  f4, 8(r9)
+	add  r5, r5, r13        ; strided walk, wraps in the image
+	and  r5, r5, r2
+	addi r8, r8, -1
+	bne  r8, r0, inner
+	addi r12, r12, 1
+	addi r4, r4, -1
+	bne  r4, r0, outer
+	halt
+.data
+img: .space 2097216, 0x3a
+`, forever)
+	return Workload{Name: "facerecx", FP: true, Source: src, MemBound: true}
+}
+
+// lucasx mimics lucas: FFT-style butterfly passes — paired strided loads
+// with FP add/sub and write-back of both halves.
+func lucasx() Workload {
+	src := fmt.Sprintf(`
+; lucasx: butterfly passes
+_start:
+	la   r1, re
+	li   r4, %d
+outer:
+	mov  r5, r1
+	li   r6, 131072         ; half-span in bytes (128KB)
+	li   r8, 16384          ; butterflies per pass
+inner:
+	fld  f1, 0(r5)
+	add  r7, r5, r6
+	fld  f2, 0(r7)
+	fadd f3, f1, f2
+	fsub f4, f1, f2
+	fsd  f3, 0(r5)
+	fsd  f4, 0(r7)
+	addi r5, r5, 8
+	addi r8, r8, -1
+	bne  r8, r0, inner
+	addi r4, r4, -1
+	bne  r4, r0, outer
+	halt
+.data
+re: .space 262144, 0x39
+`, forever)
+	return Workload{Name: "lucasx", FP: true, Source: src, MemBound: true}
+}
+
+// ammpx mimics ammp: molecular dynamics with neighbour lists — indexed
+// gathers of atom records plus FP force computation.
+func ammpx() Workload {
+	src := fmt.Sprintf(`
+; ammpx: neighbour-list force loop
+_start:
+	; neighbour list: nb[i] = (i*40503) %% 32768 atom index
+	la   r1, nb
+	la   r2, atoms
+	addi r3, r0, 0
+	li   r4, 32768
+	li   r5, 40503
+build:
+	mul  r6, r3, r5
+	andi r6, r6, 0x7fff
+	slli r6, r6, 5          ; *32B atom record
+	slli r7, r3, 3
+	add  r7, r7, r1
+	sd   r6, 0(r7)
+	addi r3, r3, 1
+	bne  r3, r4, build
+
+	li   r11, %d
+outer:
+	mov  r3, r1
+	li   r4, 32768
+	fadd f6, f7, f7
+inner:
+	ld   r5, 0(r3)
+	add  r5, r5, r2
+	fld  f1, 0(r5)          ; x
+	fld  f2, 8(r5)          ; y
+	fmul f3, f1, f1
+	fmul f4, f2, f2
+	fadd f5, f3, f4         ; r^2
+	fadd f6, f6, f5
+	addi r3, r3, 8
+	addi r4, r4, -1
+	bne  r4, r0, inner
+	addi r11, r11, -1
+	bne  r11, r0, outer
+	halt
+.data
+nb:    .space 262144
+atoms: .space 1048576, 0x38
+`, forever)
+	return Workload{Name: "ammpx", FP: true, Source: src, MemBound: true, InitInsts: 280_000}
+}
+
+// wupwisex mimics wupwise: dense blocked matrix kernels — FP compute
+// bound, working set near L2 capacity.
+func wupwisex() Workload {
+	src := fmt.Sprintf(`
+; wupwisex: blocked zgemm-like kernel
+_start:
+	la   r1, a
+	la   r2, b
+	la   r3, c
+	li   r4, %d
+outer:
+	mov  r5, r1
+	mov  r6, r2
+	mov  r7, r3
+	li   r8, 8192           ; 64KB blocks: mostly L2 resident
+inner:
+	fld  f1, 0(r5)
+	fld  f2, 0(r6)
+	fld  f3, 0(r7)
+	fmul f4, f1, f2
+	fadd f5, f4, f3
+	fmul f6, f5, f1
+	fadd f7, f6, f2
+	fsd  f7, 0(r7)
+	addi r5, r5, 8
+	addi r6, r6, 8
+	addi r7, r7, 8
+	addi r8, r8, -1
+	bne  r8, r0, inner
+	addi r4, r4, -1
+	bne  r4, r0, outer
+	halt
+.data
+a: .space 65536, 0x37
+b: .space 65536, 0x36
+c: .space 65536, 0x35
+`, forever)
+	return Workload{Name: "wupwisex", FP: true, Source: src, MemBound: false}
+}
