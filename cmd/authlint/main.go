@@ -1,0 +1,153 @@
+// Command authlint statically checks assembled programs against the
+// memory-fetch leakage contract: it reports every instruction whose
+// observable fetch address, control flow, or I/O operand depends on secret
+// or not-yet-authenticated data — the sites an authentication control point
+// must gate (see docs/ARCHITECTURE.md, "Static leakage analysis").
+//
+// Usage:
+//
+//	authlint [flags] [file.s ...]
+//	authlint -workloads            # lint the built-in 18-workload catalog
+//	authlint -kernels              # lint the attack suite's effective programs
+//
+// The exit status is 0 when every linted program is clean, 1 when any
+// finding is reported, and 2 on usage or assembly errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"authpoint/internal/analysis"
+	"authpoint/internal/asm"
+	"authpoint/internal/attack"
+	"authpoint/internal/workload"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "authlint: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+type target struct {
+	name string
+	prog *asm.Program
+}
+
+type result struct {
+	Name   string           `json:"name"`
+	Report *analysis.Report `json:"report"`
+}
+
+func main() {
+	var (
+		workloads  = flag.Bool("workloads", false, "lint the built-in workload catalog")
+		kernels    = flag.Bool("kernels", false, "lint the attack suite's effective post-tamper programs")
+		jsonOut    = flag.Bool("json", false, "emit findings as JSON")
+		trustLoads = flag.Bool("trust-loads", false, "model authen-then-issue: loaded values are verified before use")
+		state      = flag.Bool("state", false, "also report stores of tainted values (state-taint)")
+		secrets    = flag.String("secrets", "", "comma-separated data symbols to treat as secret")
+		noAuto     = flag.Bool("no-auto-secret", false, "do not treat symbols named *secret* as secret storage")
+	)
+	flag.Parse()
+
+	opts := analysis.Options{
+		TrustLoads:   *trustLoads,
+		NoAutoSecret: *noAuto,
+		StateChecks:  *state,
+	}
+	if *secrets != "" {
+		for _, s := range strings.Split(*secrets, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				opts.SecretSymbols = append(opts.SecretSymbols, s)
+			}
+		}
+	}
+
+	var targets []target
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		p, err := asm.Assemble(string(src))
+		if err != nil {
+			fatalf("%s: %v", path, err)
+		}
+		targets = append(targets, target{name: filepath.Base(path), prog: p})
+	}
+	if *workloads {
+		for _, w := range workload.All() {
+			p, err := asm.Assemble(w.Source)
+			if err != nil {
+				fatalf("workload %s: %v", w.Name, err)
+			}
+			targets = append(targets, target{name: "workload/" + w.Name, prog: p})
+		}
+	}
+	if *kernels {
+		ks, err := attack.Kernels()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, k := range ks {
+			targets = append(targets, target{name: "kernel/" + k.Name, prog: k.Prog})
+		}
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "authlint: nothing to lint (give .s files, -workloads, or -kernels)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var results []result
+	dirty := false
+	for _, tg := range targets {
+		rep, err := analysis.Analyze(tg.prog, opts)
+		if err != nil {
+			fatalf("%s: %v", tg.name, err)
+		}
+		if !rep.Clean() {
+			dirty = true
+		}
+		results = append(results, result{Name: tg.name, Report: rep})
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		for _, r := range results {
+			if r.Report.Clean() {
+				fmt.Printf("%s: clean (%d/%d blocks reachable)\n",
+					r.Name, r.Report.ReachableBlocks, r.Report.Blocks)
+				continue
+			}
+			counts := r.Report.Counts()
+			var parts []string
+			for _, k := range []analysis.Kind{analysis.KindAddr, analysis.KindCtrl, analysis.KindIO, analysis.KindState} {
+				if n := counts[k]; n > 0 {
+					parts = append(parts, fmt.Sprintf("%d %s", n, k))
+				}
+			}
+			noun := "findings"
+			if len(r.Report.Findings) == 1 {
+				noun = "finding"
+			}
+			fmt.Printf("%s: %d %s (%s)\n", r.Name, len(r.Report.Findings), noun, strings.Join(parts, ", "))
+			for _, f := range r.Report.Findings {
+				fmt.Printf("  %s\n", f)
+			}
+		}
+	}
+	if dirty {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,348 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"authpoint/internal/asm"
+	"authpoint/internal/isa"
+)
+
+// Options configures the leakage contract being checked.
+type Options struct {
+	// TrustLoads models the authen-then-issue control point: loaded values
+	// are verified before any dependent instruction can issue, so the
+	// Unverified bit never enters the dataflow. Findings that remain are
+	// purely Secret-driven — the passive channel that only obfuscation
+	// closes (paper Table 2).
+	TrustLoads bool
+	// NoAutoSecret disables marking symbols whose names contain "secret"
+	// as secret storage.
+	NoAutoSecret bool
+	// SecretSymbols names additional data symbols holding secrets; each
+	// symbol's positional extent becomes a secret range.
+	SecretSymbols []string
+	// SecretRanges adds explicit secret address ranges.
+	SecretRanges []Range
+	// StateChecks additionally reports stores of tainted values
+	// (tampering with authenticated memory state). Off by default: on the
+	// baseline contract it flags essentially every program that writes
+	// results derived from its inputs, which drowns the fetch-address
+	// findings the tool exists to surface.
+	StateChecks bool
+}
+
+// Range is a half-open address interval [Start, End).
+type Range struct {
+	Start uint64 `json:"start"`
+	End   uint64 `json:"end"`
+}
+
+func (r Range) contains(a uint64) bool { return a >= r.Start && a < r.End }
+
+// Kind classifies a finding by the observable it taints.
+type Kind string
+
+const (
+	// KindAddr: a memory operation whose effective address is tainted —
+	// the plaintext address escapes on the front-side bus at fetch.
+	KindAddr Kind = "addr-leak"
+	// KindCtrl: a conditional branch or indirect jump steered by a tainted
+	// value — the instruction-fetch address stream becomes an oracle.
+	KindCtrl Kind = "ctrl-leak"
+	// KindIO: an OUT whose operand is tainted — the paper's disclosing
+	// kernel writing secrets to an I/O channel.
+	KindIO Kind = "io-leak"
+	// KindState: a store of a tainted value into memory (only with
+	// Options.StateChecks).
+	KindState Kind = "state-taint"
+)
+
+// Finding is one instruction that violates the leakage contract.
+type Finding struct {
+	// Index is the text-section instruction index; PC its address.
+	Index int    `json:"index"`
+	PC    uint64 `json:"pc"`
+	Kind  Kind   `json:"kind"`
+	Taint Taint  `json:"taint"`
+	// Text is the disassembly of the offending instruction.
+	Text string `json:"text"`
+	// Line is the 1-based source line, when the program carries line info.
+	Line int `json:"line,omitempty"`
+	// Sym locates the instruction as "symbol+0xoff" when symbols exist.
+	Sym string `json:"sym,omitempty"`
+	// Target is the resolved destination of a direct conditional branch
+	// finding, 0 otherwise.
+	Target uint64 `json:"target,omitempty"`
+}
+
+func (f Finding) String() string {
+	loc := fmt.Sprintf("%#x", f.PC)
+	if f.Sym != "" {
+		loc += " <" + f.Sym + ">"
+	}
+	if f.Line > 0 {
+		loc += fmt.Sprintf(" line %d", f.Line)
+	}
+	return fmt.Sprintf("%s: %s (%s) %s", loc, f.Kind, f.Taint, f.Text)
+}
+
+// Report is the result of analyzing one program.
+type Report struct {
+	Findings []Finding `json:"findings"`
+	// SecretRanges are the resolved secret intervals the run used.
+	SecretRanges []Range `json:"secretRanges,omitempty"`
+	// Blocks and ReachableBlocks summarize the CFG.
+	Blocks          int `json:"blocks"`
+	ReachableBlocks int `json:"reachableBlocks"`
+
+	// CFG gives callers access to the underlying graph (not serialized).
+	CFG *CFG `json:"-"`
+}
+
+// Clean reports a program with no findings.
+func (r *Report) Clean() bool { return len(r.Findings) == 0 }
+
+// Counts returns the number of findings per kind.
+func (r *Report) Counts() map[Kind]int {
+	m := map[Kind]int{}
+	for _, f := range r.Findings {
+		m[f.Kind]++
+	}
+	return m
+}
+
+// ByKind returns the findings of one kind, in program order.
+func (r *Report) ByKind(k Kind) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Kind == k {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// analyzer carries the per-run dataflow context: the contract options, the
+// resolved secret ranges, and a flow-insensitive model of tainted memory
+// (stores of tainted values feed it, loads consult it).
+type analyzer struct {
+	g    *CFG
+	opts Options
+
+	secret []Range
+	// mem taints individual 8-byte-aligned words written through known
+	// addresses; heap is the taint written through unknown addresses;
+	// allMem is the join of everything in mem, consulted by unknown-address
+	// loads (which may alias any word).
+	mem        map[uint64]Taint
+	heap       Taint
+	allMem     Taint
+	memChanged bool
+}
+
+func (a *analyzer) inSecret(addr uint64) bool {
+	for _, r := range a.secret {
+		if r.contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// loadTaint is the contract's verdict on a value fetched from abstract
+// address addr. Unknown addresses are handled soundly: they may alias secret
+// storage (if any exists) or any previously tainted word.
+func (a *analyzer) loadTaint(addr val) Taint {
+	var t Taint
+	if addr.known {
+		if a.inSecret(addr.c) {
+			t |= TaintSecret
+		}
+		t |= a.mem[addr.c&^7]
+	} else {
+		if len(a.secret) > 0 {
+			t |= TaintSecret
+		}
+		t |= a.allMem
+	}
+	t |= a.heap
+	if a.opts.TrustLoads {
+		t &^= TaintUnverified
+	} else {
+		t |= TaintUnverified
+	}
+	return t
+}
+
+// recordStore feeds the memory model. Monotone: taints only accumulate, and
+// any growth triggers another dataflow round.
+func (a *analyzer) recordStore(addr val, vt Taint) {
+	if vt == 0 {
+		return
+	}
+	if addr.known {
+		w := addr.c &^ 7
+		if a.mem[w]|vt != a.mem[w] {
+			a.mem[w] |= vt
+			a.allMem |= vt
+			a.memChanged = true
+		}
+	} else if a.heap|vt != a.heap {
+		a.heap |= vt
+		a.memChanged = true
+	}
+}
+
+// secretRangesFor resolves the run's secret intervals from options plus the
+// program's symbol table. Auto-detection matches the attack suite's idiom of
+// labelling secret storage "secret"/"secretp"/....
+func secretRangesFor(p *asm.Program, opts Options) ([]Range, error) {
+	var out []Range
+	byName := map[string]Range{}
+	for _, sr := range p.SymbolRanges() {
+		byName[sr.Name] = Range{Start: sr.Start, End: sr.End}
+		if !opts.NoAutoSecret && strings.Contains(strings.ToLower(sr.Name), "secret") {
+			out = append(out, Range{Start: sr.Start, End: sr.End})
+		}
+	}
+	for _, name := range opts.SecretSymbols {
+		r, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: secret symbol %q not defined", name)
+		}
+		out = append(out, r)
+	}
+	out = append(out, opts.SecretRanges...)
+	return out, nil
+}
+
+// Analyze builds the CFG, runs the taint dataflow to a fixpoint (an inner
+// worklist over blocks, an outer loop until the memory model stops growing),
+// and reports every instruction whose observable address, control flow, or
+// I/O operand is tainted under the configured contract.
+func Analyze(p *asm.Program, opts Options) (*Report, error) {
+	g, err := BuildCFG(p)
+	if err != nil {
+		return nil, err
+	}
+	secret, err := secretRangesFor(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	a := &analyzer{g: g, opts: opts, secret: secret, mem: map[uint64]Taint{}}
+
+	in := make([]state, len(g.Blocks))
+	for {
+		a.memChanged = false
+		for i := range in {
+			in[i] = state{}
+		}
+		in[g.Entry] = state{reached: true}
+		work := []int{g.Entry}
+		queued := make([]bool, len(g.Blocks))
+		queued[g.Entry] = true
+		for len(work) > 0 {
+			bi := work[0]
+			work = work[1:]
+			queued[bi] = false
+			b := g.Blocks[bi]
+			s := in[bi]
+			for idx := b.Start; idx < b.End; idx++ {
+				a.transfer(&s, idx)
+			}
+			for _, succ := range b.Succs {
+				if in[succ].join(&s) && !queued[succ] {
+					queued[succ] = true
+					work = append(work, succ)
+				}
+			}
+		}
+		if !a.memChanged {
+			break
+		}
+	}
+
+	rep := &Report{CFG: g, SecretRanges: secret, Blocks: len(g.Blocks)}
+	for bi, b := range g.Blocks {
+		if g.Reachable[bi] {
+			rep.ReachableBlocks++
+		}
+		if !in[bi].reached {
+			continue
+		}
+		s := in[bi]
+		for idx := b.Start; idx < b.End; idx++ {
+			a.check(rep, &s, idx)
+			a.transfer(&s, idx)
+		}
+	}
+	return rep, nil
+}
+
+// check inspects the instruction at idx against the state s that reaches it
+// and appends findings.
+func (a *analyzer) check(rep *Report, s *state, idx int) {
+	g := a.g
+	inst := g.Insts[idx]
+	emit := func(kind Kind, t Taint, target uint64) {
+		f := Finding{
+			Index:  idx,
+			PC:     g.PCFor(idx),
+			Kind:   kind,
+			Taint:  t,
+			Text:   inst.String(),
+			Target: target,
+		}
+		f.Line = g.Prog.LineFor(idx)
+		if name, off, ok := g.Prog.NearestSymbol(f.PC); ok {
+			if off == 0 {
+				f.Sym = name
+			} else {
+				f.Sym = fmt.Sprintf("%s+%#x", name, off)
+			}
+		}
+		rep.Findings = append(rep.Findings, f)
+	}
+	switch inst.Op.Class() {
+	case isa.ClassLoad, isa.ClassFPLoad:
+		if addr := a.effAddr(s, inst); addr.t != 0 {
+			emit(KindAddr, addr.t, 0)
+		}
+	case isa.ClassStore, isa.ClassFPStore:
+		if addr := a.effAddr(s, inst); addr.t != 0 {
+			emit(KindAddr, addr.t, 0)
+		}
+		if a.opts.StateChecks {
+			var vt Taint
+			if inst.Op.Class() == isa.ClassFPStore {
+				vt = s.fps[inst.Rs2]
+			} else {
+				vt = s.reg(inst.Rs2).t
+			}
+			if vt != 0 {
+				emit(KindState, vt, 0)
+			}
+		}
+	case isa.ClassBranch:
+		var ct Taint
+		if inst.Op == isa.OpFBLT || inst.Op == isa.OpFBGE {
+			ct = s.fps[inst.Rs1] | s.fps[inst.Rs2]
+		} else {
+			ct = s.reg(inst.Rs1).t | s.reg(inst.Rs2).t
+		}
+		if ct != 0 {
+			emit(KindCtrl, ct, isa.BranchTarget(g.PCFor(idx), inst.Imm))
+		}
+	case isa.ClassJump:
+		if inst.Op == isa.OpJALR {
+			if t := s.reg(inst.Rs1).t; t != 0 {
+				emit(KindCtrl, t, 0)
+			}
+		}
+	case isa.ClassOut:
+		if t := s.reg(inst.Rs2).t; t != 0 {
+			emit(KindIO, t, 0)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"strings"
+
+	"authpoint/internal/isa"
+)
+
+// Taint is a bitset of information-flow facts about a value.
+type Taint uint8
+
+const (
+	// TaintSecret marks a value derived from annotated secret storage — the
+	// confidentiality half of the paper's threat model.
+	TaintSecret Taint = 1 << iota
+	// TaintUnverified marks a value fetched from external memory whose
+	// authentication has not yet completed at the point of use — the
+	// integrity half. Under the baseline contract every load carries it;
+	// the authen-then-issue contract (Options.TrustLoads) clears it.
+	TaintUnverified
+)
+
+func (t Taint) Secret() bool     { return t&TaintSecret != 0 }
+func (t Taint) Unverified() bool { return t&TaintUnverified != 0 }
+
+func (t Taint) String() string {
+	if t == 0 {
+		return "clean"
+	}
+	var parts []string
+	if t.Secret() {
+		parts = append(parts, "secret")
+	}
+	if t.Unverified() {
+		parts = append(parts, "unverified")
+	}
+	return strings.Join(parts, "+")
+}
+
+// MarshalText renders the taint as its String form in JSON output.
+func (t Taint) MarshalText() ([]byte, error) { return []byte(t.String()), nil }
+
+// val is the abstract value of one integer register: a taint plus an
+// optional known constant. Constant tracking exists so address material
+// built by la/li (LUI/ORI/LUIH chains) and loop arithmetic stays resolvable,
+// which is what separates a data-oblivious streaming kernel from a
+// pointer-chasing one.
+type val struct {
+	t     Taint
+	known bool
+	c     uint64
+}
+
+func joinVal(a, b val) val {
+	out := val{t: a.t | b.t}
+	if a.known && b.known && a.c == b.c {
+		out.known, out.c = true, a.c
+	}
+	return out
+}
+
+// state is the dataflow fact at a program point: abstract values for the 32
+// integer registers and taints for the 32 FP registers (FP values never form
+// addresses, so no constants are tracked for them). reached distinguishes
+// "no path here yet" (bottom) from a genuine all-unknown state.
+type state struct {
+	regs    [32]val
+	fps     [32]Taint
+	reached bool
+}
+
+// reg reads a register honoring the hardwired zero.
+func (s *state) reg(r uint8) val {
+	if r == isa.RegZero {
+		return val{known: true, c: 0}
+	}
+	return s.regs[r]
+}
+
+// setReg writes a register, discarding writes to r0.
+func (s *state) setReg(r uint8, v val) {
+	if r != isa.RegZero {
+		s.regs[r] = v
+	}
+}
+
+// join merges o into s, reporting whether s changed. Joining into bottom is
+// a copy.
+func (s *state) join(o *state) bool {
+	if !o.reached {
+		return false
+	}
+	if !s.reached {
+		*s = *o
+		return true
+	}
+	changed := false
+	for i := 1; i < len(s.regs); i++ {
+		v := joinVal(s.regs[i], o.regs[i])
+		if v != s.regs[i] {
+			s.regs[i] = v
+			changed = true
+		}
+	}
+	for i := range s.fps {
+		v := s.fps[i] | o.fps[i]
+		if v != s.fps[i] {
+			s.fps[i] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// transfer applies one instruction to s in place. Loads consult the
+// analyzer's memory model and contract for the taint of the fetched value;
+// stores feed it. Findings are not emitted here — the checker walks the
+// converged states separately.
+func (a *analyzer) transfer(s *state, idx int) {
+	inst := a.g.Insts[idx]
+	switch inst.Op.Class() {
+	case isa.ClassALU, isa.ClassMul:
+		var out val
+		switch {
+		case inst.Op == isa.OpLUI:
+			out = val{known: true, c: isa.EvalALU(inst.Op, 0, isa.ImmOperand(inst.Imm))}
+		case inst.Op.HasImm():
+			// Sign- vs zero-extension was resolved at decode, so ImmOperand
+			// is the architectural operand b for every immediate form.
+			rs1 := s.reg(inst.Rs1)
+			out = val{t: rs1.t}
+			if rs1.known {
+				out.known, out.c = true, isa.EvalALU(inst.Op, rs1.c, isa.ImmOperand(inst.Imm))
+			}
+		default:
+			rs1, rs2 := s.reg(inst.Rs1), s.reg(inst.Rs2)
+			out = val{t: rs1.t | rs2.t}
+			if rs1.known && rs2.known {
+				out.known, out.c = true, isa.EvalALU(inst.Op, rs1.c, rs2.c)
+			}
+		}
+		s.setReg(inst.Rd, out)
+	case isa.ClassLoad:
+		addr := a.effAddr(s, inst)
+		t := a.loadTaint(addr)
+		if inst.Op == isa.OpPREF {
+			return // fetches but writes nothing
+		}
+		s.setReg(inst.Rd, val{t: t})
+	case isa.ClassFPLoad:
+		addr := a.effAddr(s, inst)
+		s.fps[inst.Rd] = a.loadTaint(addr)
+	case isa.ClassStore:
+		// Stores carry the value register in the Rs2 slot.
+		a.recordStore(a.effAddr(s, inst), s.reg(inst.Rs2).t)
+	case isa.ClassFPStore:
+		a.recordStore(a.effAddr(s, inst), s.fps[inst.Rs2])
+	case isa.ClassJump:
+		// The link value is the (known) return address; its exact value is
+		// irrelevant to taint, so record it as clean-unknown.
+		s.setReg(inst.Rd, val{})
+	case isa.ClassFPU:
+		switch inst.Op {
+		case isa.OpFCVTIF:
+			s.fps[inst.Rd] = s.reg(inst.Rs1).t
+		case isa.OpFCVTFI:
+			s.setReg(inst.Rd, val{t: s.fps[inst.Rs1]})
+		case isa.OpFNEG:
+			s.fps[inst.Rd] = s.fps[inst.Rs1]
+		default:
+			s.fps[inst.Rd] = s.fps[inst.Rs1] | s.fps[inst.Rs2]
+		}
+	}
+	// Branch/Out/Halt/Nop write no register.
+}
+
+// effAddr computes the abstract effective address rs1+imm of a memory op.
+func (a *analyzer) effAddr(s *state, inst isa.Inst) val {
+	base := s.reg(inst.Rs1)
+	out := val{t: base.t}
+	if base.known {
+		out.known, out.c = true, base.c+uint64(int64(inst.Imm))
+	}
+	return out
+}

@@ -32,7 +32,9 @@
 package asm
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -54,6 +56,76 @@ type Program struct {
 	Data     []byte
 	Entry    uint64            // address of `_start` label, or TextBase
 	Symbols  map[string]uint64 // label -> address
+
+	// TextLines maps each instruction index to the 1-based source line it
+	// was assembled from (pseudo-instruction expansions share their source
+	// line). Diagnostics tooling (cmd/authlint) uses it to point findings
+	// back at the assembly source.
+	TextLines []int
+}
+
+// LineFor returns the source line of the instruction at text index i, or 0
+// if unknown (e.g. a program constructed without the assembler).
+func (p *Program) LineFor(i int) int {
+	if i < 0 || i >= len(p.TextLines) {
+		return 0
+	}
+	return p.TextLines[i]
+}
+
+// SymbolRange is a named region of the image: a label and the half-open
+// address range from it to the next label (or section end).
+type SymbolRange struct {
+	Name       string
+	Start, End uint64
+}
+
+// SymbolRanges returns every symbol with its extent, sorted by address.
+// Extents are derived positionally: a symbol ends where the next symbol in
+// the same section starts, or at the section end. Static analysis uses these
+// to map annotated regions (e.g. secrets) to address ranges.
+func (p *Program) SymbolRanges() []SymbolRange {
+	textEnd := p.TextBase + uint64(len(p.Text)*isa.InstBytes)
+	dataEnd := p.DataBase + uint64(len(p.Data))
+	var out []SymbolRange
+	for name, addr := range p.Symbols {
+		out = append(out, SymbolRange{Name: name, Start: addr})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Name < out[j].Name
+	})
+	sectionEnd := func(addr uint64) uint64 {
+		if addr >= p.DataBase && addr <= dataEnd {
+			return dataEnd
+		}
+		return textEnd
+	}
+	for i := range out {
+		end := sectionEnd(out[i].Start)
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Start > out[i].Start && out[j].Start <= end {
+				end = out[j].Start
+				break
+			}
+		}
+		out[i].End = end
+	}
+	return out
+}
+
+// NearestSymbol returns the closest label at or before addr in the text
+// section, with the byte offset from it; ok is false if none precedes addr.
+func (p *Program) NearestSymbol(addr uint64) (name string, off uint64, ok bool) {
+	best := uint64(0)
+	for n, a := range p.Symbols {
+		if a <= addr && (!ok || a > best || (a == best && n < name)) {
+			name, best, ok = n, a, true
+		}
+	}
+	return name, addr - best, ok
 }
 
 // TextBytes returns the text section as little-endian bytes.
@@ -68,15 +140,46 @@ func (p *Program) TextBytes() []byte {
 	return b
 }
 
-// Error is an assembly error annotated with a source line.
+// Sentinel error kinds. Every *Error wraps exactly one of these, so callers
+// classify assembly failures with errors.Is instead of string matching:
+//
+//	if errors.Is(err, asm.ErrUndefinedLabel) { ... }
+var (
+	// ErrSyntax is the catch-all for malformed lines, operands, and values.
+	ErrSyntax = errors.New("syntax error")
+	// ErrUndefinedLabel marks a reference to a label that is never defined.
+	ErrUndefinedLabel = errors.New("undefined label")
+	// ErrDuplicateLabel marks a label defined twice.
+	ErrDuplicateLabel = errors.New("duplicate label")
+	// ErrUnknownMnemonic marks an unrecognized instruction mnemonic.
+	ErrUnknownMnemonic = errors.New("unknown mnemonic")
+	// ErrUnknownDirective marks an unrecognized dot-directive.
+	ErrUnknownDirective = errors.New("unknown directive")
+	// ErrRange marks an immediate, offset, or register outside its encodable
+	// range (including branch targets that do not fit in imm16).
+	ErrRange = errors.New("value out of range")
+)
+
+// Error is an assembly error annotated with a source line. It wraps one of
+// the package's sentinel kinds (ErrUndefinedLabel, ErrRange, ...), reachable
+// via errors.Is / Unwrap.
 type Error struct {
 	Line int
 	Text string
 	Msg  string
+	Err  error // sentinel kind; ErrSyntax if unset
 }
 
 func (e *Error) Error() string {
 	return fmt.Sprintf("asm: line %d: %s (in %q)", e.Line, e.Msg, e.Text)
+}
+
+// Unwrap exposes the sentinel kind for errors.Is matching.
+func (e *Error) Unwrap() error {
+	if e.Err == nil {
+		return ErrSyntax
+	}
+	return e.Err
 }
 
 type section int
@@ -162,7 +265,12 @@ func MustAssemble(source string) *Program {
 }
 
 func (a *assembler) errf(format string, args ...any) error {
-	return &Error{Line: a.line, Text: strings.TrimSpace(a.src), Msg: fmt.Sprintf(format, args...)}
+	return a.errw(ErrSyntax, format, args...)
+}
+
+// errw builds an *Error wrapping the given sentinel kind.
+func (a *assembler) errw(kind error, format string, args ...any) error {
+	return &Error{Line: a.line, Text: strings.TrimSpace(a.src), Msg: fmt.Sprintf(format, args...), Err: kind}
 }
 
 func (a *assembler) here() uint64 {
@@ -197,7 +305,7 @@ func (a *assembler) doLine(raw string) error {
 			return a.errf("invalid label %q", label)
 		}
 		if _, dup := a.prog.Symbols[label]; dup {
-			return a.errf("duplicate label %q", label)
+			return a.errw(ErrDuplicateLabel, "duplicate label %q", label)
 		}
 		a.prog.Symbols[label] = a.here()
 		s = strings.TrimSpace(s[i+1:])
@@ -348,7 +456,7 @@ func (a *assembler) doDirective(s string) error {
 			a.dataBuf = append(a.dataBuf, fill)
 		}
 	default:
-		return a.errf("unknown directive %s", dir)
+		return a.errw(ErrUnknownDirective, "unknown directive %s", dir)
 	}
 	return nil
 }
@@ -384,9 +492,10 @@ func (a *assembler) emit(inst isa.Inst) error {
 	}
 	w, err := isa.Encode(inst)
 	if err != nil {
-		return a.errf("%v", err)
+		return a.errw(ErrRange, "%v", err)
 	}
 	a.prog.Text = append(a.prog.Text, w)
+	a.prog.TextLines = append(a.prog.TextLines, a.line)
 	a.textAddr += isa.InstBytes
 	return nil
 }
@@ -510,7 +619,7 @@ func (a *assembler) doInst(s string) error {
 
 	op, ok := isa.OpByName(mn)
 	if !ok {
-		return a.errf("unknown mnemonic %q", mn)
+		return a.errw(ErrUnknownMnemonic, "unknown mnemonic %q", mn)
 	}
 	return a.emitOp(op, ops)
 }
@@ -525,7 +634,7 @@ func (a *assembler) emitLI(rd uint8, v uint64) error {
 		return a.emit(isa.Inst{Op: isa.OpADDI, Rd: rd, Rs1: 0, Imm: int32(int64(v))})
 	}
 	if v>>48 != 0 {
-		return a.errf("li constant %#x exceeds 48 bits", v)
+		return a.errw(ErrRange, "li constant %#x exceeds 48 bits", v)
 	}
 	lo := uint16(v)
 	mid := uint16(v >> 16)
@@ -786,10 +895,10 @@ func (a *assembler) resolveFixups() error {
 	for _, df := range a.dataFixups {
 		addr, ok := a.prog.Symbols[df.label]
 		if !ok {
-			return &Error{Line: df.line, Text: strings.TrimSpace(df.src), Msg: fmt.Sprintf("undefined label %q", df.label)}
+			return &Error{Line: df.line, Text: strings.TrimSpace(df.src), Msg: fmt.Sprintf("undefined label %q", df.label), Err: ErrUndefinedLabel}
 		}
 		if df.size == 4 && addr >= 1<<32 {
-			return &Error{Line: df.line, Text: strings.TrimSpace(df.src), Msg: fmt.Sprintf("label %q does not fit in .word4", df.label)}
+			return &Error{Line: df.line, Text: strings.TrimSpace(df.src), Msg: fmt.Sprintf("label %q does not fit in .word4", df.label), Err: ErrRange}
 		}
 		for b := 0; b < df.size; b++ {
 			a.prog.Data[df.offset+b] = byte(addr >> (8 * b))
@@ -806,7 +915,7 @@ func (a *assembler) resolveFixups() error {
 		}
 		addr, ok := a.prog.Symbols[label]
 		if !ok {
-			return &Error{Line: f.line, Text: strings.TrimSpace(f.src), Msg: fmt.Sprintf("undefined label %q", label)}
+			return &Error{Line: f.line, Text: strings.TrimSpace(f.src), Msg: fmt.Sprintf("undefined label %q", label), Err: ErrUndefinedLabel}
 		}
 		pc := a.prog.TextBase + uint64(f.textIdx)*isa.InstBytes
 		switch f.kind {
@@ -815,7 +924,7 @@ func (a *assembler) resolveFixups() error {
 			inst.Imm = wordOffset(pc, addr)
 			w, err := isa.Encode(inst)
 			if err != nil {
-				return &Error{Line: f.line, Text: strings.TrimSpace(f.src), Msg: fmt.Sprintf("branch target out of range: %v", err)}
+				return &Error{Line: f.line, Text: strings.TrimSpace(f.src), Msg: fmt.Sprintf("branch target out of range: %v", err), Err: ErrRange}
 			}
 			a.prog.Text[f.textIdx] = w
 		case fixLA:

@@ -1,6 +1,7 @@
 package asm
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -414,5 +415,104 @@ func TestDataUndefinedLabelRejected(t *testing.T) {
 	}
 	if _, err := Assemble(".data\nx: .byte somelabel\n"); err == nil {
 		t.Error(".byte label accepted (labels need >= 4 bytes)")
+	}
+}
+
+func TestErrorSentinels(t *testing.T) {
+	cases := []struct {
+		src  string
+		want error
+	}{
+		{"b nowhere", ErrUndefinedLabel},
+		{".data\nx: .word nosuch", ErrUndefinedLabel},
+		{"x: nop\nx: nop", ErrDuplicateLabel},
+		{"frobnicate r1, r2", ErrUnknownMnemonic},
+		{".frob 3", ErrUnknownDirective},
+		{"addi r1, r0, 99999", ErrRange},
+		{"li r1, 0x1000000000000", ErrRange},
+		{"addi r1", ErrSyntax},
+		{"add r1, r2", ErrSyntax},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("Assemble(%q) succeeded, want %v", c.src, c.want)
+			continue
+		}
+		if !errors.Is(err, c.want) {
+			t.Errorf("Assemble(%q) = %v, not errors.Is %v", c.src, err, c.want)
+		}
+		var ae *Error
+		if !errors.As(err, &ae) || ae.Line == 0 {
+			t.Errorf("Assemble(%q): error is not a line-annotated *Error: %v", c.src, err)
+		}
+	}
+	// A successful classification must not also match the other kinds.
+	_, err := Assemble("b nowhere")
+	if errors.Is(err, ErrRange) || errors.Is(err, ErrSyntax) {
+		t.Errorf("undefined-label error matched an unrelated sentinel: %v", err)
+	}
+}
+
+func TestTextLinesMetadata(t *testing.T) {
+	p := mustAsm(t, `; comment line 1
+_start:
+	addi r1, r0, 5
+	la   r2, buf
+	halt
+.data
+buf: .word 1
+`)
+	if len(p.TextLines) != len(p.Text) {
+		t.Fatalf("TextLines len %d != Text len %d", len(p.TextLines), len(p.Text))
+	}
+	if p.LineFor(0) != 3 {
+		t.Errorf("inst 0 line = %d, want 3", p.LineFor(0))
+	}
+	// la expands to 3 instructions, all attributed to line 4.
+	for i := 1; i <= 3; i++ {
+		if p.LineFor(i) != 4 {
+			t.Errorf("inst %d line = %d, want 4 (la expansion)", i, p.LineFor(i))
+		}
+	}
+	if p.LineFor(4) != 5 {
+		t.Errorf("halt line = %d, want 5", p.LineFor(4))
+	}
+	if p.LineFor(-1) != 0 || p.LineFor(99) != 0 {
+		t.Error("out-of-range LineFor must return 0")
+	}
+}
+
+func TestSymbolRangesAndNearest(t *testing.T) {
+	p := mustAsm(t, `
+_start:
+	nop
+f:
+	nop
+	nop
+.data
+key:    .word 1
+secret: .word 2, 3
+tail:   .byte 9
+`)
+	ranges := map[string]SymbolRange{}
+	for _, r := range p.SymbolRanges() {
+		ranges[r.Name] = r
+	}
+	if r := ranges["_start"]; r.End != p.Symbols["f"] {
+		t.Errorf("_start range %+v should end at f", r)
+	}
+	if r := ranges["f"]; r.End != p.TextBase+uint64(len(p.Text)*4) {
+		t.Errorf("f range %+v should end at text end", r)
+	}
+	if r := ranges["secret"]; r.Start != p.Symbols["secret"] || r.End != p.Symbols["tail"] {
+		t.Errorf("secret range %+v, want [%#x,%#x)", r, p.Symbols["secret"], p.Symbols["tail"])
+	}
+	if r := ranges["tail"]; r.End != p.DataBase+uint64(len(p.Data)) {
+		t.Errorf("tail range %+v should end at data end", r)
+	}
+	name, off, ok := p.NearestSymbol(p.Symbols["f"] + 4)
+	if !ok || name != "f" || off != 4 {
+		t.Errorf("NearestSymbol(f+4) = %q+%d ok=%v", name, off, ok)
 	}
 }

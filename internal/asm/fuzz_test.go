@@ -1,10 +1,12 @@
 package asm
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"authpoint/internal/isa"
+	"authpoint/internal/workload"
 )
 
 // FuzzAssemble: the assembler must never panic, and anything it accepts
@@ -48,6 +50,48 @@ func FuzzAssemble(f *testing.F) {
 		}
 		if strings.Contains(src, "halt") && p.Entry == 0 {
 			t.Error("zero entry point")
+		}
+	})
+}
+
+// FuzzRoundTrip: for any source the assembler accepts, the
+// assemble → disassemble → re-assemble cycle must be a fixpoint on the
+// encoded text section. Disassembly (isa.Inst.String) is the round-trip
+// witness: every mnemonic and operand form it prints must parse back to the
+// identical instruction word. The corpus is seeded with the full 18-workload
+// catalog, so every idiom the benchmarks use is covered on every `go test`.
+func FuzzRoundTrip(f *testing.F) {
+	for _, w := range workload.All() {
+		f.Add(w.Source)
+	}
+	// Forms the catalog does not exercise.
+	f.Add("out r9, 0x80\npref -8(r2)\njalr r3, r5, 12\n")
+	f.Add("add r20, r21, r31\nsltu r1, r2, r3\nrem r4, r5, r6\n")
+	f.Add("fcvtif f1, r2\nfcvtfi r3, f4\nfneg f5, f6\nfblt f1, f2, -2\n")
+	f.Add("lui r1, 40000\nluih r1, 0xffff\nori r1, r1, 0x8001\nxori r2, r1, 0x8000\n")
+	f.Add("lb r1, -1(r2)\nlbu r3, 1(r2)\nlwu r5, 4(r2)\nsb r1, 0(r2)\nsw r1, 0(r2)\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p1, err := Assemble(src)
+		if err != nil || len(p1.Text) == 0 {
+			return
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, ".text %d\n", p1.TextBase)
+		for _, w := range p1.Text {
+			fmt.Fprintf(&b, "\t%s\n", isa.Decode(w))
+		}
+		p2, err := Assemble(b.String())
+		if err != nil {
+			t.Fatalf("re-assembly of disassembly failed: %v\nlisting:\n%s", err, b.String())
+		}
+		if len(p2.Text) != len(p1.Text) {
+			t.Fatalf("re-assembly changed length: %d -> %d insts", len(p1.Text), len(p2.Text))
+		}
+		for i := range p1.Text {
+			if p1.Text[i] != p2.Text[i] {
+				t.Errorf("inst %d not a fixpoint: %08x (%v) -> %08x (%v)",
+					i, p1.Text[i], isa.Decode(p1.Text[i]), p2.Text[i], isa.Decode(p2.Text[i]))
+			}
 		}
 	})
 }

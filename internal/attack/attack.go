@@ -83,13 +83,7 @@ func newVictim(scheme sim.Scheme, src string) (*sim.Machine, error) {
 // probeLines extracts the probe-window line addresses the adversary saw on
 // the bus before the machine stopped.
 func probeLines(m *sim.Machine, res sim.Result) []uint64 {
-	var out []uint64
-	for _, a := range m.ReadLineAddrsBefore(sim.StopCycle(res)) {
-		if a >= ProbeBase && a < ProbeBase+ProbeSize {
-			out = append(out, a)
-		}
-	}
-	return out
+	return m.ReadLineAddrsInBefore(ProbeBase, ProbeBase+ProbeSize, sim.StopCycle(res))
 }
 
 // PointerConversion runs the linked-list attack of §3.2.1. The victim walks
@@ -98,25 +92,8 @@ func probeLines(m *sim.Machine, res sim.Result) []uint64 {
 // terminator into a pointer at the secret; the walk then dereferences the
 // secret, disclosing it as a fetch address (to line granularity).
 func PointerConversion(scheme sim.Scheme) (Outcome, error) {
-	const secret = ProbeBase + 0x4440 // the value the adversary is after
-	src := fmt.Sprintf(`
-	_start:
-		la  r1, head
-		ld  r2, 0(r1)        ; first node
-	walk:
-		beq r2, r0, done
-		ld  r2, 0(r2)        ; next pointer (the conversion target)
-		b   walk
-	done:
-		halt
-	.data
-	node2:  .word 0          ; NULL terminator — the tamper target
-	node1:  .word node2
-	node0:  .word node1
-	head:   .word node0
-	secret: .word %d
-	`, uint64(secret))
-	m, err := newVictim(scheme, src)
+	const secret = pointerConversionSecret // the value the adversary is after
+	m, err := newVictim(scheme, pointerConversionSrc())
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -154,31 +131,8 @@ func xorU64(m *sim.Machine, addr uint64, oldVal, newVal uint64) {
 // a chosen value and observes the branch direction through the
 // instruction-fetch side channel. 16 trials recover the secret exactly.
 func BinarySearch(scheme sim.Scheme) (Outcome, error) {
-	const secret = 0xBEE5
-	// The taken arm lives in its own set of I-lines, so its appearance on
-	// the bus reveals the branch direction.
-	src := fmt.Sprintf(`
-	; The taken arm lives far past the entry: wrong-path sequential fetch is
-	; bounded by the RUU+IFQ capacity (~160 instructions), so the 400-nop
-	; moat guarantees the arm's I-line appears on the bus only if the branch
-	; actually (speculatively) redirects there.
-	_start:
-		la   r1, secretp
-		ld   r2, 0(r1)       ; secret (authentic)
-		la   r3, constp
-		ld   r4, 0(r3)       ; comparison constant (tampered per trial)
-		blt  r2, r4, below
-	atabove:
-		addi r5, r0, 1
-		halt
-		%s
-	below:
-		addi r5, r0, 2
-		halt
-	.data
-	secretp: .word %d
-	constp:  .word 0
-	`, nops(400), secret)
+	const secret = binarySearchSecret
+	src := binarySearchSrc()
 	recovered := uint64(0)
 	runs := 0
 	detectedAll := true
@@ -332,24 +286,7 @@ func DisclosingKernel(scheme sim.Scheme) (Outcome, error) {
 		if err != nil {
 			return Outcome{}, err
 		}
-		// The kernel: load secret, select window k, turn it into a probe
-		// address, fetch. LUI r3 builds the probe base; LUI r2 the data
-		// base (secret sits at its start).
-		kernel, err := kernelWords(fmt.Sprintf(`
-			lui  r3, %d
-			lui  r2, %d
-			ld   r1, 0(r2)
-			srli r1, r1, %d
-			andi r4, r1, 0x3f
-			slli r4, r4, 6
-			or   r5, r4, r3
-			ld   r6, 0(r5)
-			nop
-			nop
-			nop
-			nop
-			nop
-		`, ProbeBase>>16, m.Prog.DataBase>>16, k*windowBits))
+		kernel, err := kernelWords(shiftWindowKernelSrc(m.Prog.DataBase, k*windowBits))
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -387,21 +324,7 @@ func IOPortDisclosure(scheme sim.Scheme) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
-	kernel, err := kernelWords(fmt.Sprintf(`
-		lui  r2, %d
-		ld   r1, 0(r2)
-		out  r1, 0x80
-		nop
-		nop
-		nop
-		nop
-		nop
-		nop
-		nop
-		nop
-		nop
-		nop
-	`, asm.DefaultDataBase>>16))
+	kernel, err := kernelWords(ioKernelSrc(asm.DefaultDataBase))
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -426,15 +349,7 @@ func IOPortDisclosure(scheme sim.Scheme) (Outcome, error) {
 // address lands in the OS log — itself a channel). Returns how many of the
 // trials leaked and how many logged faults.
 func BruteForcePage(scheme sim.Scheme, trials int) (leaks, faults int, err error) {
-	src := `
-	_start:
-		la  r1, ptr
-		ld  r2, 0(r1)
-		ld  r3, 0(r2)       ; dereference the tampered pointer
-		halt
-	.data
-	ptr: .word 0x1000       ; innocent pointer (known plaintext)
-	`
+	src := bruteForcePageSrc
 	rng := uint64(42)
 	for i := 0; i < trials; i++ {
 		m, e := newVictim(scheme, src)
@@ -468,30 +383,7 @@ func BruteForcePage(scheme sim.Scheme, trials int) (leaks, faults int, err error
 // value can be decrypted out of external memory afterwards, unauthenticated
 // data contaminated the persistent memory state.
 func MemoryTaint(scheme sim.Scheme) (Outcome, error) {
-	src := `
-	_start:
-		la   r1, input
-		ld   r2, 0(r1)       ; tampered input
-		addi r2, r2, 1
-		la   r3, sink
-		sd   r2, 0(r3)       ; derived value
-		; stream 512KB to force the dirty sink line out of the 256KB L2
-		la   r4, wash
-		li   r5, 8192
-	evict:
-		ld   r6, 0(r4)
-		addi r4, r4, 64
-		addi r5, r5, -1
-		bne  r5, r0, evict
-		halt
-	.data
-	input: .word 7
-	.align 64
-	sink:  .word 0
-	.align 64
-	wash:  .space 524288
-	`
-	m, err := newVictim(scheme, src)
+	m, err := newVictim(scheme, memoryTaintSrc)
 	if err != nil {
 		return Outcome{}, err
 	}

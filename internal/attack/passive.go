@@ -26,6 +26,9 @@ type PassiveOutcome struct {
 // bit-serially.
 const passiveVictimBits = 8
 
+// passiveSecret is the secret the passive victim leaks bit by bit.
+const passiveSecret = 0xA7
+
 // passiveVictim processes a secret bit-serially with secret-dependent
 // control flow — the shape of square-and-multiply exponentiation or
 // table-driven cipher rounds. The bit loop is fully unrolled so each bit has
@@ -67,7 +70,7 @@ next_%d:
 // help — nothing fails verification; address obfuscation is the defence the
 // paper pairs against this channel (§4.3).
 func PassiveControlFlow(scheme sim.Scheme) (PassiveOutcome, error) {
-	const secret = 0xA7
+	const secret = passiveSecret
 	p, err := asm.Assemble(passiveVictim(secret))
 	if err != nil {
 		return PassiveOutcome{}, err

@@ -406,6 +406,9 @@ func (i Inst) String() string {
 	case ClassMul:
 		return fmt.Sprintf("%s %s, %s, %s", i.Op, ir(i.Rd), ir(i.Rs1), ir(i.Rs2))
 	case ClassLoad:
+		if i.Op == OpPREF {
+			return fmt.Sprintf("%s %d(%s)", i.Op, i.Imm, ir(i.Rs1))
+		}
 		return fmt.Sprintf("%s %s, %d(%s)", i.Op, ir(i.Rd), i.Imm, ir(i.Rs1))
 	case ClassStore:
 		return fmt.Sprintf("%s %s, %d(%s)", i.Op, ir(i.Rs2), i.Imm, ir(i.Rs1))

@@ -1,0 +1,171 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RegSet is a small set of architectural registers: bit r holds integer
+// register r, bit 32+f holds floating-point register f. The hardwired-zero
+// register r0 never appears in a set — writes to it are discarded and reads
+// yield the constant zero, so it carries no dataflow dependence. FP f0 is an
+// ordinary register and is tracked normally.
+//
+// Defs and Uses below give the architectural def/use sets of every
+// instruction; they are the substrate for register dependence analysis
+// (internal/analysis taint tracking, and any scheduler that wants a
+// table-free answer).
+type RegSet uint64
+
+// IntReg returns the singleton set {r} for an integer register, or the empty
+// set for r0 and out-of-range values.
+func IntReg(r uint8) RegSet {
+	if r == RegZero || r >= NumIntRegs {
+		return 0
+	}
+	return 1 << r
+}
+
+// FPReg returns the singleton set {f} for a floating-point register, or the
+// empty set for out-of-range values.
+func FPReg(r uint8) RegSet {
+	if r >= NumFPRegs {
+		return 0
+	}
+	return 1 << (32 + uint(r))
+}
+
+// HasInt reports whether integer register r is in the set.
+func (s RegSet) HasInt(r uint8) bool { return s&IntReg(r) != 0 }
+
+// HasFP reports whether FP register r is in the set.
+func (s RegSet) HasFP(r uint8) bool { return s&FPReg(r) != 0 }
+
+// Union returns s ∪ t.
+func (s RegSet) Union(t RegSet) RegSet { return s | t }
+
+// Empty reports whether the set has no members.
+func (s RegSet) Empty() bool { return s == 0 }
+
+// Count returns the number of registers in the set.
+func (s RegSet) Count() int {
+	n := 0
+	for ; s != 0; s &= s - 1 {
+		n++
+	}
+	return n
+}
+
+// Ints returns the integer registers in the set, ascending.
+func (s RegSet) Ints() []uint8 {
+	var out []uint8
+	for r := uint8(0); r < NumIntRegs; r++ {
+		if s.HasInt(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FPs returns the FP registers in the set, ascending.
+func (s RegSet) FPs() []uint8 {
+	var out []uint8
+	for r := uint8(0); r < NumFPRegs; r++ {
+		if s.HasFP(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// String renders the set as "{r1 r4 f2}".
+func (s RegSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for _, r := range s.Ints() {
+		if b.Len() > 1 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "r%d", r)
+	}
+	for _, r := range s.FPs() {
+		if b.Len() > 1 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "f%d", r)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Defs returns the set of architectural registers the instruction writes.
+// Invalid opcodes (tampered words) define nothing: the pipeline raises an
+// illegal-instruction fault instead of writing state.
+func (i Inst) Defs() RegSet {
+	switch i.Op.Class() {
+	case ClassALU, ClassMul:
+		return IntReg(i.Rd)
+	case ClassLoad:
+		if i.Op == OpPREF {
+			return 0 // prefetch writes no register
+		}
+		return IntReg(i.Rd)
+	case ClassFPLoad:
+		return FPReg(i.Rd)
+	case ClassJump:
+		return IntReg(i.Rd) // link register (pc+4)
+	case ClassFPU:
+		if i.Op == OpFCVTFI {
+			return IntReg(i.Rd)
+		}
+		return FPReg(i.Rd)
+	}
+	// Nop, Halt, Store, FPStore, Branch, Out — and invalid opcodes.
+	return 0
+}
+
+// Uses returns the set of architectural registers the instruction reads.
+func (i Inst) Uses() RegSet {
+	switch i.Op.Class() {
+	case ClassALU, ClassMul:
+		switch i.Op {
+		case OpLUI:
+			return 0 // rd = imm << 16: pure constant
+		case OpLUIH:
+			return IntReg(i.Rs1) // rd = rd | imm<<32 reads the old rd
+		}
+		if i.Op.HasImm() {
+			return IntReg(i.Rs1)
+		}
+		return IntReg(i.Rs1) | IntReg(i.Rs2)
+	case ClassLoad, ClassFPLoad:
+		return IntReg(i.Rs1) // address base (covers PREF too)
+	case ClassStore:
+		return IntReg(i.Rs1) | IntReg(i.Rs2)
+	case ClassFPStore:
+		return IntReg(i.Rs1) | FPReg(i.Rs2)
+	case ClassBranch:
+		if i.Op == OpFBLT || i.Op == OpFBGE {
+			return FPReg(i.Rs1) | FPReg(i.Rs2)
+		}
+		return IntReg(i.Rs1) | IntReg(i.Rs2)
+	case ClassJump:
+		if i.Op == OpJALR {
+			return IntReg(i.Rs1)
+		}
+		return 0 // JAL target is pc-relative constant
+	case ClassFPU:
+		switch i.Op {
+		case OpFNEG:
+			return FPReg(i.Rs1)
+		case OpFCVTIF:
+			return IntReg(i.Rs1)
+		case OpFCVTFI:
+			return FPReg(i.Rs1)
+		}
+		return FPReg(i.Rs1) | FPReg(i.Rs2)
+	case ClassOut:
+		return IntReg(i.Rs2)
+	}
+	return 0
+}

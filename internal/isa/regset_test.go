@@ -1,0 +1,131 @@
+package isa
+
+import "testing"
+
+// TestDefsUsesEveryOpcode pins the architectural def/use sets of every
+// defined operation. The table names registers explicitly so a future opcode
+// addition without a matching entry fails loudly.
+func TestDefsUsesEveryOpcode(t *testing.T) {
+	// A representative instruction per op using distinct registers so swapped
+	// fields are caught: rd=1, rs1=2, rs2=3 (FP ops use the same indices in
+	// the FP file).
+	type isaCase struct {
+		inst Inst
+		defs RegSet
+		uses RegSet
+	}
+	ir := IntReg
+	fr := FPReg
+	cases := map[Op]isaCase{
+		OpNOP:  {Inst{Op: OpNOP}, 0, 0},
+		OpHALT: {Inst{Op: OpHALT}, 0, 0},
+
+		OpADD:  {Inst{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3}, ir(1), ir(2) | ir(3)},
+		OpSUB:  {Inst{Op: OpSUB, Rd: 1, Rs1: 2, Rs2: 3}, ir(1), ir(2) | ir(3)},
+		OpMUL:  {Inst{Op: OpMUL, Rd: 1, Rs1: 2, Rs2: 3}, ir(1), ir(2) | ir(3)},
+		OpDIV:  {Inst{Op: OpDIV, Rd: 1, Rs1: 2, Rs2: 3}, ir(1), ir(2) | ir(3)},
+		OpREM:  {Inst{Op: OpREM, Rd: 1, Rs1: 2, Rs2: 3}, ir(1), ir(2) | ir(3)},
+		OpAND:  {Inst{Op: OpAND, Rd: 1, Rs1: 2, Rs2: 3}, ir(1), ir(2) | ir(3)},
+		OpOR:   {Inst{Op: OpOR, Rd: 1, Rs1: 2, Rs2: 3}, ir(1), ir(2) | ir(3)},
+		OpXOR:  {Inst{Op: OpXOR, Rd: 1, Rs1: 2, Rs2: 3}, ir(1), ir(2) | ir(3)},
+		OpSLL:  {Inst{Op: OpSLL, Rd: 1, Rs1: 2, Rs2: 3}, ir(1), ir(2) | ir(3)},
+		OpSRL:  {Inst{Op: OpSRL, Rd: 1, Rs1: 2, Rs2: 3}, ir(1), ir(2) | ir(3)},
+		OpSRA:  {Inst{Op: OpSRA, Rd: 1, Rs1: 2, Rs2: 3}, ir(1), ir(2) | ir(3)},
+		OpSLT:  {Inst{Op: OpSLT, Rd: 1, Rs1: 2, Rs2: 3}, ir(1), ir(2) | ir(3)},
+		OpSLTU: {Inst{Op: OpSLTU, Rd: 1, Rs1: 2, Rs2: 3}, ir(1), ir(2) | ir(3)},
+
+		OpADDI: {Inst{Op: OpADDI, Rd: 1, Rs1: 2, Imm: 5}, ir(1), ir(2)},
+		OpANDI: {Inst{Op: OpANDI, Rd: 1, Rs1: 2, Imm: 5}, ir(1), ir(2)},
+		OpORI:  {Inst{Op: OpORI, Rd: 1, Rs1: 2, Imm: 5}, ir(1), ir(2)},
+		OpXORI: {Inst{Op: OpXORI, Rd: 1, Rs1: 2, Imm: 5}, ir(1), ir(2)},
+		OpSLLI: {Inst{Op: OpSLLI, Rd: 1, Rs1: 2, Imm: 5}, ir(1), ir(2)},
+		OpSRLI: {Inst{Op: OpSRLI, Rd: 1, Rs1: 2, Imm: 5}, ir(1), ir(2)},
+		OpSRAI: {Inst{Op: OpSRAI, Rd: 1, Rs1: 2, Imm: 5}, ir(1), ir(2)},
+		OpSLTI: {Inst{Op: OpSLTI, Rd: 1, Rs1: 2, Imm: 5}, ir(1), ir(2)},
+		OpLUI:  {Inst{Op: OpLUI, Rd: 1, Imm: 5}, ir(1), 0},
+		OpLUIH: {Inst{Op: OpLUIH, Rd: 1, Rs1: 1, Imm: 5}, ir(1), ir(1)},
+
+		OpLD:  {Inst{Op: OpLD, Rd: 1, Rs1: 2, Imm: 8}, ir(1), ir(2)},
+		OpLW:  {Inst{Op: OpLW, Rd: 1, Rs1: 2, Imm: 8}, ir(1), ir(2)},
+		OpLWU: {Inst{Op: OpLWU, Rd: 1, Rs1: 2, Imm: 8}, ir(1), ir(2)},
+		OpLB:  {Inst{Op: OpLB, Rd: 1, Rs1: 2, Imm: 8}, ir(1), ir(2)},
+		OpLBU: {Inst{Op: OpLBU, Rd: 1, Rs1: 2, Imm: 8}, ir(1), ir(2)},
+
+		OpSD: {Inst{Op: OpSD, Rs1: 2, Rs2: 3, Imm: 8}, 0, ir(2) | ir(3)},
+		OpSW: {Inst{Op: OpSW, Rs1: 2, Rs2: 3, Imm: 8}, 0, ir(2) | ir(3)},
+		OpSB: {Inst{Op: OpSB, Rs1: 2, Rs2: 3, Imm: 8}, 0, ir(2) | ir(3)},
+
+		OpBEQ:  {Inst{Op: OpBEQ, Rs1: 2, Rs2: 3, Imm: 4}, 0, ir(2) | ir(3)},
+		OpBNE:  {Inst{Op: OpBNE, Rs1: 2, Rs2: 3, Imm: 4}, 0, ir(2) | ir(3)},
+		OpBLT:  {Inst{Op: OpBLT, Rs1: 2, Rs2: 3, Imm: 4}, 0, ir(2) | ir(3)},
+		OpBGE:  {Inst{Op: OpBGE, Rs1: 2, Rs2: 3, Imm: 4}, 0, ir(2) | ir(3)},
+		OpBLTU: {Inst{Op: OpBLTU, Rs1: 2, Rs2: 3, Imm: 4}, 0, ir(2) | ir(3)},
+		OpBGEU: {Inst{Op: OpBGEU, Rs1: 2, Rs2: 3, Imm: 4}, 0, ir(2) | ir(3)},
+		OpJAL:  {Inst{Op: OpJAL, Rd: RegRA, Imm: 4}, ir(RegRA), 0},
+		OpJALR: {Inst{Op: OpJALR, Rd: 1, Rs1: RegRA}, ir(1), ir(RegRA)},
+
+		OpFLD:    {Inst{Op: OpFLD, Rd: 1, Rs1: 2, Imm: 8}, fr(1), ir(2)},
+		OpFSD:    {Inst{Op: OpFSD, Rs1: 2, Rs2: 3, Imm: 8}, 0, ir(2) | fr(3)},
+		OpFADD:   {Inst{Op: OpFADD, Rd: 1, Rs1: 2, Rs2: 3}, fr(1), fr(2) | fr(3)},
+		OpFSUB:   {Inst{Op: OpFSUB, Rd: 1, Rs1: 2, Rs2: 3}, fr(1), fr(2) | fr(3)},
+		OpFMUL:   {Inst{Op: OpFMUL, Rd: 1, Rs1: 2, Rs2: 3}, fr(1), fr(2) | fr(3)},
+		OpFDIV:   {Inst{Op: OpFDIV, Rd: 1, Rs1: 2, Rs2: 3}, fr(1), fr(2) | fr(3)},
+		OpFNEG:   {Inst{Op: OpFNEG, Rd: 1, Rs1: 2}, fr(1), fr(2)},
+		OpFCVTIF: {Inst{Op: OpFCVTIF, Rd: 1, Rs1: 2}, fr(1), ir(2)},
+		OpFCVTFI: {Inst{Op: OpFCVTFI, Rd: 1, Rs1: 2}, ir(1), fr(2)},
+		OpFBLT:   {Inst{Op: OpFBLT, Rs1: 2, Rs2: 3, Imm: 4}, 0, fr(2) | fr(3)},
+		OpFBGE:   {Inst{Op: OpFBGE, Rs1: 2, Rs2: 3, Imm: 4}, 0, fr(2) | fr(3)},
+
+		OpOUT:  {Inst{Op: OpOUT, Rs2: 3, Imm: 0x80}, 0, ir(3)},
+		OpPREF: {Inst{Op: OpPREF, Rs1: 2, Imm: 8}, 0, ir(2)},
+	}
+	for op := Op(0); int(op) < NumOps; op++ {
+		c, ok := cases[op]
+		if !ok {
+			t.Errorf("no def/use table entry for op %v — add one", op)
+			continue
+		}
+		if got := c.inst.Defs(); got != c.defs {
+			t.Errorf("%v Defs = %v, want %v", c.inst, got, c.defs)
+		}
+		if got := c.inst.Uses(); got != c.uses {
+			t.Errorf("%v Uses = %v, want %v", c.inst, got, c.uses)
+		}
+	}
+}
+
+// TestRegSetZeroRegister: r0 is hardwired zero and must never enter a set.
+func TestRegSetZeroRegister(t *testing.T) {
+	if !IntReg(0).Empty() {
+		t.Error("IntReg(0) should be empty: r0 carries no dependence")
+	}
+	i := Inst{Op: OpADD, Rd: 0, Rs1: 0, Rs2: 0}
+	if !i.Defs().Empty() || !i.Uses().Empty() {
+		t.Errorf("add r0, r0, r0: defs=%v uses=%v, want empty", i.Defs(), i.Uses())
+	}
+	// f0 is an ordinary FP register.
+	if FPReg(0).Empty() {
+		t.Error("FPReg(0) must be a real register")
+	}
+	fld := Inst{Op: OpFLD, Rd: 0, Rs1: 2}
+	if !fld.Defs().HasFP(0) {
+		t.Error("fld f0 must define f0")
+	}
+}
+
+// TestRegSetOps exercises the set helpers.
+func TestRegSetOps(t *testing.T) {
+	s := IntReg(1).Union(IntReg(4)).Union(FPReg(2))
+	if s.Count() != 3 {
+		t.Errorf("Count = %d, want 3", s.Count())
+	}
+	if !s.HasInt(1) || !s.HasInt(4) || !s.HasFP(2) || s.HasInt(2) || s.HasFP(1) {
+		t.Errorf("membership wrong for %v", s)
+	}
+	if got := s.String(); got != "{r1 r4 f2}" {
+		t.Errorf("String = %q, want {r1 r4 f2}", got)
+	}
+	if len(s.Ints()) != 2 || len(s.FPs()) != 1 {
+		t.Errorf("Ints/FPs = %v/%v", s.Ints(), s.FPs())
+	}
+}

@@ -20,6 +20,20 @@ func (m *Machine) ReadLineAddrsBefore(cycle uint64) []uint64 {
 	return out
 }
 
+// ReadLineAddrsInBefore filters ReadLineAddrsBefore to the address window
+// [lo, hi) — e.g. the adversary's probe region, or one arm of a victim
+// branch. The attack suite and the static-analysis differential tests share
+// this as their definition of "what leaked".
+func (m *Machine) ReadLineAddrsInBefore(lo, hi, cycle uint64) []uint64 {
+	var out []uint64
+	for _, a := range m.ReadLineAddrsBefore(cycle) {
+		if a >= lo && a < hi {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 // StopCycle returns the cycle at which the machine stopped for the given
 // result: the security-fault cycle if verification failed, else the final
 // core cycle.
