@@ -9,10 +9,12 @@ package authpoint_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"authpoint"
 	"authpoint/internal/experiments"
+	"authpoint/internal/harness"
 	"authpoint/internal/sim"
 )
 
@@ -216,4 +218,29 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		cycles += res.Cycles
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BenchmarkSweepParallelism runs the same quick sweep on a one-worker pool
+// and on a NumCPU-sized pool. Each iteration uses a fresh Runner so the
+// baseline memo and image cache start cold; the comparison isolates the
+// worker-pool fan-out itself.
+func BenchmarkSweepParallelism(b *testing.B) {
+	for _, pool := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", runtime.NumCPU()}} {
+		b.Run(pool.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := quick()
+				p.Runner = &harness.Runner{Parallelism: pool.workers}
+				sw, err := experiments.RunSweep("parallelism", p, experiments.PerfSchemes, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					reportSweep(b, sw)
+				}
+			}
+		})
+	}
 }

@@ -1,36 +1,48 @@
 // Command authbench regenerates every table and figure of the paper's
 // evaluation. Each experiment prints the same rows/series the paper reports.
+// Sweep cells fan out over a worker pool (one goroutine per cell, pool sized
+// by -parallel); output is byte-identical to a serial run.
 //
 // Usage:
 //
-//	authbench -experiment all            # everything (several minutes)
-//	authbench -experiment fig7a          # one artifact
-//	authbench -experiment table2 -quick  # fast smoke versions
+//	authbench -experiment all                  # everything (several minutes)
+//	authbench -experiment fig7a                # one artifact
+//	authbench -experiment table2 -quick        # fast smoke versions
+//	authbench -experiment fig7a -parallel 8    # pin the worker pool
+//	authbench -experiment bench -json BENCH_sweep.json   # serial-vs-parallel record
+//	authbench -experiment fig8 -cpuprofile cpu.pprof     # profile the hot path
 //
 // Experiments: table1 table2 table3 fig6 fig7a fig7b fig7c fig7d fig8 fig9
-// fig10 fig11 fig12 fig13 ablations all
+// fig10 fig11 fig12 fig13 ablations bench all
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"authpoint/internal/experiments"
+	"authpoint/internal/harness"
 	"authpoint/internal/sim"
 	"authpoint/internal/workload"
 )
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "which artifact to regenerate (see doc)")
-		quick    = flag.Bool("quick", false, "small workload subset and short windows")
-		warmup   = flag.Uint64("warmup", 0, "override warmup instructions")
-		measure  = flag.Uint64("measure", 0, "override measured instructions")
-		loadList = flag.String("workloads", "", "comma-separated workload subset (default: all 18)")
-		bars     = flag.Bool("bars", false, "render normalized-IPC sweeps as bar groups (figure-style)")
+		exp        = flag.String("experiment", "all", "which artifact to regenerate (see doc)")
+		quick      = flag.Bool("quick", false, "small workload subset and short windows")
+		warmup     = flag.Uint64("warmup", 0, "override warmup instructions")
+		measure    = flag.Uint64("measure", 0, "override measured instructions")
+		loadList   = flag.String("workloads", "", "comma-separated workload subset (default: all 18)")
+		bars       = flag.Bool("bars", false, "render normalized-IPC sweeps as bar groups (figure-style)")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "sweep worker pool size (1 = serial)")
+		jsonOut    = flag.String("json", "", "write a machine-readable bench record to this path")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
 
@@ -56,6 +68,28 @@ func main() {
 		p.Workloads = ws
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *jsonOut != "" {
+		benchRec = newBenchRecorder(*parallel)
+	}
+	sweepRunner = &harness.Runner{Parallelism: *parallel}
+	if benchRec != nil {
+		sweepRunner.OnProgress = benchRec.observe
+	}
+	p.Runner = sweepRunner
+	parallelism = *parallel
+
 	renderBars = *bars
 	start := time.Now()
 	for _, e := range strings.Split(*exp, ",") {
@@ -63,8 +97,38 @@ func main() {
 			fatalf("%s: %v", e, err)
 		}
 	}
-	fmt.Printf("\n(total wall time %v)\n", time.Since(start).Round(time.Second))
+	fmt.Printf("\n(total wall time %v, %d workers)\n", time.Since(start).Round(time.Second), *parallel)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+	}
+	if benchRec != nil {
+		if err := benchRec.write(*jsonOut); err != nil {
+			fatalf("json: %v", err)
+		}
+		fmt.Printf("(bench record written to %s)\n", *jsonOut)
+	}
 }
+
+// Shared state the experiment dispatcher reads (set once in main before any
+// experiment runs).
+var (
+	// sweepRunner executes every sweep's cells; its baseline memo spans all
+	// experiments in the invocation.
+	sweepRunner *harness.Runner
+	// benchRec is non-nil when -json is set.
+	benchRec *benchRecorder
+	// parallelism mirrors the -parallel flag for the bench experiment.
+	parallelism int
+)
 
 // renderBars switches sweep output to figure-style bar groups.
 var renderBars bool
@@ -82,7 +146,21 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
+// run dispatches one experiment name, recording a bench section around each
+// leaf experiment when -json is active.
 func run(name string, p experiments.Params) error {
+	switch name {
+	case "all", "bench":
+		return runLeaf(name, p)
+	}
+	if benchRec != nil {
+		benchRec.begin(name)
+		defer benchRec.end(sweepRunner)
+	}
+	return runLeaf(name, p)
+}
+
+func runLeaf(name string, p experiments.Params) error {
 	w := os.Stdout
 	section := func(s string) { fmt.Fprintf(w, "\n==== %s ====\n", s) }
 	switch name {
@@ -99,6 +177,10 @@ func run(name string, p experiments.Params) error {
 			}
 		}
 		return nil
+
+	case "bench":
+		section("Sweep bench: serial vs parallel wall time, byte-identical output")
+		return runBenchExperiment(benchRec, parallelism)
 
 	case "table1":
 		section("Table 1")
@@ -197,7 +279,7 @@ func run(name string, p experiments.Params) error {
 		}
 
 	default:
-		return fmt.Errorf("unknown experiment (want table1..3, fig6..fig13, ablations, or all)")
+		return fmt.Errorf("unknown experiment (want table1..3, fig6..fig13, ablations, bench, or all)")
 	}
 	return nil
 }

@@ -6,8 +6,11 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"authpoint/internal/attack"
 	"authpoint/internal/harness"
@@ -20,6 +23,16 @@ type Params struct {
 	Warmup    uint64
 	Measure   uint64
 	Workloads []workload.Workload
+	// Runner executes the sweep cells; nil uses harness.DefaultRunner
+	// (worker pool sized to the host, process-wide baseline memo).
+	Runner *harness.Runner
+}
+
+func (p Params) runner() *harness.Runner {
+	if p.Runner != nil {
+		return p.Runner
+	}
+	return harness.DefaultRunner
 }
 
 // DefaultParams covers all 18 kernels at the default windows.
@@ -98,32 +111,45 @@ func (s *Sweep) MeanNormalized(scheme sim.Scheme) float64 {
 // tree mode, remap cache size...).
 type Variant func(*sim.Config)
 
-// RunSweep measures every workload under the baseline plus each scheme.
+// RunSweep measures every workload under the baseline plus each scheme. The
+// cells fan out over the runner's worker pool; results fold back in input
+// order, so the rendered rows/series are identical to a serial run. Baseline
+// cells hit the runner's memo when an identical (workload, config, windows)
+// baseline was already measured this process.
 func RunSweep(title string, p Params, schemes []sim.Scheme, variant Variant) (*Sweep, error) {
 	sw := &Sweep{Title: title, Schemes: schemes}
+	cell := func(w workload.Workload, scheme sim.Scheme) harness.Spec {
+		cfg := sim.DefaultConfig()
+		if variant != nil {
+			variant(&cfg)
+		}
+		cfg.Scheme = scheme
+		return harness.Spec{Workload: w, Config: cfg, WarmupInsts: p.Warmup, MeasureInsts: p.Measure}
+	}
+	var specs []harness.Spec
+	for _, w := range p.Workloads {
+		specs = append(specs, cell(w, sim.SchemeBaseline))
+		for _, scheme := range schemes {
+			specs = append(specs, cell(w, scheme))
+		}
+	}
+	outs, err := p.runner().RunAll(context.Background(), specs)
+	if err != nil {
+		for _, o := range outs {
+			if o.Err != nil && !errors.Is(o.Err, context.Canceled) {
+				return nil, fmt.Errorf("%s %v: %w", o.Spec.Workload.Name, o.Spec.Config.Scheme, o.Err)
+			}
+		}
+		return nil, err
+	}
+	i := 0
 	for _, w := range p.Workloads {
 		row := IPCRow{Workload: w.Name, FP: w.FP, IPC: map[sim.Scheme]float64{}}
-		base := sim.DefaultConfig()
-		if variant != nil {
-			variant(&base)
-		}
-		base.Scheme = sim.SchemeBaseline
-		mb, err := harness.Measure(harness.Spec{Workload: w, Config: base, WarmupInsts: p.Warmup, MeasureInsts: p.Measure})
-		if err != nil {
-			return nil, fmt.Errorf("%s baseline: %w", w.Name, err)
-		}
-		row.BaselineIPC = mb.IPC
+		row.BaselineIPC = outs[i].Measurement.IPC
+		i++
 		for _, scheme := range schemes {
-			cfg := sim.DefaultConfig()
-			if variant != nil {
-				variant(&cfg)
-			}
-			cfg.Scheme = scheme
-			m, err := harness.Measure(harness.Spec{Workload: w, Config: cfg, WarmupInsts: p.Warmup, MeasureInsts: p.Measure})
-			if err != nil {
-				return nil, fmt.Errorf("%s %v: %w", w.Name, scheme, err)
-			}
-			row.IPC[scheme] = m.IPC
+			row.IPC[scheme] = outs[i].Measurement.IPC
+			i++
 		}
 		sw.Rows = append(sw.Rows, row)
 	}
@@ -342,32 +368,49 @@ var Table2Schemes = []sim.Scheme{
 }
 
 // Table2 demonstrates every cell of the characteristics matrix by running
-// the exploit suite against each scheme.
+// the exploit suite against each scheme. The per-scheme exploit runs are
+// independent (each builds its own machines), so they fan out across
+// goroutines; rows come back in scheme order.
 func Table2() ([]Table2Row, error) {
-	var out []Table2Row
-	for _, scheme := range Table2Schemes {
-		pc, err := attack.PointerConversion(scheme)
-		if err != nil {
-			return nil, err
-		}
-		io_, err := attack.IOPortDisclosure(scheme)
-		if err != nil {
-			return nil, err
-		}
-		mt, err := attack.MemoryTaint(scheme)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Table2Row{
-			Scheme:                 scheme,
-			PreventsFetchLeak:      !pc.Leaked,
-			PreciseException:       !io_.Leaked && io_.Detected,
-			AuthenticatedMemory:    !mt.Leaked,
-			AuthenticatedProcessor: !io_.Leaked && io_.Detected,
-			Detected:               pc.Detected,
-		})
+	rows := make([]Table2Row, len(Table2Schemes))
+	errs := make([]error, len(Table2Schemes))
+	var wg sync.WaitGroup
+	for i, scheme := range Table2Schemes {
+		wg.Add(1)
+		go func(i int, scheme sim.Scheme) {
+			defer wg.Done()
+			pc, err := attack.PointerConversion(scheme)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			io_, err := attack.IOPortDisclosure(scheme)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			mt, err := attack.MemoryTaint(scheme)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rows[i] = Table2Row{
+				Scheme:                 scheme,
+				PreventsFetchLeak:      !pc.Leaked,
+				PreciseException:       !io_.Leaked && io_.Detected,
+				AuthenticatedMemory:    !mt.Leaked,
+				AuthenticatedProcessor: !io_.Leaked && io_.Detected,
+				Detected:               pc.Detected,
+			}
+		}(i, scheme)
 	}
-	return out, nil
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
 }
 
 // RenderTable2 prints the matrix in the paper's layout.

@@ -5,9 +5,47 @@ import (
 	"strings"
 	"testing"
 
+	"authpoint/internal/harness"
 	"authpoint/internal/sim"
 	"authpoint/internal/workload"
 )
+
+// TestSweepParallelOutputByteIdentical is the engine's end-to-end
+// determinism gate: the same sweep run serially and on an 8-worker pool
+// must render byte-identical tables and bar figures.
+func TestSweepParallelOutputByteIdentical(t *testing.T) {
+	p := Params{Warmup: 4_000, Measure: 12_000}
+	for _, n := range []string{"gapx", "swimx"} {
+		w, _ := workload.ByName(n)
+		p.Workloads = append(p.Workloads, w)
+	}
+	schemes := []sim.Scheme{sim.SchemeThenIssue, sim.SchemeThenCommit}
+
+	render := func(parallelism int) (string, string) {
+		t.Helper()
+		pp := p
+		pp.Runner = &harness.Runner{Parallelism: parallelism}
+		sw, err := RunSweep("determinism", pp, schemes, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var table, bars bytes.Buffer
+		sw.Render(&table)
+		sw.RenderBars(&bars)
+		return table.String(), bars.String()
+	}
+	serialTable, serialBars := render(1)
+	parTable, parBars := render(8)
+	if serialTable != parTable {
+		t.Errorf("table output differs:\n--- serial ---\n%s--- parallel ---\n%s", serialTable, parTable)
+	}
+	if serialBars != parBars {
+		t.Errorf("bar output differs:\n--- serial ---\n%s--- parallel ---\n%s", serialBars, parBars)
+	}
+	if !strings.Contains(serialTable, "gapx") || !strings.Contains(serialTable, "MEAN") {
+		t.Errorf("render shape unexpected:\n%s", serialTable)
+	}
+}
 
 func TestTable1Shape(t *testing.T) {
 	rows, err := Table1(sim.DefaultConfig())
@@ -113,6 +151,9 @@ func TestQuickSweepShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long")
 	}
+	if raceEnabled {
+		t.Skip("simulation-heavy; race coverage comes from TestSweepParallelOutputByteIdentical and TestTable2MatchesPaper")
+	}
 	p := QuickParams()
 	sw, err := RunSweep("quick", p, PerfSchemes, nil)
 	if err != nil {
@@ -157,6 +198,9 @@ func TestQuickSweepShape(t *testing.T) {
 func TestAblationsQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long")
+	}
+	if raceEnabled {
+		t.Skip("simulation-heavy; race coverage comes from TestSweepParallelOutputByteIdentical and TestTable2MatchesPaper")
 	}
 	p := QuickParams()
 	// Use an even smaller subset: ablations multiply run counts.
@@ -219,6 +263,9 @@ func TestRenderBars(t *testing.T) {
 func TestFigureDriversQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long")
+	}
+	if raceEnabled {
+		t.Skip("simulation-heavy; race coverage comes from TestSweepParallelOutputByteIdentical and TestTable2MatchesPaper")
 	}
 	p := Params{Warmup: 5_000, Measure: 15_000}
 	for _, n := range []string{"swimx", "gccx"} {

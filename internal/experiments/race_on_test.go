@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled trims the simulation-heavy tests under the race detector,
+// whose instrumentation multiplies simulator cost roughly 8x. The package's
+// concurrency surface stays covered in race mode by
+// TestSweepParallelOutputByteIdentical (worker-pool sweep, serial vs 8
+// workers) and TestTable2MatchesPaper (per-scheme goroutine fan-out).
+const raceEnabled = true

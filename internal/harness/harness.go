@@ -7,7 +7,6 @@ package harness
 import (
 	"fmt"
 
-	"authpoint/internal/asm"
 	"authpoint/internal/sim"
 	"authpoint/internal/workload"
 )
@@ -49,7 +48,7 @@ func Measure(spec Spec) (Measurement, error) {
 	if spec.MeasureInsts == 0 {
 		spec.MeasureInsts = DefaultMeasure
 	}
-	p, err := asm.Assemble(spec.Workload.Source)
+	p, err := assembleCached(spec.Workload.Source)
 	if err != nil {
 		return Measurement{}, fmt.Errorf("harness: %s: %w", spec.Workload.Name, err)
 	}
@@ -93,21 +92,13 @@ func Measure(spec Spec) (Measurement, error) {
 
 // NormalizedIPC runs a workload under scheme and under the baseline with the
 // same machine configuration, returning IPC(scheme)/IPC(baseline) — the
-// paper's normalized-IPC metric (Figure 7 and friends).
+// paper's normalized-IPC metric (Figure 7 and friends). The baseline leg is
+// memoized on DefaultRunner, so calling this for k schemes performs k+1
+// simulations, not 2k.
 func NormalizedIPC(w workload.Workload, cfg sim.Config, scheme sim.Scheme, warmup, measure uint64) (float64, error) {
-	base := cfg
-	base.Scheme = sim.SchemeBaseline
-	mb, err := Measure(Spec{Workload: w, Config: base, WarmupInsts: warmup, MeasureInsts: measure})
-	if err != nil {
-		return 0, err
-	}
-	cfg.Scheme = scheme
-	ms, err := Measure(Spec{Workload: w, Config: cfg, WarmupInsts: warmup, MeasureInsts: measure})
-	if err != nil {
-		return 0, err
-	}
-	if mb.IPC == 0 {
-		return 0, fmt.Errorf("harness: %s baseline IPC is zero", w.Name)
-	}
-	return ms.IPC / mb.IPC, nil
+	return DefaultRunner.NormalizedIPC(w, cfg, scheme, warmup, measure)
+}
+
+func baselineZeroErr(name string) error {
+	return fmt.Errorf("harness: %s baseline IPC is zero", name)
 }

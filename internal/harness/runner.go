@@ -1,0 +1,275 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"authpoint/internal/asm"
+	"authpoint/internal/sim"
+	"authpoint/internal/workload"
+)
+
+// Outcome is one cell's result from RunAll.
+type Outcome struct {
+	Spec        Spec
+	Measurement Measurement
+	Err         error
+	// Wall is the host wall-clock time spent producing this cell. A
+	// memoized baseline hit reports only the lookup time.
+	Wall time.Duration
+	// Index is the cell's position in the RunAll input slice.
+	Index int
+	// Cached reports that the cell was satisfied from the baseline memo
+	// without running a new simulation.
+	Cached bool
+}
+
+// Progress is delivered to a Runner's OnProgress callback after each cell
+// finishes. Callbacks are invoked serially (never concurrently), in
+// completion order — which under parallelism is not input order; use
+// Outcome.Index to correlate.
+type Progress struct {
+	Done    int // cells finished so far, including this one
+	Total   int
+	Outcome Outcome
+}
+
+// Runner executes sweep cells on a worker pool. Each cell builds its own
+// sim.Machine, so cells are independent; the only state shared between
+// workers is the read-only assembled program image (see TestProgramImmutable
+// in internal/sim, which pins that NewMachine/Run never mutate it) and the
+// Runner's baseline memo.
+//
+// The zero value is a ready-to-use runner at Parallelism = runtime.NumCPU().
+type Runner struct {
+	// Parallelism is the worker count; 0 or negative means
+	// runtime.NumCPU().
+	Parallelism int
+	// OnProgress, if set, observes each finished cell. Calls are serial,
+	// with Done counts delivered in order. The callback runs under the
+	// runner's internal lock: keep it quick and never re-enter the Runner
+	// from inside it.
+	OnProgress func(Progress)
+
+	// baselines memoizes decrypt-only baseline measurements keyed on
+	// (workload, config with Scheme forced to baseline, windows), so a
+	// k-scheme normalized sweep costs k+1 simulations per workload instead
+	// of 2k, and identical configs across experiments share baselines.
+	baselines sync.Map // baseKey -> *memoEntry
+
+	baselineSims atomic.Int64
+}
+
+// DefaultRunner is the process-wide runner used by the package-level
+// helpers; its baseline memo spans every experiment in the process.
+var DefaultRunner = &Runner{}
+
+// errNotRun marks cells that were never dispatched; replaced by the context
+// error before RunAll returns, so it never escapes.
+var errNotRun = errors.New("harness: cell not run")
+
+type baseKey struct {
+	w               workload.Workload
+	cfg             sim.Config
+	warmup, measure uint64
+}
+
+type memoEntry struct {
+	once sync.Once
+	m    Measurement
+	err  error
+}
+
+// workers returns the effective pool size.
+func (r *Runner) workers() int {
+	if r.Parallelism > 0 {
+		return r.Parallelism
+	}
+	return runtime.NumCPU()
+}
+
+// BaselineSims returns how many baseline simulations this runner has
+// actually executed (memo hits excluded) — the observable for the k+1
+// measurement guarantee.
+func (r *Runner) BaselineSims() int64 { return r.baselineSims.Load() }
+
+// RunAll runs every spec and returns the outcomes in input order, regardless
+// of completion order. On the first cell error the context is cancelled:
+// cells not yet started are skipped (their Outcome.Err is the context
+// error); cells already running finish normally. The returned error is the
+// error of the lowest-index failing cell, which is deterministic because
+// cells are dispatched in input order. An external ctx cancellation stops
+// dispatch the same way.
+func (r *Runner) RunAll(ctx context.Context, specs []Spec) ([]Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make([]Outcome, len(specs))
+	for i := range out {
+		out[i] = Outcome{Spec: specs[i], Err: errNotRun, Index: i}
+	}
+	n := r.workers()
+	if n > len(specs) {
+		n = len(specs)
+	}
+	if n < 1 {
+		n = 1
+	}
+
+	var (
+		mu          sync.Mutex
+		done        int
+		firstErr    error
+		firstErrIdx = -1
+	)
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range idxCh {
+				o := r.runOne(ctx, specs[idx])
+				o.Index = idx
+				mu.Lock()
+				out[idx] = o
+				done++
+				// Cancellation errors on skipped cells are fallout, not the
+				// failure itself; only genuine cell errors win fail-fast.
+				if o.Err != nil && !errors.Is(o.Err, context.Canceled) &&
+					(firstErrIdx < 0 || idx < firstErrIdx) {
+					firstErr, firstErrIdx = o.Err, idx
+					cancel()
+				}
+				// Invoked under the runner lock so callbacks are serial and
+				// see done counts in order; callbacks must not re-enter the
+				// Runner.
+				if r.OnProgress != nil {
+					r.OnProgress(Progress{Done: done, Total: len(specs), Outcome: o})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for idx := range specs {
+		select {
+		case idxCh <- idx:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+
+	// Cells never dispatched (fail-fast or external cancel) carry the
+	// context error so callers can tell them from successes.
+	for i := range out {
+		if out[i].Err == errNotRun {
+			out[i].Err = ctx.Err()
+		}
+	}
+	if firstErr != nil {
+		return out, firstErr
+	}
+	return out, ctx.Err()
+}
+
+// runOne executes one cell, routing decrypt-only baseline cells through the
+// memo.
+func (r *Runner) runOne(ctx context.Context, s Spec) Outcome {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return Outcome{Spec: s, Err: err}
+	}
+	o := Outcome{Spec: s}
+	if s.Config.Scheme == sim.SchemeBaseline {
+		o.Measurement, o.Cached, o.Err = r.baseline(s)
+	} else {
+		o.Measurement, o.Err = Measure(s)
+	}
+	o.Wall = time.Since(start)
+	return o
+}
+
+// baseline returns the memoized decrypt-only measurement for the spec,
+// running it at most once per (workload, config, windows) key per Runner.
+// The reported cached flag is true when the measurement already existed.
+func (r *Runner) baseline(s Spec) (Measurement, bool, error) {
+	s.Config.Scheme = sim.SchemeBaseline
+	key := baseKey{w: s.Workload, cfg: s.Config, warmup: s.WarmupInsts, measure: s.MeasureInsts}
+	// Normalize defaulted windows so explicit-default and zero specs share
+	// an entry (Measure applies the same defaulting).
+	if key.warmup == 0 {
+		key.warmup = DefaultWarmup
+	}
+	if key.measure == 0 {
+		key.measure = DefaultMeasure
+	}
+	e, _ := r.baselines.LoadOrStore(key, &memoEntry{})
+	ent := e.(*memoEntry)
+	ran := false
+	ent.once.Do(func() {
+		ran = true
+		r.baselineSims.Add(1)
+		ent.m, ent.err = Measure(s)
+	})
+	return ent.m, !ran, ent.err
+}
+
+// Baseline exposes the memoized decrypt-only measurement for direct callers
+// (cmd/, tests) that previously paid a fresh baseline per scheme.
+func (r *Runner) Baseline(w workload.Workload, cfg sim.Config, warmup, measure uint64) (Measurement, error) {
+	m, _, err := r.baseline(Spec{Workload: w, Config: cfg, WarmupInsts: warmup, MeasureInsts: measure})
+	return m, err
+}
+
+// NormalizedIPC is the memoized version of the package-level helper: the
+// baseline leg comes from the memo, so sweeping k schemes over one workload
+// costs k+1 measurements, not 2k.
+func (r *Runner) NormalizedIPC(w workload.Workload, cfg sim.Config, scheme sim.Scheme, warmup, measure uint64) (float64, error) {
+	mb, err := r.Baseline(w, cfg, warmup, measure)
+	if err != nil {
+		return 0, err
+	}
+	cfg.Scheme = scheme
+	ms, err := Measure(Spec{Workload: w, Config: cfg, WarmupInsts: warmup, MeasureInsts: measure})
+	if err != nil {
+		return 0, err
+	}
+	if mb.IPC == 0 {
+		return 0, baselineZeroErr(w.Name)
+	}
+	return ms.IPC / mb.IPC, nil
+}
+
+// --- assembled-image cache -------------------------------------------------
+
+// imageEntry memoizes one source's assembly.
+type imageEntry struct {
+	once sync.Once
+	prog *asm.Program
+	err  error
+}
+
+// images caches assembled programs by source text, so each of the catalog's
+// sources is assembled once per process instead of once per sweep cell. The
+// cached *asm.Program is shared read-only across machines — safe because
+// sim.NewMachine copies the image into each machine's own memories (pinned
+// by TestProgramImmutable in internal/sim).
+var images sync.Map // string -> *imageEntry
+
+// assembleCached returns the shared assembled image for src.
+func assembleCached(src string) (*asm.Program, error) {
+	e, _ := images.LoadOrStore(src, &imageEntry{})
+	ent := e.(*imageEntry)
+	ent.once.Do(func() { ent.prog, ent.err = asm.Assemble(src) })
+	return ent.prog, ent.err
+}

@@ -52,14 +52,25 @@ func FP() []Workload {
 	}
 }
 
+// byName indexes the catalog once at init — ByName sits on sweep-setup hot
+// paths (every cell spec names its kernel) and the sources are pure
+// functions of constants, so building each lookup from scratch was pure
+// waste.
+var byName = func() map[string]Workload {
+	m := make(map[string]Workload, len(All()))
+	for _, w := range All() {
+		if _, dup := m[w.Name]; dup {
+			panic("workload: duplicate kernel name " + w.Name)
+		}
+		m[w.Name] = w
+	}
+	return m
+}()
+
 // ByName looks a kernel up.
 func ByName(name string) (Workload, bool) {
-	for _, w := range All() {
-		if w.Name == name {
-			return w, true
-		}
-	}
-	return Workload{}, false
+	w, ok := byName[name]
+	return w, ok
 }
 
 // Shared constants: the outer-loop count is effectively infinite relative to

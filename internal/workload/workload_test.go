@@ -40,6 +40,26 @@ func TestCatalogShape(t *testing.T) {
 	}
 }
 
+// TestAllNamesUnique pins the invariant the ByName index relies on: every
+// catalog entry has a distinct name, and the index agrees with a linear
+// scan of All() field for field.
+func TestAllNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range All() {
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+		got, ok := ByName(w.Name)
+		if !ok {
+			t.Fatalf("ByName(%q) missing", w.Name)
+		}
+		if got != w {
+			t.Errorf("ByName(%q) disagrees with All()", w.Name)
+		}
+	}
+}
+
 func TestAllWorkloadsAssemble(t *testing.T) {
 	for _, w := range All() {
 		if _, err := asm.Assemble(w.Source); err != nil {
