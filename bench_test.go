@@ -15,6 +15,7 @@ import (
 	"authpoint"
 	"authpoint/internal/experiments"
 	"authpoint/internal/harness"
+	"authpoint/internal/obs"
 	"authpoint/internal/sim"
 )
 
@@ -218,6 +219,56 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		cycles += res.Cycles
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// benchSim runs the BenchmarkSimulatorThroughput configuration with an
+// optional observability hub attached.
+func benchSim(b *testing.B, attach func(*sim.Machine)) {
+	b.Helper()
+	w, ok := authpoint.WorkloadByName("swimx")
+	if !ok {
+		b.Fatal("missing workload")
+	}
+	prog, err := authpoint.Assemble(w.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig()
+		cfg.Scheme = sim.SchemeThenCommit
+		cfg.MaxInsts = 50_000
+		m, err := sim.NewMachine(cfg, prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if attach != nil {
+			attach(m)
+		}
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BenchmarkSimTraceOff pins the cost of the observability instrumentation
+// with no sink attached — one nil check per event site. Its sim-cycles/s
+// must track BenchmarkSimulatorThroughput (the pre-instrumentation shape)
+// within noise; a regression here means the disabled-path guarantee broke.
+func BenchmarkSimTraceOff(b *testing.B) {
+	benchSim(b, nil)
+}
+
+// BenchmarkSimTraceOn measures the same run with the full hub attached
+// (ring tracer + metrics) — the price of turning observability on.
+func BenchmarkSimTraceOn(b *testing.B) {
+	benchSim(b, func(m *sim.Machine) {
+		m.SetObserver(obs.NewHub(obs.NewTracer(0), true))
+	})
 }
 
 // BenchmarkSweepParallelism runs the same quick sweep on a one-worker pool

@@ -10,6 +10,7 @@ import (
 
 	"authpoint/internal/experiments"
 	"authpoint/internal/harness"
+	"authpoint/internal/obs"
 )
 
 // benchCell is one sweep cell's cost in the -json record.
@@ -24,6 +25,9 @@ type benchCell struct {
 	HostNsPerSimCycle float64 `json:"host_ns_per_sim_cycle"`
 	// Cached marks baseline cells served from the memo without simulating.
 	Cached bool `json:"cached,omitempty"`
+	// Metrics is the cell's observability snapshot (present with -metrics;
+	// memoized baseline cells repeat the shared snapshot).
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // benchExperiment is one experiment's record.
@@ -94,6 +98,7 @@ func (b *benchRecorder) observe(p harness.Progress) {
 		SimCycles: o.Measurement.Result.Cycles,
 		WallNs:    o.Wall.Nanoseconds(),
 		Cached:    o.Cached,
+		Metrics:   o.Measurement.Metrics,
 	}
 	if cell.SimCycles > 0 {
 		cell.HostNsPerSimCycle = float64(cell.WallNs) / float64(cell.SimCycles)

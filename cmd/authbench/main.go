@@ -11,6 +11,8 @@
 //	authbench -experiment fig7a -parallel 8    # pin the worker pool
 //	authbench -experiment bench -json BENCH_sweep.json   # serial-vs-parallel record
 //	authbench -experiment fig8 -cpuprofile cpu.pprof     # profile the hot path
+//	authbench -experiment table2 -metrics                # per-scheme stall/gap summaries
+//	authbench -trace smoke.json -trace-scheme commit+fetch   # traced smoke run, then exit
 //
 // Experiments: table1 table2 table3 fig6 fig7a fig7b fig7c fig7d fig8 fig9
 // fig10 fig11 fig12 fig13 ablations bench all
@@ -27,6 +29,7 @@ import (
 
 	"authpoint/internal/experiments"
 	"authpoint/internal/harness"
+	"authpoint/internal/report"
 	"authpoint/internal/sim"
 	"authpoint/internal/workload"
 )
@@ -43,8 +46,20 @@ func main() {
 		jsonOut    = flag.String("json", "", "write a machine-readable bench record to this path")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this path")
+		metrics    = flag.Bool("metrics", false, "collect per-cell metrics; print a per-scheme stall/gap summary after each experiment (and embed snapshots in -json cells)")
+		traceOut   = flag.String("trace", "", "run one short traced sim, write Chrome/Perfetto trace-event JSON here, and exit (skips experiments)")
+		traceSch   = flag.String("trace-scheme", "commit+fetch", "scheme for the -trace run")
+		traceLoad  = flag.String("trace-workload", "mcfx", "workload for the -trace run")
+		traceInsts = flag.Uint64("trace-insts", 60_000, "instruction budget for the -trace run (after workload init)")
 	)
 	flag.Parse()
+
+	if *traceOut != "" {
+		if err := runTracedSmoke(*traceOut, *traceSch, *traceLoad, *traceInsts); err != nil {
+			fatalf("trace: %v", err)
+		}
+		return
+	}
 
 	p := experiments.DefaultParams()
 	if *quick {
@@ -83,9 +98,10 @@ func main() {
 	if *jsonOut != "" {
 		benchRec = newBenchRecorder(*parallel)
 	}
-	sweepRunner = &harness.Runner{Parallelism: *parallel}
-	if benchRec != nil {
-		sweepRunner.OnProgress = benchRec.observe
+	sweepRunner = &harness.Runner{Parallelism: *parallel, CollectMetrics: *metrics}
+	collectMetrics = *metrics
+	if benchRec != nil || collectMetrics {
+		sweepRunner.OnProgress = observeProgress
 	}
 	p.Runner = sweepRunner
 	parallelism = *parallel
@@ -126,9 +142,33 @@ var (
 	sweepRunner *harness.Runner
 	// benchRec is non-nil when -json is set.
 	benchRec *benchRecorder
+	// collectMetrics mirrors the -metrics flag.
+	collectMetrics bool
+	// metricsAgg is non-nil while a -metrics leaf experiment runs; run()
+	// swaps in a fresh aggregator per experiment and renders it after.
+	metricsAgg *report.Aggregator
 	// parallelism mirrors the -parallel flag for the bench experiment.
 	parallelism int
 )
+
+// observeProgress fans the shared Runner's progress stream out to the bench
+// recorder and the metrics aggregator (either may be nil). It reads the
+// globals at call time so run() can swap in a fresh aggregator per leaf
+// experiment. Memoized baseline cells share a single snapshot, so the
+// aggregator skips Cached outcomes to avoid counting it once per scheme row.
+func observeProgress(p harness.Progress) {
+	if benchRec != nil {
+		benchRec.observe(p)
+	}
+	o := p.Outcome
+	if metricsAgg != nil && o.Err == nil && !o.Cached {
+		// Bounds always match across cells (fixed bucket sets), so the only
+		// merge error is a programming bug; surface it loudly.
+		if err := metricsAgg.Add(o.Spec.Config.Scheme, o.Measurement.Metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "authbench: metrics: %v\n", err)
+		}
+	}
+}
 
 // renderBars switches sweep output to figure-style bar groups.
 var renderBars bool
@@ -147,7 +187,8 @@ func fatalf(format string, args ...any) {
 }
 
 // run dispatches one experiment name, recording a bench section around each
-// leaf experiment when -json is active.
+// leaf experiment when -json is active and a per-scheme metrics summary when
+// -metrics is active.
 func run(name string, p experiments.Params) error {
 	switch name {
 	case "all", "bench":
@@ -157,7 +198,18 @@ func run(name string, p experiments.Params) error {
 		benchRec.begin(name)
 		defer benchRec.end(sweepRunner)
 	}
-	return runLeaf(name, p)
+	if collectMetrics {
+		metricsAgg = report.NewAggregator()
+	}
+	if err := runLeaf(name, p); err != nil {
+		return err
+	}
+	if metricsAgg != nil {
+		fmt.Println()
+		report.WriteSchemeSummaries(os.Stdout, metricsAgg.Summaries())
+		metricsAgg = nil
+	}
+	return nil
 }
 
 func runLeaf(name string, p experiments.Params) error {

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"authpoint/internal/asm"
+	"authpoint/internal/obs"
+	"authpoint/internal/sim"
+	"authpoint/internal/workload"
+)
+
+// runTracedSmoke runs one short gated simulation with the full observability
+// hub attached and writes a Chrome/Perfetto trace-event JSON file. It is the
+// CI smoke path: generate a trace, re-read it, and fail unless it validates.
+func runTracedSmoke(path, schemeName, workloadName string, maxInsts uint64) error {
+	var scheme sim.Scheme
+	found := false
+	for _, s := range sim.Schemes {
+		if s.String() == schemeName {
+			scheme, found = s, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown scheme %q (schemes: %v)", schemeName, sim.Schemes)
+	}
+	w, ok := workload.ByName(workloadName)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", workloadName)
+	}
+	prog, err := asm.Assemble(w.Source)
+	if err != nil {
+		return err
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Scheme = scheme
+	cfg.MaxInsts = w.InitInsts + maxInsts
+	m, err := sim.NewMachine(cfg, prog)
+	if err != nil {
+		return err
+	}
+	tr := obs.NewTracer(0)
+	hub := obs.NewHub(tr, true)
+	m.SetObserver(hub)
+	res, err := m.Run()
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Re-read and validate what actually landed on disk, so the smoke run
+	// fails loudly if the export ever regresses.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.ValidateTraceJSON(data); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if d := tr.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "authbench: trace ring dropped %d oldest events\n", d)
+	}
+	fmt.Printf("traced smoke: %s on %s, %d cycles, %d insts (IPC %.4f)\n",
+		schemeName, workloadName, res.Cycles, res.Insts, res.IPC)
+	fmt.Printf("trace: %d events -> %s (validated; load in ui.perfetto.dev)\n",
+		tr.Total()-tr.Dropped(), path)
+	return nil
+}

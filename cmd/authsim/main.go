@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"authpoint/internal/asm"
+	"authpoint/internal/obs"
 	"authpoint/internal/report"
 	"authpoint/internal/secmem"
 	"authpoint/internal/sim"
@@ -35,8 +36,14 @@ func main() {
 		cbc      = flag.Bool("cbc", false, "CBC-mode encryption timing (Table 1 comparison)")
 		mshrs    = flag.Int("mshrs", 0, "bound outstanding misses (0 = unbounded)")
 		verbose  = flag.Bool("v", false, "print cache/DRAM/auth statistics")
+		trace    = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file (single scheme only)")
+		traceCap = flag.Int("trace-cap", 0, "trace ring capacity in events (0 = default)")
+		metrics  = flag.Bool("metrics", false, "print auth-latency/gap/occupancy histograms and event counters")
 	)
 	flag.Parse()
+	if *trace != "" && *scheme == "all" {
+		fatalf("-trace needs a single -scheme, not 'all'")
+	}
 
 	var src string
 	switch {
@@ -98,6 +105,15 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
+		var hub *obs.Hub
+		if *trace != "" || *metrics {
+			var tr *obs.Tracer
+			if *trace != "" {
+				tr = obs.NewTracer(*traceCap)
+			}
+			hub = obs.NewHub(tr, *metrics)
+			m.SetObserver(hub)
+		}
 		res, err := m.Run()
 		if err != nil {
 			fatalf("%v: %v", s, err)
@@ -105,6 +121,26 @@ func main() {
 		fmt.Printf("%-22s %10.4f %12d %8d %12v\n", s, res.IPC, res.Cycles, res.Insts, res.Reason)
 		if *verbose {
 			report.Write(os.Stdout, m, res)
+		}
+		if *metrics {
+			report.WriteMetrics(os.Stdout, hub.Snapshot())
+		}
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := hub.Tracer().WriteJSON(f); err != nil {
+				fatalf("trace: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("trace: %v", err)
+			}
+			if d := hub.Tracer().Dropped(); d > 0 {
+				fmt.Fprintf(os.Stderr, "authsim: trace ring dropped %d oldest events (raise -trace-cap)\n", d)
+			}
+			fmt.Printf("trace: %d events -> %s (load in ui.perfetto.dev)\n",
+				hub.Tracer().Total()-hub.Tracer().Dropped(), *trace)
 		}
 	}
 }

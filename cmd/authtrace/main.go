@@ -9,6 +9,7 @@
 //
 //	authtrace -file prog.s -scheme authen-then-commit -n 100
 //	authtrace -workload swimx -scheme authen-then-issue -gap
+//	authtrace -validate trace.json    # check a -trace export is well-formed
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"authpoint/internal/asm"
 	"authpoint/internal/isa"
+	"authpoint/internal/obs"
 	"authpoint/internal/sim"
 	"authpoint/internal/workload"
 )
@@ -32,8 +34,21 @@ func main() {
 		skip       = flag.Uint64("skip", 0, "skip this many commits before tracing")
 		gap        = flag.Bool("gap", false, "print commit-gap histogram instead of a trace")
 		maxInsts   = flag.Uint64("maxinsts", 500_000, "instruction budget")
+		validate   = flag.String("validate", "", "validate a trace-event JSON file (from authsim/authbench -trace) and exit")
 	)
 	flag.Parse()
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := obs.ValidateTraceJSON(data); err != nil {
+			fatalf("%s: %v", *validate, err)
+		}
+		fmt.Printf("%s: well-formed trace-event JSON\n", *validate)
+		return
+	}
 
 	var src string
 	switch {

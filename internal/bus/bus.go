@@ -7,7 +7,11 @@
 // it.
 package bus
 
-import "fmt"
+import (
+	"fmt"
+
+	"authpoint/internal/obs"
+)
 
 // Kind labels a bus transaction.
 type Kind int
@@ -60,7 +64,12 @@ type Bus struct {
 	trace    []Event
 	tracing  bool
 	busy     uint64 // total core cycles of occupancy (utilization stat)
+	sink     obs.Sink
 }
+
+// SetObserver attaches an event sink (independent of the adversary trace,
+// which SetTracing controls).
+func (b *Bus) SetObserver(s obs.Sink) { b.sink = s }
 
 // New validates cfg and builds the bus.
 func New(cfg Config) (*Bus, error) {
@@ -103,6 +112,10 @@ func (b *Bus) Transact(now uint64, kind Kind, addr uint64, nbytes int) (addrDone
 	b.nextFree = dataDone
 	if b.tracing {
 		b.trace = append(b.trace, Event{Cycle: addrDone, Addr: addr, Kind: kind, Bytes: nbytes})
+	}
+	if b.sink != nil {
+		b.sink.Emit(obs.Event{Cycle: start, Kind: obs.EvBusTxn, Track: obs.TrackBus,
+			Addr: addr, A: uint64(kind), B: dataDone})
 	}
 	return addrDone, dataDone
 }

@@ -6,7 +6,11 @@
 // the address-obfuscation re-map cache.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"authpoint/internal/obs"
+)
 
 // Line is the metadata of one cache line.
 type Line struct {
@@ -43,6 +47,19 @@ type Cache struct {
 	lines [][]Line // [set][way]
 	order [][]int  // LRU order: order[s][0] = MRU way
 	stats Stats
+
+	sink  obs.Sink
+	track obs.Track
+	clock func() uint64
+}
+
+// SetObserver attaches an event sink. Access has no cycle argument, so the
+// owner supplies a clock closure reading its current cycle; track names this
+// cache's trace lane.
+func (c *Cache) SetObserver(s obs.Sink, track obs.Track, clock func() uint64) {
+	c.sink = s
+	c.track = track
+	c.clock = clock
 }
 
 // New validates cfg and builds the cache.
@@ -117,10 +134,16 @@ func (c *Cache) Access(addr uint64, write bool) (*Line, bool) {
 				l.Dirty = true
 			}
 			c.stats.Hits++
+			if c.sink != nil {
+				c.sink.Emit(obs.Event{Cycle: c.clock(), Kind: obs.EvCacheHit, Track: c.track, Addr: addr})
+			}
 			return l, true
 		}
 	}
 	c.stats.Misses++
+	if c.sink != nil {
+		c.sink.Emit(obs.Event{Cycle: c.clock(), Kind: obs.EvCacheMiss, Track: c.track, Addr: addr})
+	}
 	return nil, false
 }
 

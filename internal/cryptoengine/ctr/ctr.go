@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"authpoint/internal/cryptoengine/aes"
+	"authpoint/internal/obs"
 )
 
 // Engine encrypts and decrypts fixed-size memory lines in counter mode.
@@ -29,6 +30,25 @@ type Engine struct {
 	cipher   *aes.Cipher
 	lineSize int
 	counters map[uint64]uint64 // line address -> write counter
+
+	sink  obs.Sink
+	clock func() uint64
+}
+
+// SetObserver attaches an event sink. The engine is functional (untimed), so
+// the owner supplies a clock closure reading the cycle its current timed
+// operation is charged to.
+func (e *Engine) SetObserver(s obs.Sink, clock func() uint64) {
+	e.sink = s
+	e.clock = clock
+}
+
+func (e *Engine) emit(addr uint64, decrypt uint64) {
+	if e.sink == nil {
+		return
+	}
+	e.sink.Emit(obs.Event{Cycle: e.clock(), Kind: obs.EvCryptOp, Track: obs.TrackCrypto,
+		Addr: addr, A: decrypt, B: uint64(e.PadChunks())})
 }
 
 // NewEngine creates a counter-mode engine. lineSize must be a positive
@@ -82,6 +102,7 @@ func (e *Engine) EncryptLine(addr uint64, plaintext []byte) ([]byte, error) {
 		return nil, fmt.Errorf("ctr: plaintext length %d != line size %d", len(plaintext), e.lineSize)
 	}
 	e.counters[addr]++
+	e.emit(addr, 0)
 	return xorBytes(e.Pad(addr, e.counters[addr]), plaintext), nil
 }
 
@@ -91,6 +112,7 @@ func (e *Engine) DecryptLine(addr uint64, ciphertext []byte) ([]byte, error) {
 	if len(ciphertext) != e.lineSize {
 		return nil, fmt.Errorf("ctr: ciphertext length %d != line size %d", len(ciphertext), e.lineSize)
 	}
+	e.emit(addr, 1)
 	return xorBytes(e.Pad(addr, e.counters[addr]), ciphertext), nil
 }
 

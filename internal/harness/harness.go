@@ -7,6 +7,7 @@ package harness
 import (
 	"fmt"
 
+	"authpoint/internal/obs"
 	"authpoint/internal/sim"
 	"authpoint/internal/workload"
 )
@@ -20,6 +21,10 @@ type Spec struct {
 	WarmupInsts uint64
 	// MeasureInsts is the measured window length.
 	MeasureInsts uint64
+	// Metrics attaches a metrics hub for the measured window, filling
+	// Measurement.Metrics with counters and the auth-latency / decrypt→auth
+	// gap / queue-occupancy histograms.
+	Metrics bool
 }
 
 // DefaultWarmup and DefaultMeasure size the windows so a full figure sweep
@@ -37,6 +42,9 @@ type Measurement struct {
 	Cycles uint64  // measured-window cycles
 	Insts  uint64  // measured-window instructions
 	Result sim.Result
+	// Metrics is the measured-window observability snapshot (nil unless
+	// Spec.Metrics was set).
+	Metrics *obs.Snapshot
 }
 
 // Measure runs one spec.
@@ -67,6 +75,16 @@ func Measure(spec Spec) (Measurement, error) {
 	}
 	warmCycles, warmInsts := res.Cycles, res.Insts
 
+	// The measured window starts with warm caches but cold counters, so
+	// reported miss ratios exclude cold-start fills; the metrics hub (when
+	// requested) attaches here for the same reason.
+	m.MS.ResetCacheStats()
+	var hub *obs.Hub
+	if spec.Metrics {
+		hub = obs.NewHub(nil, true)
+		m.SetObserver(hub)
+	}
+
 	m.Cfg.MaxInsts = spec.WarmupInsts + spec.MeasureInsts
 	res, err = m.Run()
 	if err != nil {
@@ -86,6 +104,9 @@ func Measure(spec Spec) (Measurement, error) {
 	}
 	if mc > 0 {
 		out.IPC = float64(mi) / float64(mc)
+	}
+	if hub != nil {
+		out.Metrics = hub.Snapshot()
 	}
 	return out, nil
 }

@@ -55,6 +55,12 @@ type Runner struct {
 	// from inside it.
 	OnProgress func(Progress)
 
+	// CollectMetrics forces Spec.Metrics on for every cell, so each
+	// Outcome's Measurement carries an obs.Snapshot. Memoized baseline
+	// cells share one snapshot; use Outcome.Cached to avoid aggregating it
+	// twice.
+	CollectMetrics bool
+
 	// baselines memoizes decrypt-only baseline measurements keyed on
 	// (workload, config with Scheme forced to baseline, windows), so a
 	// k-scheme normalized sweep costs k+1 simulations per workload instead
@@ -76,6 +82,7 @@ type baseKey struct {
 	w               workload.Workload
 	cfg             sim.Config
 	warmup, measure uint64
+	metrics         bool
 }
 
 type memoEntry struct {
@@ -189,6 +196,9 @@ func (r *Runner) runOne(ctx context.Context, s Spec) Outcome {
 	if err := ctx.Err(); err != nil {
 		return Outcome{Spec: s, Err: err}
 	}
+	if r.CollectMetrics {
+		s.Metrics = true
+	}
 	o := Outcome{Spec: s}
 	if s.Config.Scheme == sim.SchemeBaseline {
 		o.Measurement, o.Cached, o.Err = r.baseline(s)
@@ -204,7 +214,8 @@ func (r *Runner) runOne(ctx context.Context, s Spec) Outcome {
 // The reported cached flag is true when the measurement already existed.
 func (r *Runner) baseline(s Spec) (Measurement, bool, error) {
 	s.Config.Scheme = sim.SchemeBaseline
-	key := baseKey{w: s.Workload, cfg: s.Config, warmup: s.WarmupInsts, measure: s.MeasureInsts}
+	key := baseKey{w: s.Workload, cfg: s.Config, warmup: s.WarmupInsts, measure: s.MeasureInsts,
+		metrics: s.Metrics}
 	// Normalize defaulted windows so explicit-default and zero specs share
 	// an entry (Measure applies the same defaulting).
 	if key.warmup == 0 {

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestHistogramObserveMeanQuantile(t *testing.T) {
+	h := NewHistogram("t", []uint64{10, 20, 40})
+	for _, v := range []uint64{5, 10, 15, 35, 100} {
+		h.Observe(v)
+	}
+	if h.N != 5 || h.Sum != 165 || h.Max != 100 {
+		t.Fatalf("n=%d sum=%d max=%d", h.N, h.Sum, h.Max)
+	}
+	// Buckets: <=10: {5,10}=2, <=20: {15}=1, <=40: {35}=1, overflow: {100}=1.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if got := h.Mean(); got != 33 {
+		t.Fatalf("mean = %v", got)
+	}
+	s := HistSnapshot{Bounds: h.Bounds, Counts: h.Counts, Sum: h.Sum, Count: h.N, Max: h.Max}
+	if q := s.Quantile(0.5); q != 10 {
+		t.Fatalf("p50 = %d, want 10 (2/5 cumulative at first bound reaches ceil)", q)
+	}
+	if q := s.Quantile(1.0); q != 100 {
+		t.Fatalf("p100 = %d, want Max 100", q)
+	}
+}
+
+func TestRegistrySnapshotAndMerge(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Counter("a").Inc() // same counter
+	r.Histogram("h", []uint64{1, 2}).Observe(2)
+	s1 := r.Snapshot()
+	if s1.Counters["a"] != 4 {
+		t.Fatalf("counter a = %d", s1.Counters["a"])
+	}
+
+	r2 := NewRegistry()
+	r2.Counter("a").Add(6)
+	r2.Counter("b").Inc()
+	r2.Histogram("h", []uint64{1, 2}).Observe(5)
+	s2 := r2.Snapshot()
+
+	if err := s1.Merge(s2); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Counters["a"] != 10 || s1.Counters["b"] != 1 {
+		t.Fatalf("merged counters %v", s1.Counters)
+	}
+	h := s1.Histograms["h"]
+	if h.Count != 2 || h.Sum != 7 || h.Max != 5 {
+		t.Fatalf("merged hist %+v", h)
+	}
+	// Mismatched bounds must refuse.
+	bad := &Snapshot{Histograms: map[string]HistSnapshot{"h": {Bounds: []uint64{9}, Counts: []uint64{0, 0}}}}
+	if err := s1.Merge(bad); err == nil {
+		t.Fatal("merge with mismatched bounds succeeded")
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Cycle: uint64(i), Kind: EvCommit})
+	}
+	ev := tr.Events()
+	if len(ev) != 4 || tr.Total() != 10 || tr.Dropped() != 6 {
+		t.Fatalf("len=%d total=%d dropped=%d", len(ev), tr.Total(), tr.Dropped())
+	}
+	for i, e := range ev {
+		if e.Cycle != uint64(6+i) {
+			t.Fatalf("event %d cycle %d, want %d (oldest-first order)", i, e.Cycle, 6+i)
+		}
+	}
+}
+
+func TestTraceJSONExportAndValidate(t *testing.T) {
+	tr := NewTracer(0)
+	// Out-of-order emission (completion stamped ahead of time) must still
+	// export with monotonic timestamps.
+	tr.Emit(Event{Cycle: 50, Kind: EvAuthRequest, Addr: 0x1000, A: 1, B: 200})
+	tr.Emit(Event{Cycle: 200, Kind: EvAuthComplete, Addr: 0x1000, A: 50, B: 120})
+	tr.Emit(Event{Cycle: 10, Kind: EvFetch, Track: TrackCore, Addr: 0x400})
+	tr.Emit(Event{Cycle: 60, Kind: EvStallBegin, Track: TrackCore, A: uint64(StallCommitAuth)})
+	tr.Emit(Event{Cycle: 90, Kind: EvStallEnd, Track: TrackCore, A: uint64(StallCommitAuth)})
+	tr.Emit(Event{Cycle: 30, Kind: EvBusTxn, Track: TrackBus, Addr: 0x1000, A: 0, B: 45})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("exported trace does not validate: %v\n%s", err, buf.String())
+	}
+
+	// The decrypt→auth gap span must be derived from the complete event.
+	var f struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   uint64 `json:"ts"`
+			Dur  uint64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	foundGap := false
+	for _, e := range f.TraceEvents {
+		if e.Name == "gap" && e.Ph == "X" {
+			foundGap = true
+			if e.Ts != 120 || e.Dur != 80 {
+				t.Fatalf("gap span ts=%d dur=%d, want 120/80", e.Ts, e.Dur)
+			}
+		}
+	}
+	if !foundGap {
+		t.Fatal("no decrypt→auth gap span exported")
+	}
+}
+
+func TestValidateTraceJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "{",
+		"empty":         `{"traceEvents":[]}`,
+		"missing name":  `{"traceEvents":[{"ph":"i","ts":1}]}`,
+		"non-monotonic": `{"traceEvents":[{"name":"a","ph":"i","ts":5},{"name":"b","ph":"i","ts":4}]}`,
+	}
+	for name, data := range cases {
+		if err := ValidateTraceJSON([]byte(data)); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}
+
+func TestHubDerivesAuthMetrics(t *testing.T) {
+	h := NewHub(nil, true)
+	// Two requests: first completes at 100 (arrive 20, plain-ready 40),
+	// second overlaps it (arrive 30, done 180, plain-ready 170).
+	h.Emit(Event{Cycle: 20, Kind: EvAuthRequest, A: 1, B: 100})
+	h.Emit(Event{Cycle: 30, Kind: EvAuthRequest, A: 2, B: 180})
+	h.Emit(Event{Cycle: 100, Kind: EvAuthComplete, A: 20, B: 40})
+	h.Emit(Event{Cycle: 180, Kind: EvAuthComplete, A: 30, B: 170})
+	s := h.Snapshot()
+	if s.Counters["auth.requests"] != 2 || s.Counters["auth.completes"] != 2 {
+		t.Fatalf("counters %v", s.Counters)
+	}
+	lat := s.Histograms[MetricAuthLatency]
+	if lat.Count != 2 || lat.Sum != (100-20)+(180-30) {
+		t.Fatalf("latency hist %+v", lat)
+	}
+	gap := s.Histograms[MetricAuthGap]
+	if gap.Count != 2 || gap.Sum != (100-40)+(180-170) {
+		t.Fatalf("gap hist %+v", gap)
+	}
+	occ := s.Histograms[MetricAuthOccupancy]
+	// First enqueue sees depth 1, second (first still outstanding) depth 2.
+	if occ.Count != 2 || occ.Sum != 3 {
+		t.Fatalf("occupancy hist %+v", occ)
+	}
+}
+
+func TestHubStallAccounting(t *testing.T) {
+	h := NewHub(nil, true)
+	h.Emit(Event{Cycle: 10, Kind: EvStallBegin, A: uint64(StallCommitAuth)})
+	h.Emit(Event{Cycle: 35, Kind: EvStallEnd, A: uint64(StallCommitAuth)})
+	h.Emit(Event{Cycle: 40, Kind: EvStallBegin, A: uint64(StallSBFull)})
+	h.Emit(Event{Cycle: 50, Kind: EvCommit}) // advances lastCycle
+	s := h.Snapshot()
+	if got := s.Counters["stall.commit-auth.cycles"]; got != 25 {
+		t.Fatalf("commit-auth stall cycles = %d", got)
+	}
+	if got := s.Counters["stall.commit-auth.events"]; got != 1 {
+		t.Fatalf("commit-auth stall events = %d", got)
+	}
+	// The open sb-full stall is closed at the newest observed cycle.
+	if got := s.Counters["stall.sb-full.cycles"]; got != 10 {
+		t.Fatalf("open sb-full stall cycles = %d", got)
+	}
+	// Snapshot must not have mutated live state: a later end still works.
+	h.Emit(Event{Cycle: 60, Kind: EvStallEnd, A: uint64(StallSBFull)})
+	if got := h.Snapshot().Counters["stall.sb-full.cycles"]; got != 20 {
+		t.Fatalf("closed sb-full stall cycles = %d", got)
+	}
+}
+
+func TestHubTraceOnly(t *testing.T) {
+	h := NewHub(NewTracer(8), false)
+	h.Emit(Event{Cycle: 1, Kind: EvCommit})
+	if h.Snapshot() != nil {
+		t.Fatal("metrics-off hub returned a snapshot")
+	}
+	if len(h.Tracer().Events()) != 1 {
+		t.Fatal("tracer did not record")
+	}
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DefaultTraceCap is the default ring capacity: enough for a short gated run
+// without unbounded growth on long ones.
+const DefaultTraceCap = 1 << 17
+
+// Tracer is a bounded ring buffer of events. When full, the oldest events
+// are dropped (the tail of a run is usually what a timeline viewer needs);
+// Dropped reports how many fell off.
+type Tracer struct {
+	events []Event
+	cap    int
+	next   int    // ring write position
+	total  uint64 // events ever emitted
+}
+
+// NewTracer builds a tracer holding at most capacity events
+// (DefaultTraceCap when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{cap: capacity}
+}
+
+// Emit implements Sink.
+func (t *Tracer) Emit(e Event) {
+	t.total++
+	if len(t.events) < t.cap {
+		t.events = append(t.events, e)
+		t.next = len(t.events) % t.cap
+		return
+	}
+	t.events[t.next] = e
+	t.next = (t.next + 1) % t.cap
+}
+
+// Events returns the retained events in emission order.
+func (t *Tracer) Events() []Event {
+	if len(t.events) < t.cap {
+		return append([]Event(nil), t.events...)
+	}
+	out := make([]Event, 0, t.cap)
+	out = append(out, t.events[t.next:]...)
+	out = append(out, t.events[:t.next]...)
+	return out
+}
+
+// Total returns how many events were ever emitted.
+func (t *Tracer) Total() uint64 { return t.total }
+
+// Dropped returns how many events fell off the ring.
+func (t *Tracer) Dropped() uint64 { return t.total - uint64(len(t.events)) }
+
+// traceEvent is one Chrome trace-event JSON object. One simulated cycle is
+// exported as one microsecond, so at the paper's 1 GHz clock the viewer's
+// "us" axis reads directly as core cycles (and as nanoseconds of real time).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the exported JSON object format (Perfetto and chrome://tracing
+// load it directly).
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// busKindNames mirrors bus.Kind.String (obs cannot import bus: bus imports
+// obs).
+var busKindNames = [...]string{"read", "write", "read-meta", "write-meta"}
+
+// stallTidBase gives each stall reason its own lane so B/E pairs never
+// interleave across reasons.
+const stallTidBase = 100
+
+// export converts one simulator event into zero or more trace events.
+func export(e Event) []traceEvent {
+	tid := int(e.Track)
+	hexAddr := fmt.Sprintf("%#x", e.Addr)
+	switch e.Kind {
+	case EvFetch, EvDispatch, EvIssue, EvCommit:
+		return []traceEvent{{Name: e.Kind.String(), Ph: "i", Ts: e.Cycle, Tid: tid,
+			Args: map[string]any{"pc": hexAddr}}}
+	case EvSquash:
+		return []traceEvent{{Name: "squash", Ph: "i", Ts: e.Cycle, Tid: tid,
+			Args: map[string]any{"entries": e.A}}}
+	case EvStallBegin:
+		return []traceEvent{{Name: "stall:" + StallReason(e.A).String(), Ph: "B", Ts: e.Cycle,
+			Tid: stallTidBase + int(e.A)}}
+	case EvStallEnd:
+		return []traceEvent{{Name: "stall:" + StallReason(e.A).String(), Ph: "E", Ts: e.Cycle,
+			Tid: stallTidBase + int(e.A)}}
+	case EvAuthRequest:
+		// The verification span: enqueue → completion.
+		return []traceEvent{{Name: "auth-verify", Ph: "X", Ts: e.Cycle, Dur: e.B - e.Cycle,
+			Tid: int(TrackAuthQueue), Args: map[string]any{"idx": e.A, "line": hexAddr}}}
+	case EvAuthComplete:
+		out := []traceEvent{{Name: "auth-done", Ph: "i", Ts: e.Cycle, Tid: int(TrackAuthQueue),
+			Args: map[string]any{"line": hexAddr}}}
+		if e.Cycle > e.B {
+			// The realized decrypt→auth gap: plaintext usable but unverified.
+			out = append(out, traceEvent{Name: "gap", Ph: "X", Ts: e.B, Dur: e.Cycle - e.B,
+				Tid: int(TrackGap), Args: map[string]any{"line": hexAddr}})
+		}
+		return out
+	case EvAuthFail:
+		return []traceEvent{{Name: "auth-FAIL", Ph: "i", Ts: e.Cycle, Tid: int(TrackAuthQueue),
+			Args: map[string]any{"idx": e.A, "line": hexAddr}}}
+	case EvDecryptReady:
+		return []traceEvent{{Name: "decrypt-ready", Ph: "i", Ts: e.Cycle, Tid: int(TrackSecmem),
+			Args: map[string]any{"line": hexAddr}}}
+	case EvSecFetch:
+		return []traceEvent{{Name: "sec-fetch", Ph: "i", Ts: e.Cycle, Tid: int(TrackSecmem),
+			Args: map[string]any{"line": hexAddr}}}
+	case EvWriteBack:
+		return []traceEvent{{Name: "writeback", Ph: "i", Ts: e.Cycle, Tid: int(TrackSecmem),
+			Args: map[string]any{"line": hexAddr}}}
+	case EvFetchGateWait:
+		return []traceEvent{{Name: "fetch-gate-wait", Ph: "X", Ts: e.Cycle, Dur: e.A,
+			Tid: int(TrackSecmem), Args: map[string]any{"line": hexAddr}}}
+	case EvBusTxn:
+		name := "bus"
+		if e.A < uint64(len(busKindNames)) {
+			name = "bus-" + busKindNames[e.A]
+		}
+		return []traceEvent{{Name: name, Ph: "X", Ts: e.Cycle, Dur: e.B - e.Cycle,
+			Tid: int(TrackBus), Args: map[string]any{"addr": hexAddr}}}
+	case EvCacheHit, EvCacheMiss:
+		name := "hit"
+		if e.Kind == EvCacheMiss {
+			name = "miss"
+		}
+		return []traceEvent{{Name: name, Ph: "i", Ts: e.Cycle, Tid: tid,
+			Args: map[string]any{"addr": hexAddr}}}
+	case EvCryptOp:
+		name := "encrypt"
+		if e.A == 1 {
+			name = "decrypt"
+		}
+		return []traceEvent{{Name: name, Ph: "i", Ts: e.Cycle, Tid: int(TrackCrypto),
+			Args: map[string]any{"line": hexAddr}}}
+	}
+	return nil
+}
+
+// WriteJSON exports the retained events as Chrome trace-event JSON, sorted by
+// timestamp (events are emitted in simulation order, but completion cycles
+// are known — and stamped — ahead of time, so raw emission order is not
+// timestamp order). The output loads in Perfetto (ui.perfetto.dev) and
+// chrome://tracing.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	var out []traceEvent
+	// Name the component lanes first (metadata sorts to ts 0 anyway).
+	for tr := Track(0); tr < numTracks; tr++ {
+		out = append(out, traceEvent{Name: "thread_name", Ph: "M", Tid: int(tr),
+			Args: map[string]any{"name": tr.String()}})
+	}
+	for r := StallReason(0); r < NumStallReasons; r++ {
+		out = append(out, traceEvent{Name: "thread_name", Ph: "M", Tid: stallTidBase + int(r),
+			Args: map[string]any{"name": "stall:" + r.String()}})
+	}
+	for _, e := range t.Events() {
+		out = append(out, export(e)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
+
+// ValidateTraceJSON checks that data is well-formed trace-event JSON: it
+// decodes, carries at least one event, every event has a name and phase, and
+// timestamps are monotonically non-decreasing in file order. This is the
+// CI-enforced contract of the -trace flag.
+func ValidateTraceJSON(data []byte) error {
+	var f struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   *uint64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("obs: trace does not decode: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return fmt.Errorf("obs: trace has no events")
+	}
+	var last uint64
+	for i, e := range f.TraceEvents {
+		if e.Name == "" || e.Ph == "" {
+			return fmt.Errorf("obs: trace event %d missing name or phase", i)
+		}
+		ts := uint64(0)
+		if e.Ts != nil {
+			ts = *e.Ts
+		}
+		if ts < last {
+			return fmt.Errorf("obs: trace event %d timestamp %d < previous %d", i, ts, last)
+		}
+		last = ts
+	}
+	return nil
+}

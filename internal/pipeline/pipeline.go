@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"authpoint/internal/isa"
+	"authpoint/internal/obs"
 )
 
 // Config parameterizes the core.
@@ -223,7 +224,32 @@ type Core struct {
 	// lockstep differential tests.
 	CommitHook func(pc uint64, inst isa.Inst, result uint64)
 
+	sink        obs.Sink
+	stallActive [obs.NumStallReasons]bool
+
 	stats Stats
+}
+
+// SetObserver attaches an event sink. A nil sink (the default) keeps every
+// emission site on the untaken-branch fast path.
+func (c *Core) SetObserver(s obs.Sink) { c.sink = s }
+
+// stallBegin opens a stall interval for reason r (idempotent while open).
+func (c *Core) stallBegin(r obs.StallReason) {
+	if c.sink == nil || c.stallActive[r] {
+		return
+	}
+	c.stallActive[r] = true
+	c.sink.Emit(obs.Event{Cycle: c.now, Kind: obs.EvStallBegin, Track: obs.TrackCore, A: uint64(r)})
+}
+
+// stallEnd closes the stall interval for reason r if one is open.
+func (c *Core) stallEnd(r obs.StallReason) {
+	if c.sink == nil || !c.stallActive[r] {
+		return
+	}
+	c.stallActive[r] = false
+	c.sink.Emit(obs.Event{Cycle: c.now, Kind: obs.EvStallEnd, Track: obs.TrackCore, A: uint64(r)})
 }
 
 // New builds a core with architectural state zeroed and PC at entry.

@@ -24,6 +24,7 @@ type testMem struct {
 	faultLog  []uint64
 	sbCap     int
 	sbPending int
+	sbDrain   uint64 // cycles per store-buffer drain slot; 0 = instant
 }
 
 type storeRec struct {
@@ -96,12 +97,19 @@ func (m *testMem) CommitStore(now uint64, addr uint64, val uint64, size int, aut
 	if m.sbPending >= m.sbCap {
 		return false
 	}
+	if m.sbDrain > 0 {
+		m.sbPending++
+	}
 	m.write(addr, val, size)
 	m.stores = append(m.stores, storeRec{addr, val, size, authTag})
 	return true
 }
 
-func (m *testMem) Tick(now uint64)                   {}
+func (m *testMem) Tick(now uint64) {
+	if m.sbDrain > 0 && m.sbPending > 0 && now%m.sbDrain == 0 {
+		m.sbPending--
+	}
+}
 func (m *testMem) ValidAddr(addr uint64) bool        { return m.valid(addr) }
 func (m *testMem) LogFault(addr uint64)              { m.faultLog = append(m.faultLog, addr) }
 func (m *testMem) LastAuthRequest(now uint64) uint64 { return m.nextAuthIdx }

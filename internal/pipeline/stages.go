@@ -7,6 +7,7 @@ package pipeline
 
 import (
 	"authpoint/internal/isa"
+	"authpoint/internal/obs"
 )
 
 // ---------------------------------------------------------------- commit --
@@ -15,15 +16,21 @@ func (c *Core) commit() {
 	for n := 0; n < c.cfg.CommitWidth && c.count > 0; n++ {
 		e := &c.ruu[c.head]
 		if e.state != stDone {
+			// Head is blocked on execution, not authentication: any open
+			// auth/SB stall interval is over.
+			c.stallEnd(obs.StallCommitAuth)
+			c.stallEnd(obs.StallSBFull)
 			return
 		}
 		if c.cfg.GateCommit {
 			gate := max(e.instAuthDone, e.dataAuthDone)
 			if c.now < gate {
 				c.stats.CommitAuthStall++
+				c.stallBegin(obs.StallCommitAuth)
 				return
 			}
 		}
+		c.stallEnd(obs.StallCommitAuth)
 		if e.fault != FaultNone {
 			// Precise exception at commit: the faulting address becomes
 			// architecturally visible (logged/displayed by the OS).
@@ -44,9 +51,11 @@ func (c *Core) commit() {
 		if e.isStore {
 			if !c.mem.CommitStore(c.now, e.addr, e.srcVal[1], e.memSize, e.authTagIssue) {
 				c.stats.SBFullStall++
+				c.stallBegin(obs.StallSBFull)
 				return
 			}
 		}
+		c.stallEnd(obs.StallSBFull)
 		if e.hasDest {
 			if e.destFP {
 				c.fregs[e.destReg] = e.result
@@ -65,6 +74,9 @@ func (c *Core) commit() {
 		}
 		if c.CommitHook != nil {
 			c.CommitHook(e.pc, e.inst, e.result)
+		}
+		if c.sink != nil {
+			c.sink.Emit(obs.Event{Cycle: c.now, Kind: obs.EvCommit, Track: obs.TrackCore, Addr: e.pc})
 		}
 		e.valid = false
 		c.head = (c.head + 1) % c.cfg.RUUSize
@@ -114,7 +126,12 @@ func (c *Core) writeback() {
 	c.earliestDone = next
 	if redirect != nil {
 		c.stats.Mispredicts++
+		before := c.stats.Squashed
 		c.squashAfter(redirectIdx)
+		if c.sink != nil {
+			c.sink.Emit(obs.Event{Cycle: c.now, Kind: obs.EvSquash, Track: obs.TrackCore,
+				Addr: redirect.pc, A: c.stats.Squashed - before})
+		}
 		c.pc = redirect.actualNPC
 		c.fetchBlocked = c.now + 1
 		c.fetchFaulted = false
@@ -192,9 +209,11 @@ func (c *Core) squashAfter(idx int) {
 
 func (c *Core) issue() {
 	if c.waiting == 0 {
+		c.stallEnd(obs.StallIssueAuth)
 		return
 	}
 	issued := 0
+	authHeld := false
 	c.ruuOrder(func(idx int, e *entry) bool {
 		if issued >= c.cfg.IssueWidth {
 			return false
@@ -214,6 +233,7 @@ func (c *Core) issue() {
 		}
 		if c.cfg.GateIssue && c.now < e.instAuthDone {
 			c.stats.IssueAuthStall++
+			authHeld = true
 			return true
 		}
 		if e.isLoad {
@@ -229,6 +249,11 @@ func (c *Core) issue() {
 		c.stats.Issued++
 		return true
 	})
+	if authHeld {
+		c.stallBegin(obs.StallIssueAuth)
+	} else {
+		c.stallEnd(obs.StallIssueAuth)
+	}
 }
 
 func (c *Core) computeAddr(e *entry) {
@@ -340,6 +365,9 @@ func (c *Core) markIssued(e *entry) {
 	c.waiting--
 	c.inflight++
 	c.earliestDone = 0 // recomputed on the next writeback scan
+	if c.sink != nil {
+		c.sink.Emit(obs.Event{Cycle: c.now, Kind: obs.EvIssue, Track: obs.TrackCore, Addr: e.pc})
+	}
 }
 
 // execute computes results for non-load instructions at issue and schedules
@@ -451,11 +479,17 @@ func (c *Core) dispatch() {
 			c.inflight++
 			c.earliestDone = 0
 			c.stats.Dispatched++
+			if c.sink != nil {
+				c.sink.Emit(obs.Event{Cycle: c.now, Kind: obs.EvDispatch, Track: obs.TrackCore, Addr: e.pc})
+			}
 			continue
 		}
 		c.wireOperands(idx, e)
 		if isMem {
 			c.lsqCount++
+		}
+		if c.sink != nil {
+			c.sink.Emit(obs.Event{Cycle: c.now, Kind: obs.EvDispatch, Track: obs.TrackCore, Addr: e.pc})
 		}
 		if e.nsrc == 0 && !e.isLoad && e.inst.Op.Class() == isa.ClassNop {
 			e.state = stIssued
@@ -637,6 +671,9 @@ func (c *Core) fetch() {
 		fi.predNPC = npc
 		c.ifq = append(c.ifq, fi)
 		c.stats.Fetched++
+		if c.sink != nil {
+			c.sink.Emit(obs.Event{Cycle: c.now, Kind: obs.EvFetch, Track: obs.TrackCore, Addr: fi.pc})
+		}
 		c.pc = npc
 		if stop {
 			// Fetch now follows a (predicted) control transfer; requests

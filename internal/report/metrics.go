@@ -1,0 +1,107 @@
+// Metrics rendering: the human-readable face of an obs.Snapshot — per-run
+// counter/histogram dumps and the per-scheme stall/gap summary table the
+// sweep tools print.
+
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"authpoint/internal/obs"
+	"authpoint/internal/sim"
+)
+
+// WriteMetrics renders a metrics snapshot: histograms with distribution
+// summaries first, then every counter, lexically ordered.
+func WriteMetrics(w io.Writer, s *obs.Snapshot) {
+	if s == nil {
+		return
+	}
+	p := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
+	if len(s.Histograms) > 0 {
+		p("histograms:")
+		p("  %-24s %10s %10s %8s %8s %8s", "name", "count", "mean", "p50", "p90", "max")
+		for _, name := range s.SortedHistogramNames() {
+			h := s.Histograms[name]
+			p("  %-24s %10d %10.1f %8d %8d %8d",
+				name, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.9), h.Max)
+		}
+	}
+	if len(s.Counters) > 0 {
+		p("counters:")
+		for _, name := range s.SortedCounterNames() {
+			p("  %-32s %12d", name, s.Counters[name])
+		}
+	}
+}
+
+// SchemeSummary is the per-scheme aggregate of every measured cell's metrics
+// snapshot.
+type SchemeSummary struct {
+	Scheme sim.Scheme
+	Cells  int
+	Snap   *obs.Snapshot
+}
+
+// Aggregator folds per-cell snapshots into per-scheme summaries, preserving
+// first-seen scheme order.
+type Aggregator struct {
+	order []sim.Scheme
+	by    map[sim.Scheme]*SchemeSummary
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{by: map[sim.Scheme]*SchemeSummary{}}
+}
+
+// Add merges one cell's snapshot into its scheme's summary (nil snapshots are
+// counted but contribute nothing).
+func (a *Aggregator) Add(scheme sim.Scheme, snap *obs.Snapshot) error {
+	s, ok := a.by[scheme]
+	if !ok {
+		s = &SchemeSummary{Scheme: scheme, Snap: &obs.Snapshot{}}
+		a.by[scheme] = s
+		a.order = append(a.order, scheme)
+	}
+	s.Cells++
+	return s.Snap.Merge(snap)
+}
+
+// Summaries returns the per-scheme summaries in first-seen order.
+func (a *Aggregator) Summaries() []SchemeSummary {
+	out := make([]SchemeSummary, 0, len(a.order))
+	for _, sc := range a.order {
+		out = append(out, *a.by[sc])
+	}
+	return out
+}
+
+// WriteSchemeSummaries renders the per-scheme stall/gap summary table: the
+// auth-latency and decrypt→auth gap distributions plus the per-control-point
+// stall-cycle breakdown, one row per scheme.
+func WriteSchemeSummaries(w io.Writer, sums []SchemeSummary) {
+	if len(sums) == 0 {
+		return
+	}
+	p := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
+	p("per-scheme observability summary:")
+	p("  %-20s %5s | %21s | %21s | %30s", "", "", "auth latency (cyc)", "decrypt→auth gap", "stall cycles")
+	p("  %-20s %5s | %6s %6s %7s | %6s %6s %7s | %9s %9s %9s",
+		"scheme", "cells", "mean", "p90", "max", "mean", "p90", "max",
+		"commit", "issue", "sb-full")
+	p("  %s", strings.Repeat("-", 112))
+	for _, s := range sums {
+		lat := s.Snap.Histograms[obs.MetricAuthLatency]
+		gap := s.Snap.Histograms[obs.MetricAuthGap]
+		p("  %-20s %5d | %6.1f %6d %7d | %6.1f %6d %7d | %9d %9d %9d",
+			s.Scheme, s.Cells,
+			lat.Mean(), lat.Quantile(0.9), lat.Max,
+			gap.Mean(), gap.Quantile(0.9), gap.Max,
+			s.Snap.Counters["stall.commit-auth.cycles"],
+			s.Snap.Counters["stall.issue-auth.cycles"],
+			s.Snap.Counters["stall.sb-full.cycles"])
+	}
+}

@@ -78,6 +78,11 @@ func Write(w io.Writer, m *sim.Machine, res sim.Result) {
 	if s.AuthRequests > 0 {
 		p("  mean decrypt->verify gap: %.1f cycles", rate(s.AuthWaitCycles, s.AuthRequests))
 	}
+	if s.Fetches > 0 {
+		// Per-fetch rather than per-request: the realized gap cost spread
+		// over every external fetch, including unauthenticated ones.
+		p("  realized gap per fetch: %.1f cycles", rate(s.AuthWaitCycles, s.Fetches))
+	}
 	if m.Ctrl.Config().UseTree {
 		p("  tree: node fetches %d  node-cache hits %d", s.TreeNodeFetch, s.TreeCacheHits)
 	}

@@ -27,6 +27,7 @@ import (
 	"authpoint/internal/cryptoengine/mactree"
 	"authpoint/internal/dram"
 	"authpoint/internal/mem"
+	"authpoint/internal/obs"
 )
 
 // Mode selects the memory encryption mode.
@@ -216,7 +217,25 @@ type Controller struct {
 	// path recomputation; does not gate verifications).
 	updateFree uint64
 
+	sink   obs.Sink
+	obsNow uint64 // cycle of the timed operation in progress (internal clocks)
+
 	stats Stats
+}
+
+// SetObserver attaches an event sink, wiring the controller's internal
+// caches and crypto engine through it. Those components carry no cycle of
+// their own, so they read obsNow, which Fetch/WriteBack stamp on entry.
+func (c *Controller) SetObserver(s obs.Sink) {
+	c.sink = s
+	clock := func() uint64 { return c.obsNow }
+	if c.ctrCache != nil {
+		c.ctrCache.SetObserver(s, obs.TrackCtrCache, clock)
+	}
+	if c.treeCache != nil {
+		c.treeCache.SetObserver(s, obs.TrackTreeCache, clock)
+	}
+	c.enc.SetObserver(s, clock)
 }
 
 type addrRange struct{ start, end uint64 }
@@ -333,6 +352,9 @@ func (c *Controller) FinishProtection() error {
 			return err
 		}
 		c.treeCache = tc
+		if c.sink != nil {
+			tc.SetObserver(c.sink, obs.TrackTreeCache, func() uint64 { return c.obsNow })
+		}
 	}
 	zero := make([]byte, c.cfg.LineB)
 	for _, a := range c.leafAddrs {
@@ -509,7 +531,16 @@ func (c *Controller) Fetch(now uint64, lineAddr uint64, earliestBusStart uint64)
 		return FetchResult{}, fmt.Errorf("secmem: fetch of unprotected line %#x", lineAddr)
 	}
 	c.stats.Fetches++
+	c.obsNow = now
 	start := max(now, earliestBusStart)
+	if c.sink != nil {
+		c.sink.Emit(obs.Event{Cycle: start, Kind: obs.EvSecFetch, Track: obs.TrackSecmem, Addr: lineAddr})
+		if start > now {
+			// The fetch waited on an authen-then-fetch gate (or remap).
+			c.sink.Emit(obs.Event{Cycle: now, Kind: obs.EvFetchGateWait, Track: obs.TrackSecmem,
+				Addr: lineAddr, A: start - now})
+		}
+	}
 
 	// The line fetch goes onto the bus first — it is the critical transfer
 	// (and the address phase is the disclosure); the counter-block fetch,
@@ -574,6 +605,9 @@ func (c *Controller) Fetch(now uint64, lineAddr uint64, earliestBusStart uint64)
 		PlainReady:  plainReady,
 		AuthOK:      true,
 	}
+	if c.sink != nil {
+		c.sink.Emit(obs.Event{Cycle: plainReady, Kind: obs.EvDecryptReady, Track: obs.TrackSecmem, Addr: lineAddr})
+	}
 
 	if !c.cfg.Authenticate {
 		res.AuthDone = plainReady
@@ -628,6 +662,16 @@ func (c *Controller) Fetch(now uint64, lineAddr uint64, earliestBusStart uint64)
 	res.AuthDone = authDone
 	res.AuthOK = ok
 	c.stats.AuthWaitCycles += authDone - plainReady
+	if c.sink != nil {
+		c.sink.Emit(obs.Event{Cycle: arrive, Kind: obs.EvAuthRequest, Track: obs.TrackAuthQueue,
+			Addr: lineAddr, A: res.AuthIdx, B: authDone})
+		c.sink.Emit(obs.Event{Cycle: authDone, Kind: obs.EvAuthComplete, Track: obs.TrackAuthQueue,
+			Addr: lineAddr, A: arrive, B: plainReady})
+		if !ok {
+			c.sink.Emit(obs.Event{Cycle: authDone, Kind: obs.EvAuthFail, Track: obs.TrackAuthQueue,
+				Addr: lineAddr, A: res.AuthIdx})
+		}
+	}
 	if !ok {
 		c.stats.AuthFailures++
 		if c.fault == nil {
@@ -664,6 +708,10 @@ func (c *Controller) WriteBack(now uint64, lineAddr uint64, plaintext []byte) (u
 		return 0, fmt.Errorf("secmem: writeback of unprotected line %#x", lineAddr)
 	}
 	c.stats.Writebacks++
+	c.obsNow = now
+	if c.sink != nil {
+		c.sink.Emit(obs.Event{Cycle: now, Kind: obs.EvWriteBack, Track: obs.TrackSecmem, Addr: lineAddr})
+	}
 	if err := c.storeLine(lineAddr, plaintext); err != nil {
 		return 0, err
 	}

@@ -8,6 +8,7 @@ import (
 	"authpoint/internal/dram"
 	"authpoint/internal/isa"
 	"authpoint/internal/mem"
+	"authpoint/internal/obs"
 	"authpoint/internal/pipeline"
 	"authpoint/internal/secmem"
 )
@@ -307,6 +308,16 @@ func NewMachineWithRegions(cfg Config, p *asm.Program, extra []Region) (*Machine
 	core.SetReg(isa.RegSP, m.stackTop())
 	m.Core = core
 	return m, nil
+}
+
+// SetObserver attaches an event sink to every timed component of the
+// machine. Call after NewMachine (program-load crypto is untimed and
+// unobserved) and before Run. A nil sink detaches nothing — attach once.
+func (m *Machine) SetObserver(s obs.Sink) {
+	m.Core.SetObserver(s)
+	m.MS.SetObserver(s, m.Core.Now)
+	m.Ctrl.SetObserver(s)
+	m.Bus.SetObserver(s)
 }
 
 // Run executes until HALT, MaxInsts, a security exception, an architectural

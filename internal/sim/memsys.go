@@ -11,6 +11,7 @@ import (
 
 	"authpoint/internal/cache"
 	"authpoint/internal/mem"
+	"authpoint/internal/obs"
 	"authpoint/internal/pipeline"
 	"authpoint/internal/secmem"
 )
@@ -156,6 +157,22 @@ func NewMemSystem(cfg MemConfig, ctrl *secmem.Controller, shadow *mem.Memory, sp
 
 // Caches returns the cache models (stats inspection).
 func (ms *MemSystem) Caches() (l1i, l1d, l2 *cache.Cache) { return ms.l1i, ms.l1d, ms.l2 }
+
+// SetObserver attaches an event sink to the three caches; clock supplies the
+// core's current cycle (cache lookups carry no cycle of their own).
+func (ms *MemSystem) SetObserver(s obs.Sink, clock func() uint64) {
+	ms.l1i.SetObserver(s, obs.TrackL1I, clock)
+	ms.l1d.SetObserver(s, obs.TrackL1D, clock)
+	ms.l2.SetObserver(s, obs.TrackL2, clock)
+}
+
+// ResetCacheStats zeroes the hit/miss counters of all three caches (after
+// warmup, so measured miss ratios exclude cold-start fills).
+func (ms *MemSystem) ResetCacheStats() {
+	ms.l1i.ResetStats()
+	ms.l1d.ResetStats()
+	ms.l2.ResetStats()
+}
 
 // TLBs returns the TLB models.
 func (ms *MemSystem) TLBs() (itlb, dtlb *mem.TLB) { return ms.itlb, ms.dtlb }
