@@ -7,21 +7,28 @@
 // (truncated HMAC-SHA256 per line, optionally a CHTree-style MAC tree), with
 // a front-side bus whose address trace is the adversary-visible side channel.
 // The paper's design space — where completed integrity verification must
-// gate execution — is selected with a Scheme:
+// gate execution — is expressed as a ControlPoint: a composition of
+// orthogonal gate dimensions (issue, write, commit, fetch, obfuscation).
+// The canonical points are re-exported here:
 //
-//	SchemeBaseline              decryption only (normalization baseline)
-//	SchemeThenIssue             authen-then-issue
-//	SchemeThenWrite             authen-then-write
-//	SchemeThenCommit            authen-then-commit
-//	SchemeThenFetch             authen-then-fetch (LastRequest variant)
-//	SchemeCommitPlusFetch       then-commit + then-fetch
-//	SchemeCommitPlusObfuscation then-commit + HIDE-style address obfuscation
+//	PolicyBaseline              decryption only (normalization baseline)
+//	PolicyAuthOnly              authenticate, gate nothing
+//	PolicyThenIssue             authen-then-issue
+//	PolicyThenWrite             authen-then-write
+//	PolicyThenCommit            authen-then-commit
+//	PolicyThenFetch             authen-then-fetch (LastRequest variant)
+//	PolicyCommitPlusFetch       authen-then-commit+fetch
+//	PolicyCommitPlusObfuscation authen-then-commit+obfuscation
+//
+// Arbitrary lattice points compose with ComposePolicy or parse from their
+// canonical names ("authen-then-issue+obfuscation") with ParsePolicy. The
+// legacy Scheme enum remains as a deprecated shim over the same layer.
 //
 // Quick start:
 //
 //	prog, _ := authpoint.Assemble(src)       // assemble a program
 //	cfg := authpoint.DefaultConfig()          // Table 3 machine
-//	cfg.Scheme = authpoint.SchemeThenCommit
+//	cfg.Policy = authpoint.PolicyThenCommit
 //	m, _ := authpoint.NewMachine(cfg, prog)
 //	res, _ := m.Run()
 //	fmt.Println(res.IPC, res.Reason)
@@ -38,6 +45,7 @@ import (
 	"authpoint/internal/experiments"
 	"authpoint/internal/harness"
 	"authpoint/internal/interp"
+	"authpoint/internal/policy"
 	"authpoint/internal/sim"
 	"authpoint/internal/workload"
 )
@@ -45,9 +53,15 @@ import (
 // Core simulation types.
 type (
 	// Config is the full machine configuration (pipeline, caches, DRAM,
-	// bus, crypto engines, scheme).
+	// bus, crypto engines, control point).
 	Config = sim.Config
+	// ControlPoint is a composable authentication control point: the policy
+	// layer's value type (orthogonal gate dimensions, lattice-composable).
+	ControlPoint = policy.ControlPoint
 	// Scheme selects the authentication control point.
+	//
+	// Deprecated: Scheme is a closed enum kept for compatibility; new code
+	// should set Config.Policy to a ControlPoint.
 	Scheme = sim.Scheme
 	// Machine is an assembled secure-processor system.
 	Machine = sim.Machine
@@ -81,8 +95,46 @@ const (
 	StopWatchdog      = sim.StopWatchdog
 )
 
+// Canonical control points (Section 4.2/4.3 of the paper, policy layer).
+var (
+	PolicyBaseline              = policy.Baseline
+	PolicyAuthOnly              = policy.AuthOnly
+	PolicyThenIssue             = policy.ThenIssue
+	PolicyThenWrite             = policy.ThenWrite
+	PolicyThenCommit            = policy.ThenCommit
+	PolicyThenFetch             = policy.ThenFetch
+	PolicyCommitPlusFetch       = policy.CommitPlusFetch
+	PolicyCommitPlusObfuscation = policy.CommitPlusObfuscation
+)
+
+// ParsePolicy resolves a canonical or composed control-point name
+// ("authen-then-commit", "authen-then-issue+obfuscation", legacy aliases like
+// "commit+fetch") to its lattice point.
+func ParsePolicy(name string) (ControlPoint, error) { return policy.Parse(name) }
+
+// ComposePolicy joins two lattice points: the result gates at the union of
+// both compositions' dimensions.
+func ComposePolicy(a, b ControlPoint) ControlPoint { return policy.Compose(a, b) }
+
+// Policies lists every registered canonical control point in registration
+// order.
+func Policies() []ControlPoint {
+	var out []ControlPoint
+	for _, e := range policy.Registered() {
+		out = append(out, e.Point)
+	}
+	return out
+}
+
 // Schemes lists every scheme in presentation order.
+//
+// Deprecated: use Policies.
 var Schemes = sim.Schemes
+
+// ParseScheme resolves a name to the legacy Scheme enum.
+//
+// Deprecated: use ParsePolicy, which also accepts composed lattice points.
+func ParseScheme(name string) (Scheme, error) { return sim.ParseScheme(name) }
 
 // DefaultConfig returns the paper's Table 3 machine (256KB L2, 128-entry
 // RUU, 80ns decrypt, 74ns MAC), baseline scheme.
@@ -130,23 +182,23 @@ type (
 )
 
 // PointerConversion runs the linked-list pointer-conversion exploit (§3.2.1).
-func PointerConversion(s Scheme) (AttackOutcome, error) { return attack.PointerConversion(s) }
+func PointerConversion(p ControlPoint) (AttackOutcome, error) { return attack.PointerConversion(p) }
 
 // BinarySearch runs the comparison-constant binary-search exploit (§3.2.2).
-func BinarySearch(s Scheme) (AttackOutcome, error) { return attack.BinarySearch(s) }
+func BinarySearch(p ControlPoint) (AttackOutcome, error) { return attack.BinarySearch(p) }
 
 // DisclosingKernel runs the code-injection shift-window exploit (§3.2.3+§3.3.1).
-func DisclosingKernel(s Scheme) (AttackOutcome, error) { return attack.DisclosingKernel(s) }
+func DisclosingKernel(p ControlPoint) (AttackOutcome, error) { return attack.DisclosingKernel(p) }
 
 // IOPortDisclosure runs the I/O-port disclosing kernel (§3.2.3).
-func IOPortDisclosure(s Scheme) (AttackOutcome, error) { return attack.IOPortDisclosure(s) }
+func IOPortDisclosure(p ControlPoint) (AttackOutcome, error) { return attack.IOPortDisclosure(p) }
 
 // MemoryTaint checks whether unverified data can contaminate external memory.
-func MemoryTaint(s Scheme) (AttackOutcome, error) { return attack.MemoryTaint(s) }
+func MemoryTaint(p ControlPoint) (AttackOutcome, error) { return attack.MemoryTaint(p) }
 
 // BruteForcePage runs random page-address tampering (§3.3.2).
-func BruteForcePage(s Scheme, trials int) (leaks, faults int, err error) {
-	return attack.BruteForcePage(s, trials)
+func BruteForcePage(p ControlPoint, trials int) (leaks, faults int, err error) {
+	return attack.BruteForcePage(p, trials)
 }
 
 // PassiveOutcome reports the no-tampering control-flow reconstruction attack.
@@ -155,7 +207,9 @@ type PassiveOutcome = attack.PassiveOutcome
 // PassiveControlFlow runs the §3.1 natural-execution side channel: the
 // victim is untampered; its secret-dependent control flow is reconstructed
 // from the fetch-address trace. Only address obfuscation closes this channel.
-func PassiveControlFlow(s Scheme) (PassiveOutcome, error) { return attack.PassiveControlFlow(s) }
+func PassiveControlFlow(p ControlPoint) (PassiveOutcome, error) {
+	return attack.PassiveControlFlow(p)
+}
 
 // Functional (untimed) execution.
 type (

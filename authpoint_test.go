@@ -70,14 +70,14 @@ func TestPublicAPIWorkloadCatalog(t *testing.T) {
 }
 
 func TestPublicAPIAttack(t *testing.T) {
-	out, err := authpoint.PointerConversion(authpoint.SchemeThenCommit)
+	out, err := authpoint.PointerConversion(authpoint.PolicyThenCommit)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !out.Leaked || !out.Detected {
 		t.Fatalf("outcome %v", out)
 	}
-	out, err = authpoint.PointerConversion(authpoint.SchemeThenIssue)
+	out, err = authpoint.PointerConversion(authpoint.PolicyThenIssue)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@ import (
 	"authpoint/internal/experiments"
 	"authpoint/internal/harness"
 	"authpoint/internal/obs"
+	"authpoint/internal/policy"
 	"authpoint/internal/sim"
 )
 
@@ -80,27 +81,27 @@ func BenchmarkFig6DependentFetch(b *testing.B) {
 
 func reportSweep(b *testing.B, sw *experiments.Sweep) {
 	b.Helper()
-	for _, s := range sw.Schemes {
+	for _, s := range sw.Policies {
 		b.ReportMetric(sw.MeanNormalized(s), "nIPC/"+short(s))
 	}
 }
 
-func short(s sim.Scheme) string {
-	switch s {
-	case sim.SchemeThenIssue:
+func short(p policy.ControlPoint) string {
+	switch p {
+	case policy.ThenIssue:
 		return "issue"
-	case sim.SchemeThenWrite:
+	case policy.ThenWrite:
 		return "write"
-	case sim.SchemeThenCommit:
+	case policy.ThenCommit:
 		return "commit"
-	case sim.SchemeThenFetch:
+	case policy.ThenFetch:
 		return "fetch"
-	case sim.SchemeCommitPlusFetch:
+	case policy.CommitPlusFetch:
 		return "c+f"
-	case sim.SchemeCommitPlusObfuscation:
+	case policy.CommitPlusObfuscation:
 		return "c+obf"
 	}
-	return s.String()
+	return p.String()
 }
 
 // BenchmarkFig7NormalizedIPC regenerates the Figure 7 family (normalized
@@ -114,7 +115,7 @@ func BenchmarkFig7NormalizedIPC(b *testing.B) {
 		b.Run(l2.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				p := quick()
-				sw, err := experiments.RunSweep("fig7", p, experiments.PerfSchemes,
+				sw, err := experiments.RunSweep("fig7", p, experiments.PerfPolicies,
 					func(c *sim.Config) { c.Mem.L2B = l2.size; c.Mem.L2Lat = l2.lat })
 				if err != nil {
 					b.Fatal(err)
@@ -130,7 +131,7 @@ func BenchmarkFig7NormalizedIPC(b *testing.B) {
 // BenchmarkFig8Speedups regenerates Figure 8: IPC speedups over
 // authen-then-issue at 256KB L2.
 func BenchmarkFig8Speedups(b *testing.B) {
-	schemes := []sim.Scheme{sim.SchemeThenIssue, sim.SchemeThenWrite, sim.SchemeThenCommit, sim.SchemeCommitPlusFetch}
+	schemes := []policy.ControlPoint{policy.ThenIssue, policy.ThenWrite, policy.ThenCommit, policy.CommitPlusFetch}
 	for i := 0; i < b.N; i++ {
 		sw, err := experiments.RunSweep("fig8", quick(), schemes, nil)
 		if err != nil {
@@ -284,7 +285,7 @@ func BenchmarkSweepParallelism(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				p := quick()
 				p.Runner = &harness.Runner{Parallelism: pool.workers}
-				sw, err := experiments.RunSweep("parallelism", p, experiments.PerfSchemes, nil)
+				sw, err := experiments.RunSweep("parallelism", p, experiments.PerfPolicies, nil)
 				if err != nil {
 					b.Fatal(err)
 				}

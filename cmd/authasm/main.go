@@ -16,13 +16,14 @@ import (
 
 	"authpoint/internal/asm"
 	"authpoint/internal/isa"
+	"authpoint/internal/policy"
 	"authpoint/internal/sim"
 )
 
 func main() {
 	var (
 		run        = flag.Bool("run", false, "execute after assembling")
-		schemeName = flag.String("scheme", "baseline", "scheme when running")
+		schemeName = flag.String("scheme", "baseline", "control-point name when running (any registered or composed policy)")
 		maxInsts   = flag.Uint64("maxinsts", 1_000_000, "instruction budget when running")
 	)
 	flag.Parse()
@@ -69,12 +70,12 @@ func main() {
 	}
 
 	if *run {
-		s, ok := schemeByName(*schemeName)
-		if !ok {
-			fatalf("unknown scheme %q", *schemeName)
+		pt, err := policy.Parse(*schemeName)
+		if err != nil {
+			fatalf("%v", err)
 		}
 		cfg := sim.DefaultConfig()
-		cfg.Scheme = s
+		cfg.Policy = pt
 		cfg.MaxInsts = *maxInsts
 		m, err := sim.NewMachine(cfg, p)
 		if err != nil {
@@ -106,15 +107,6 @@ func min(a, b int) int {
 		return a
 	}
 	return b
-}
-
-func schemeByName(name string) (sim.Scheme, bool) {
-	for _, s := range sim.Schemes {
-		if s.String() == name {
-			return s, true
-		}
-	}
-	return 0, false
 }
 
 func fatalf(format string, args ...any) {

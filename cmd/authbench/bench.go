@@ -15,7 +15,9 @@ import (
 
 // benchCell is one sweep cell's cost in the -json record.
 type benchCell struct {
-	Workload  string `json:"workload"`
+	Workload string `json:"workload"`
+	// Scheme is the cell's canonical control-point (policy) name; the JSON
+	// key stays "scheme" for record compatibility.
 	Scheme    string `json:"scheme"`
 	SimCycles uint64 `json:"sim_cycles"` // total simulated cycles (warmup + measure)
 	WallNs    int64  `json:"wall_ns"`
@@ -94,7 +96,7 @@ func (b *benchRecorder) observe(p harness.Progress) {
 	}
 	cell := benchCell{
 		Workload:  o.Spec.Workload.Name,
-		Scheme:    o.Spec.Config.Scheme.String(),
+		Scheme:    o.Spec.Config.ControlPoint().String(),
 		SimCycles: o.Measurement.Result.Cycles,
 		WallNs:    o.Wall.Nanoseconds(),
 		Cached:    o.Cached,
@@ -155,7 +157,7 @@ func runBenchExperiment(rec *benchRecorder, parallelism int) error {
 		start := time.Now()
 		// Both legs share one title: Render prints it, and the byte
 		// comparison below must see identical tables.
-		sw, err := experiments.RunSweep("bench sweep (quick subset)", pp, experiments.PerfSchemes, nil)
+		sw, err := experiments.RunSweep("bench sweep (quick subset)", pp, experiments.PerfPolicies, nil)
 		if err != nil {
 			return 0, "", err
 		}
@@ -181,13 +183,13 @@ func runBenchExperiment(rec *benchRecorder, parallelism int) error {
 	if parallelWall > 0 {
 		speedup = float64(serialWall) / float64(parallelWall)
 	}
-	cells := len(p.Workloads) * (len(experiments.PerfSchemes) + 1)
+	cells := len(p.Workloads) * (len(experiments.PerfPolicies) + 1)
 	fmt.Printf("\nsweep bench: %d cells, serial %v, parallel(%d workers) %v, speedup %.2fx, output identical: %v\n",
 		cells, serialWall.Round(time.Millisecond), parallelism, parallelWall.Round(time.Millisecond), speedup, identical)
 	if rec != nil {
 		rec.record.Sweep = &benchSweepComparison{
 			Workloads:       names,
-			Schemes:         len(experiments.PerfSchemes),
+			Schemes:         len(experiments.PerfPolicies),
 			Cells:           cells,
 			Parallelism:     parallelism,
 			SerialWallNs:    serialWall.Nanoseconds(),

@@ -11,11 +11,12 @@
 //	authbench -experiment fig7a -parallel 8    # pin the worker pool
 //	authbench -experiment bench -json BENCH_sweep.json   # serial-vs-parallel record
 //	authbench -experiment fig8 -cpuprofile cpu.pprof     # profile the hot path
-//	authbench -experiment table2 -metrics                # per-scheme stall/gap summaries
+//	authbench -experiment table2 -metrics                # per-policy stall/gap summaries
+//	authbench -experiment lattice                        # full composable-policy sweep -> BENCH_lattice.json
 //	authbench -trace smoke.json -trace-scheme commit+fetch   # traced smoke run, then exit
 //
 // Experiments: table1 table2 table3 fig6 fig7a fig7b fig7c fig7d fig8 fig9
-// fig10 fig11 fig12 fig13 ablations bench all
+// fig10 fig11 fig12 fig13 ablations lattice bench all
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 
 	"authpoint/internal/experiments"
 	"authpoint/internal/harness"
+	"authpoint/internal/policy"
 	"authpoint/internal/report"
 	"authpoint/internal/sim"
 	"authpoint/internal/workload"
@@ -48,7 +50,8 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this path")
 		metrics    = flag.Bool("metrics", false, "collect per-cell metrics; print a per-scheme stall/gap summary after each experiment (and embed snapshots in -json cells)")
 		traceOut   = flag.String("trace", "", "run one short traced sim, write Chrome/Perfetto trace-event JSON here, and exit (skips experiments)")
-		traceSch   = flag.String("trace-scheme", "commit+fetch", "scheme for the -trace run")
+		traceSch   = flag.String("trace-scheme", "commit+fetch", "control point for the -trace run (any policy name)")
+		latticeOut = flag.String("lattice-out", "BENCH_lattice.json", "output path for the lattice experiment record")
 		traceLoad  = flag.String("trace-workload", "mcfx", "workload for the -trace run")
 		traceInsts = flag.Uint64("trace-insts", 60_000, "instruction budget for the -trace run (after workload init)")
 	)
@@ -106,6 +109,7 @@ func main() {
 	p.Runner = sweepRunner
 	parallelism = *parallel
 
+	latticePath = *latticeOut
 	renderBars = *bars
 	start := time.Now()
 	for _, e := range strings.Split(*exp, ",") {
@@ -164,7 +168,7 @@ func observeProgress(p harness.Progress) {
 	if metricsAgg != nil && o.Err == nil && !o.Cached {
 		// Bounds always match across cells (fixed bucket sets), so the only
 		// merge error is a programming bug; surface it loudly.
-		if err := metricsAgg.Add(o.Spec.Config.Scheme, o.Measurement.Metrics); err != nil {
+		if err := metricsAgg.Add(o.Spec.Config.ControlPoint(), o.Measurement.Metrics); err != nil {
 			fmt.Fprintf(os.Stderr, "authbench: metrics: %v\n", err)
 		}
 	}
@@ -172,6 +176,9 @@ func observeProgress(p harness.Progress) {
 
 // renderBars switches sweep output to figure-style bar groups.
 var renderBars bool
+
+// latticePath is the -lattice-out flag.
+var latticePath string
 
 func renderSweep(w *os.File, sw *experiments.Sweep) {
 	if renderBars {
@@ -234,6 +241,10 @@ func runLeaf(name string, p experiments.Params) error {
 		section("Sweep bench: serial vs parallel wall time, byte-identical output")
 		return runBenchExperiment(benchRec, parallelism)
 
+	case "lattice":
+		section("Lattice: normalized IPC across the composable control-point space")
+		return runLatticeExperiment(w, p, latticePath)
+
 	case "table1":
 		section("Table 1")
 		rows, err := experiments.Table1(sim.DefaultConfig())
@@ -282,13 +293,13 @@ func runLeaf(name string, p experiments.Params) error {
 		// relaxed schemes over authen-then-issue.
 		section("Figure 8")
 		sw, err := experiments.RunSweep("fig8 base data (256KB L2)", p,
-			[]sim.Scheme{sim.SchemeThenIssue, sim.SchemeThenWrite, sim.SchemeThenCommit, sim.SchemeCommitPlusFetch}, nil)
+			[]policy.ControlPoint{policy.ThenIssue, policy.ThenWrite, policy.ThenCommit, policy.CommitPlusFetch}, nil)
 		if err != nil {
 			return err
 		}
 		experiments.RenderSpeedups(w, "Figure 8: IPC speedup over authen-then-issue, 256KB L2",
-			sw.Speedups([]sim.Scheme{sim.SchemeThenCommit, sim.SchemeThenWrite, sim.SchemeCommitPlusFetch}),
-			[]sim.Scheme{sim.SchemeThenCommit, sim.SchemeThenWrite, sim.SchemeCommitPlusFetch})
+			sw.Speedups([]policy.ControlPoint{policy.ThenCommit, policy.ThenWrite, policy.CommitPlusFetch}),
+			[]policy.ControlPoint{policy.ThenCommit, policy.ThenWrite, policy.CommitPlusFetch})
 
 	case "fig9":
 		section("Figure 9")
@@ -306,8 +317,8 @@ func runLeaf(name string, p experiments.Params) error {
 		}
 		renderSweep(w, sw)
 		experiments.RenderSpeedups(w, "Figure 11: speedup over authen-then-issue, 64-entry RUU",
-			sw.Speedups([]sim.Scheme{sim.SchemeThenCommit, sim.SchemeCommitPlusFetch}),
-			[]sim.Scheme{sim.SchemeThenCommit, sim.SchemeCommitPlusFetch})
+			sw.Speedups([]policy.ControlPoint{policy.ThenCommit, policy.CommitPlusFetch}),
+			[]policy.ControlPoint{policy.ThenCommit, policy.CommitPlusFetch})
 
 	case "fig12", "fig13":
 		section("Figures 12/13 (MAC-tree authentication)")
@@ -317,8 +328,8 @@ func runLeaf(name string, p experiments.Params) error {
 		}
 		renderSweep(w, sw)
 		experiments.RenderSpeedups(w, "Figure 13: speedup over authen-then-issue, MAC tree",
-			sw.Speedups([]sim.Scheme{sim.SchemeThenCommit, sim.SchemeCommitPlusFetch}),
-			[]sim.Scheme{sim.SchemeThenCommit, sim.SchemeCommitPlusFetch})
+			sw.Speedups([]policy.ControlPoint{policy.ThenCommit, policy.CommitPlusFetch}),
+			[]policy.ControlPoint{policy.ThenCommit, policy.CommitPlusFetch})
 
 	case "ablations":
 		section("Ablations (design-choice sensitivity, beyond the paper's figures)")
@@ -331,7 +342,7 @@ func runLeaf(name string, p experiments.Params) error {
 		}
 
 	default:
-		return fmt.Errorf("unknown experiment (want table1..3, fig6..fig13, ablations, bench, or all)")
+		return fmt.Errorf("unknown experiment (want table1..3, fig6..fig13, ablations, lattice, bench, or all)")
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"authpoint/internal/asm"
 	"authpoint/internal/obs"
+	"authpoint/internal/policy"
 	"authpoint/internal/sim"
 	"authpoint/internal/workload"
 )
@@ -14,15 +15,9 @@ import (
 // hub attached and writes a Chrome/Perfetto trace-event JSON file. It is the
 // CI smoke path: generate a trace, re-read it, and fail unless it validates.
 func runTracedSmoke(path, schemeName, workloadName string, maxInsts uint64) error {
-	var scheme sim.Scheme
-	found := false
-	for _, s := range sim.Schemes {
-		if s.String() == schemeName {
-			scheme, found = s, true
-		}
-	}
-	if !found {
-		return fmt.Errorf("unknown scheme %q (schemes: %v)", schemeName, sim.Schemes)
+	pt, err := policy.Parse(schemeName)
+	if err != nil {
+		return err
 	}
 	w, ok := workload.ByName(workloadName)
 	if !ok {
@@ -34,7 +29,7 @@ func runTracedSmoke(path, schemeName, workloadName string, maxInsts uint64) erro
 	}
 
 	cfg := sim.DefaultConfig()
-	cfg.Scheme = scheme
+	cfg.Policy = pt
 	cfg.MaxInsts = w.InitInsts + maxInsts
 	m, err := sim.NewMachine(cfg, prog)
 	if err != nil {

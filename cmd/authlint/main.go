@@ -25,6 +25,7 @@ import (
 	"authpoint/internal/analysis"
 	"authpoint/internal/asm"
 	"authpoint/internal/attack"
+	"authpoint/internal/policy"
 	"authpoint/internal/workload"
 )
 
@@ -52,6 +53,7 @@ func main() {
 		state      = flag.Bool("state", false, "also report stores of tainted values (state-taint)")
 		secrets    = flag.String("secrets", "", "comma-separated data symbols to treat as secret")
 		noAuto     = flag.Bool("no-auto-secret", false, "do not treat symbols named *secret* as secret storage")
+		polName    = flag.String("policy", "", "report findings under this control point's contract (any registered or composed policy name, e.g. authen-then-issue+obfuscation)")
 	)
 	flag.Parse()
 
@@ -59,6 +61,14 @@ func main() {
 		TrustLoads:   *trustLoads,
 		NoAutoSecret: *noAuto,
 		StateChecks:  *state,
+	}
+	var pol policy.ControlPoint
+	usePolicy := *polName != ""
+	if usePolicy {
+		var err error
+		if pol, err = policy.Parse(*polName); err != nil {
+			fatalf("%v", err)
+		}
 	}
 	if *secrets != "" {
 		for _, s := range strings.Split(*secrets, ",") {
@@ -107,7 +117,13 @@ func main() {
 	var results []result
 	dirty := false
 	for _, tg := range targets {
-		rep, err := analysis.Analyze(tg.prog, opts)
+		var rep *analysis.Report
+		var err error
+		if usePolicy {
+			rep, err = analysis.AnalyzeForPolicy(tg.prog, pol, opts)
+		} else {
+			rep, err = analysis.Analyze(tg.prog, opts)
+		}
 		if err != nil {
 			fatalf("%s: %v", tg.name, err)
 		}
@@ -124,6 +140,9 @@ func main() {
 			fatalf("%v", err)
 		}
 	} else {
+		if usePolicy {
+			fmt.Printf("contract: %s\n", pol)
+		}
 		for _, r := range results {
 			if r.Report.Clean() {
 				fmt.Printf("%s: clean (%d/%d blocks reachable)\n",

@@ -5,7 +5,8 @@
 //
 //	authsim -workload mcfx -scheme authen-then-commit -maxinsts 200000
 //	authsim -file prog.s -scheme authen-then-issue
-//	authsim -workload swimx -scheme all            # compare all schemes
+//	authsim -workload swimx -scheme all            # compare all registered policies
+//	authsim -workload mcfx -scheme authen-then-write+fetch   # any lattice point
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 
 	"authpoint/internal/asm"
 	"authpoint/internal/obs"
+	"authpoint/internal/policy"
 	"authpoint/internal/report"
 	"authpoint/internal/secmem"
 	"authpoint/internal/sim"
@@ -25,7 +27,7 @@ func main() {
 	var (
 		file     = flag.String("file", "", "assembly source file to run")
 		load     = flag.String("workload", "", "built-in workload name (e.g. mcfx)")
-		scheme   = flag.String("scheme", "baseline", "scheme name or 'all'")
+		scheme   = flag.String("scheme", "baseline", "control-point name (any registered or composed policy, e.g. authen-then-write+fetch) or 'all'")
 		maxInsts = flag.Uint64("maxinsts", 0, "stop after N committed instructions (0 = run to halt)")
 		l2KB     = flag.Int("l2kb", 256, "L2 size in KB")
 		ruu      = flag.Int("ruu", 128, "RUU entries")
@@ -71,21 +73,23 @@ func main() {
 		fatalf("assemble: %v", err)
 	}
 
-	schemes := []sim.Scheme{}
+	var policies []policy.ControlPoint
 	if *scheme == "all" {
-		schemes = sim.Schemes
-	} else {
-		s, ok := schemeByName(*scheme)
-		if !ok {
-			fatalf("unknown scheme %q (or 'all'); schemes: %v", *scheme, sim.Schemes)
+		for _, e := range policy.Registered() {
+			policies = append(policies, e.Point)
 		}
-		schemes = append(schemes, s)
+	} else {
+		pt, err := policy.Parse(*scheme)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		policies = append(policies, pt)
 	}
 
-	fmt.Printf("%-22s %10s %12s %8s %12s\n", "scheme", "IPC", "cycles", "insts", "stop")
-	for _, s := range schemes {
+	fmt.Printf("%-32s %10s %12s %8s %12s\n", "policy", "IPC", "cycles", "insts", "stop")
+	for _, s := range policies {
 		cfg := sim.DefaultConfig()
-		cfg.Scheme = s
+		cfg.Policy = s
 		cfg.MaxInsts = *maxInsts
 		cfg.Mem.L2B = *l2KB << 10
 		if *l2KB >= 1024 {
@@ -118,7 +122,7 @@ func main() {
 		if err != nil {
 			fatalf("%v: %v", s, err)
 		}
-		fmt.Printf("%-22s %10.4f %12d %8d %12v\n", s, res.IPC, res.Cycles, res.Insts, res.Reason)
+		fmt.Printf("%-32s %10.4f %12d %8d %12v\n", s, res.IPC, res.Cycles, res.Insts, res.Reason)
 		if *verbose {
 			report.Write(os.Stdout, m, res)
 		}
@@ -151,15 +155,6 @@ func names() []string {
 		out = append(out, w.Name)
 	}
 	return out
-}
-
-func schemeByName(name string) (sim.Scheme, bool) {
-	for _, s := range sim.Schemes {
-		if s.String() == name {
-			return s, true
-		}
-	}
-	return 0, false
 }
 
 func fatalf(format string, args ...any) {

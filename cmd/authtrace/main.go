@@ -21,6 +21,7 @@ import (
 	"authpoint/internal/asm"
 	"authpoint/internal/isa"
 	"authpoint/internal/obs"
+	"authpoint/internal/policy"
 	"authpoint/internal/sim"
 	"authpoint/internal/workload"
 )
@@ -29,7 +30,7 @@ func main() {
 	var (
 		file       = flag.String("file", "", "assembly source file")
 		load       = flag.String("workload", "", "built-in workload name")
-		schemeName = flag.String("scheme", "authen-then-commit", "scheme name")
+		schemeName = flag.String("scheme", "authen-then-commit", "control point (any policy name, e.g. authen-then-issue+obfuscation)")
 		n          = flag.Int("n", 200, "trace length (committed instructions)")
 		skip       = flag.Uint64("skip", 0, "skip this many commits before tracing")
 		gap        = flag.Bool("gap", false, "print commit-gap histogram instead of a trace")
@@ -72,19 +73,13 @@ func main() {
 		fatalf("assemble: %v", err)
 	}
 
-	scheme := sim.SchemeThenCommit
-	found := false
-	for _, s := range sim.Schemes {
-		if s.String() == *schemeName {
-			scheme, found = s, true
-		}
-	}
-	if !found {
-		fatalf("unknown scheme %q", *schemeName)
+	pt, err := policy.Parse(*schemeName)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	cfg := sim.DefaultConfig()
-	cfg.Scheme = scheme
+	cfg.Policy = pt
 	cfg.MaxInsts = *maxInsts
 	m, err := sim.NewMachine(cfg, prog)
 	if err != nil {

@@ -55,8 +55,8 @@ func ExampleMachine_tamperDetection() {
 // The pointer-conversion exploit (paper §3.2.1) succeeds against
 // authen-then-commit but not against authen-then-issue.
 func ExamplePointerConversion() {
-	weak, _ := authpoint.PointerConversion(authpoint.SchemeThenCommit)
-	strong, _ := authpoint.PointerConversion(authpoint.SchemeThenIssue)
+	weak, _ := authpoint.PointerConversion(authpoint.PolicyThenCommit)
+	strong, _ := authpoint.PointerConversion(authpoint.PolicyThenIssue)
 	fmt.Println("then-commit leaked:", weak.Leaked)
 	fmt.Println("then-issue  leaked:", strong.Leaked)
 	// Output:

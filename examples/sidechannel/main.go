@@ -18,18 +18,18 @@ import (
 )
 
 func main() {
-	schemes := []authpoint.Scheme{
-		authpoint.SchemeBaseline,
-		authpoint.SchemeThenWrite,
-		authpoint.SchemeThenCommit,
-		authpoint.SchemeThenIssue,
-		authpoint.SchemeCommitPlusFetch,
-		authpoint.SchemeCommitPlusObfuscation,
+	points := []authpoint.ControlPoint{
+		authpoint.PolicyBaseline,
+		authpoint.PolicyThenWrite,
+		authpoint.PolicyThenCommit,
+		authpoint.PolicyThenIssue,
+		authpoint.PolicyCommitPlusFetch,
+		authpoint.PolicyCommitPlusObfuscation,
 	}
 
 	fmt.Println("Pointer conversion (linked-list attack): NULL terminator -> pointer at secret")
 	fmt.Println("The dereference's fetch address IS the secret, if it ever reaches the bus.")
-	for _, s := range schemes {
+	for _, s := range points {
 		out, err := authpoint.PointerConversion(s)
 		if err != nil {
 			log.Fatal(err)
@@ -40,7 +40,7 @@ func main() {
 	fmt.Println()
 	fmt.Println("Disclosing kernel (code injection + shift window): 6 bits per run through")
 	fmt.Println("the page-offset bits of a probe fetch; 11 runs reassemble a 64-bit secret.")
-	for _, s := range schemes {
+	for _, s := range points {
 		out, err := authpoint.DisclosingKernel(s)
 		if err != nil {
 			log.Fatal(err)
@@ -49,7 +49,7 @@ func main() {
 	}
 }
 
-func report(s authpoint.Scheme, out authpoint.AttackOutcome) {
+func report(s authpoint.ControlPoint, out authpoint.AttackOutcome) {
 	status := "secret safe"
 	if out.Leaked {
 		status = fmt.Sprintf("ADVERSARY RECOVERED %#x (%d bits in %d run(s))",
@@ -59,5 +59,5 @@ func report(s authpoint.Scheme, out authpoint.AttackOutcome) {
 	if out.Detected {
 		detection = "security exception raised"
 	}
-	fmt.Printf("  %-22s %-52s [%s]\n", s, status, detection)
+	fmt.Printf("  %-32s %-52s [%s]\n", s, status, detection)
 }

@@ -21,7 +21,7 @@ func main() {
 
 	// Baseline: decryption only.
 	base := authpoint.DefaultConfig()
-	base.Scheme = authpoint.SchemeBaseline
+	base.Policy = authpoint.PolicyBaseline
 	mb, err := authpoint.Measure(authpoint.Spec{
 		Workload: w, Config: base, WarmupInsts: 20_000, MeasureInsts: 80_000,
 	})
@@ -29,18 +29,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%-24s %10s %12s %14s\n", "scheme", "IPC", "vs baseline", "stops leaks?")
-	fmt.Printf("%-24s %10.4f %12s %14s\n", "baseline (no auth)", mb.IPC, "1.000", "no")
-	for _, s := range []authpoint.Scheme{
-		authpoint.SchemeThenWrite,
-		authpoint.SchemeThenCommit,
-		authpoint.SchemeThenFetch,
-		authpoint.SchemeCommitPlusFetch,
-		authpoint.SchemeThenIssue,
-		authpoint.SchemeCommitPlusObfuscation,
+	fmt.Printf("%-32s %10s %12s %14s\n", "policy", "IPC", "vs baseline", "stops leaks?")
+	fmt.Printf("%-32s %10.4f %12s %14s\n", "baseline (no auth)", mb.IPC, "1.000", "no")
+	for _, s := range []authpoint.ControlPoint{
+		authpoint.PolicyThenWrite,
+		authpoint.PolicyThenCommit,
+		authpoint.PolicyThenFetch,
+		authpoint.PolicyCommitPlusFetch,
+		authpoint.PolicyThenIssue,
+		authpoint.PolicyCommitPlusObfuscation,
 	} {
 		cfg := authpoint.DefaultConfig()
-		cfg.Scheme = s
+		cfg.Policy = s
 		m, err := authpoint.Measure(authpoint.Spec{
 			Workload: w, Config: cfg, WarmupInsts: 20_000, MeasureInsts: 80_000,
 		})
@@ -57,7 +57,7 @@ func main() {
 		if !pc.Leaked {
 			stops = "yes"
 		}
-		fmt.Printf("%-24s %10.4f %12.3f %14s\n", s, m.IPC, m.IPC/mb.IPC, stops)
+		fmt.Printf("%-32s %10.4f %12.3f %14s\n", s, m.IPC, m.IPC/mb.IPC, stops)
 	}
 
 	fmt.Println("\nThe paper's recommendation falls out of the table: authen-then-commit +")

@@ -89,6 +89,9 @@ func (f Finding) String() string {
 
 // Report is the result of analyzing one program.
 type Report struct {
+	// Policy is the canonical control-point name the contract was derived
+	// from (set by AnalyzeForPolicy; empty for a plain Analyze run).
+	Policy   string    `json:"policy,omitempty"`
 	Findings []Finding `json:"findings"`
 	// SecretRanges are the resolved secret intervals the run used.
 	SecretRanges []Range `json:"secretRanges,omitempty"`

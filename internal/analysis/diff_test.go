@@ -6,6 +6,7 @@ import (
 
 	"authpoint/internal/analysis"
 	"authpoint/internal/attack"
+	"authpoint/internal/policy"
 	"authpoint/internal/sim"
 )
 
@@ -22,7 +23,7 @@ import (
 func runBaseline(t *testing.T, k attack.Kernel) (*sim.Machine, sim.Result) {
 	t.Helper()
 	cfg := sim.DefaultConfig()
-	cfg.Scheme = sim.SchemeBaseline
+	cfg.Policy = policy.Baseline
 	cfg.TraceBus = true
 	cfg.WatchdogCycles = 200_000
 	var regions []sim.Region
@@ -209,7 +210,7 @@ func TestDiffPassiveControlFlow(t *testing.T) {
 // external memory on baseline; statically that is the state-taint channel,
 // visible only with StateChecks.
 func TestDiffMemoryTaint(t *testing.T) {
-	out, err := attack.MemoryTaint(sim.SchemeBaseline)
+	out, err := attack.MemoryTaint(policy.Baseline)
 	if err != nil {
 		t.Fatal(err)
 	}

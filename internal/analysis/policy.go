@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"authpoint/internal/asm"
+	"authpoint/internal/policy"
+)
+
+// OptionsForPolicy derives the leakage contract implied by an authentication
+// control point on top of a base configuration. Only two dimensions change
+// what the static contract can assume:
+//
+//   - GateIssue (authen-then-issue): loaded values are verified before any
+//     dependent instruction issues, so the Unverified bit never enters the
+//     dataflow (TrustLoads).
+//   - GateWrite (authen-then-write): unverified data cannot persist to
+//     external memory, so state-taint findings become meaningful to report
+//     (StateChecks) — under weaker gates every result store would fire.
+//
+// The commit/fetch gates bound *when* tampered execution stops, not what the
+// address stream reveals, so they leave the contract unchanged; obfuscation
+// closes observation channels after the fact and is handled by
+// AnalyzeForPolicy.
+func OptionsForPolicy(pt policy.ControlPoint, base Options) Options {
+	pt = pt.Normalize()
+	if pt.GateIssue {
+		base.TrustLoads = true
+	}
+	if pt.GateWrite {
+		base.StateChecks = true
+	}
+	return base
+}
+
+// AnalyzeForPolicy runs Analyze under the contract implied by a control
+// point and stamps the report with the policy's canonical name. Address
+// obfuscation remaps every line address leaving the chip, closing the
+// fetch-address observation channels: addr-leak and ctrl-leak findings are
+// dropped from the report (io-leak and state-taint survive — obfuscation
+// hides addresses, not I/O values or memory contents).
+func AnalyzeForPolicy(prog *asm.Program, pt policy.ControlPoint, base Options) (*Report, error) {
+	pt = pt.Normalize()
+	rep, err := Analyze(prog, OptionsForPolicy(pt, base))
+	if err != nil {
+		return nil, err
+	}
+	rep.Policy = pt.String()
+	if pt.Obfuscate {
+		kept := rep.Findings[:0]
+		for _, f := range rep.Findings {
+			if f.Kind != KindAddr && f.Kind != KindCtrl {
+				kept = append(kept, f)
+			}
+		}
+		rep.Findings = kept
+	}
+	return rep, nil
+}

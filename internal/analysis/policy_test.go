@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"testing"
+
+	"authpoint/internal/asm"
+	"authpoint/internal/policy"
+)
+
+// leakySrc dereferences a secret (addr-leak), branches on it (ctrl-leak),
+// and OUTs it (io-leak) — one finding per observable channel.
+const leakySrc = `
+_start:
+	la   r1, secret
+	ld   r2, 0(r1)
+	ld   r3, 0(r2)       ; addr-leak: secret-derived address
+	bne  r2, r0, skip    ; ctrl-leak: secret-steered branch
+	nop
+skip:
+	out  r2, 0x80        ; io-leak: secret to a port
+	halt
+.data
+secret: .word 4096
+`
+
+func mustProg(t *testing.T) *asm.Program {
+	t.Helper()
+	p, err := asm.Assemble(leakySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestOptionsForPolicy(t *testing.T) {
+	base := Options{}
+	if o := OptionsForPolicy(policy.ThenIssue, base); !o.TrustLoads {
+		t.Error("then-issue must imply TrustLoads")
+	}
+	if o := OptionsForPolicy(policy.ThenWrite, base); !o.StateChecks {
+		t.Error("then-write must imply StateChecks")
+	}
+	if o := OptionsForPolicy(policy.ThenCommit, base); o.TrustLoads || o.StateChecks {
+		t.Errorf("then-commit must leave the contract unchanged: %+v", o)
+	}
+	// A base TrustLoads survives weaker policies.
+	if o := OptionsForPolicy(policy.ThenCommit, Options{TrustLoads: true}); !o.TrustLoads {
+		t.Error("base TrustLoads dropped")
+	}
+}
+
+func TestAnalyzeForPolicy(t *testing.T) {
+	p := mustProg(t)
+
+	// Plain commit gate: same findings as the baseline contract, but the
+	// report carries the policy name.
+	rep, err := AnalyzeForPolicy(p, policy.ThenCommit, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Policy != "authen-then-commit" {
+		t.Errorf("policy stamp %q", rep.Policy)
+	}
+	c := rep.Counts()
+	if c[KindAddr] == 0 || c[KindCtrl] == 0 || c[KindIO] == 0 {
+		t.Fatalf("expected all three channels under then-commit: %v", c)
+	}
+
+	// Obfuscation closes the fetch-address channels; the I/O channel stays.
+	rep, err = AnalyzeForPolicy(p, policy.CommitPlusObfuscation, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = rep.Counts()
+	if c[KindAddr] != 0 || c[KindCtrl] != 0 {
+		t.Errorf("obfuscation should drop addr/ctrl findings: %v", c)
+	}
+	if c[KindIO] == 0 {
+		t.Error("obfuscation must not hide io-leak findings")
+	}
+
+	// A composed lattice point works the same way — the registry is not a
+	// closed list.
+	pt, err := policy.Parse("authen-then-issue+obfuscation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = AnalyzeForPolicy(p, pt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Policy != "authen-then-issue+obfuscation" {
+		t.Errorf("policy stamp %q", rep.Policy)
+	}
+	for _, f := range rep.Findings {
+		if f.Taint&TaintUnverified != 0 {
+			t.Errorf("then-issue contract leaked Unverified taint: %v", f)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 
 	"authpoint/internal/asm"
 	"authpoint/internal/isa"
+	"authpoint/internal/policy"
 	"authpoint/internal/sim"
 )
 
@@ -43,7 +44,7 @@ const ProbeSize = 1 << 20
 
 // Outcome reports one exploit attempt.
 type Outcome struct {
-	Scheme sim.Scheme
+	Policy policy.ControlPoint
 	// Leaked reports whether the secret (or part of it) reached the
 	// adversary through the targeted channel.
 	Leaked bool
@@ -59,25 +60,25 @@ type Outcome struct {
 
 func (o Outcome) String() string {
 	return fmt.Sprintf("%v: leaked=%v recovered=%#x/%dbits detected=%v runs=%d",
-		o.Scheme, o.Leaked, o.Recovered, o.RecoveredBits, o.Detected, o.Runs)
+		o.Policy, o.Leaked, o.Recovered, o.RecoveredBits, o.Detected, o.Runs)
 }
 
 // attackConfig builds the machine configuration used by all exploits.
-func attackConfig(scheme sim.Scheme) sim.Config {
+func attackConfig(pt policy.ControlPoint) sim.Config {
 	cfg := sim.DefaultConfig()
-	cfg.Scheme = scheme
+	cfg.Policy = pt
 	cfg.TraceBus = true
 	cfg.WatchdogCycles = 200_000
 	return cfg
 }
 
 // newVictim assembles src and builds a machine with the probe window mapped.
-func newVictim(scheme sim.Scheme, src string) (*sim.Machine, error) {
+func newVictim(pt policy.ControlPoint, src string) (*sim.Machine, error) {
 	p, err := asm.Assemble(src)
 	if err != nil {
 		return nil, err
 	}
-	return sim.NewMachineWithRegions(attackConfig(scheme), p, []sim.Region{{Start: ProbeBase, Size: ProbeSize}})
+	return sim.NewMachineWithRegions(attackConfig(pt), p, []sim.Region{{Start: ProbeBase, Size: ProbeSize}})
 }
 
 // probeLines extracts the probe-window line addresses the adversary saw on
@@ -91,9 +92,9 @@ func probeLines(m *sim.Machine, res sim.Result) []uint64 {
 // pointer) stored elsewhere in its data. The adversary converts the NULL
 // terminator into a pointer at the secret; the walk then dereferences the
 // secret, disclosing it as a fetch address (to line granularity).
-func PointerConversion(scheme sim.Scheme) (Outcome, error) {
+func PointerConversion(pt policy.ControlPoint) (Outcome, error) {
 	const secret = pointerConversionSecret // the value the adversary is after
-	m, err := newVictim(scheme, pointerConversionSrc())
+	m, err := newVictim(pt, pointerConversionSrc())
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -104,7 +105,7 @@ func PointerConversion(scheme sim.Scheme) (Outcome, error) {
 	secretAddr := m.Prog.Symbols["secret"]
 	xorU64(m, nullAddr, 0, secretAddr)
 	res, _ := m.Run()
-	out := Outcome{Scheme: scheme, Detected: res.Reason == sim.StopSecurityFault, Runs: 1}
+	out := Outcome{Policy: pt, Detected: res.Reason == sim.StopSecurityFault, Runs: 1}
 	wantLine := uint64(secret) &^ 63
 	for _, a := range probeLines(m, res) {
 		if a == wantLine {
@@ -130,7 +131,7 @@ func xorU64(m *sim.Machine, addr uint64, oldVal, newVal uint64) {
 // zero is frequently used for testing"). Each trial tampers the constant to
 // a chosen value and observes the branch direction through the
 // instruction-fetch side channel. 16 trials recover the secret exactly.
-func BinarySearch(scheme sim.Scheme) (Outcome, error) {
+func BinarySearch(pt policy.ControlPoint) (Outcome, error) {
 	const secret = binarySearchSecret
 	src := binarySearchSrc()
 	recovered := uint64(0)
@@ -138,7 +139,7 @@ func BinarySearch(scheme sim.Scheme) (Outcome, error) {
 	detectedAll := true
 	leakedAny := false
 	for bit := 15; bit >= 0; bit-- {
-		m, err := newVictim(scheme, src)
+		m, err := newVictim(pt, src)
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -164,7 +165,7 @@ func BinarySearch(scheme sim.Scheme) (Outcome, error) {
 			recovered |= 1 << uint(bit)
 		}
 	}
-	out := Outcome{Scheme: scheme, Runs: runs, Detected: detectedAll}
+	out := Outcome{Policy: pt, Runs: runs, Detected: detectedAll}
 	// The attack "leaks" when the observed control flow actually tracked
 	// the comparisons; if nothing ever leaked, recovered degenerates to all
 	// ones (every trial looked not-taken).
@@ -274,7 +275,7 @@ func injectKernel(m *sim.Machine, at int, kernel []uint32) error {
 // shift window. Each run injects a kernel that loads the secret, shifts it
 // by 6*k, and issues one probe load whose line address carries 6 bits of
 // the secret. Eleven runs reassemble all 64 bits.
-func DisclosingKernel(scheme sim.Scheme) (Outcome, error) {
+func DisclosingKernel(pt policy.ControlPoint) (Outcome, error) {
 	const windowBits = 6 // bus trace is line-granular: 64B => 6 usable bits
 	recovered := uint64(0)
 	runs := 0
@@ -282,7 +283,7 @@ func DisclosingKernel(scheme sim.Scheme) (Outcome, error) {
 	leakedWindows := 0
 	nWindows := (64 + windowBits - 1) / windowBits
 	for k := 0; k < nWindows; k++ {
-		m, err := newVictim(scheme, victimWithPrologue())
+		m, err := newVictim(pt, victimWithPrologue())
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -305,7 +306,7 @@ func DisclosingKernel(scheme sim.Scheme) (Outcome, error) {
 			break
 		}
 	}
-	out := Outcome{Scheme: scheme, Runs: runs, Detected: detectedAll}
+	out := Outcome{Policy: pt, Runs: runs, Detected: detectedAll}
 	if leakedWindows == nWindows && recovered == victimSecret {
 		out.Leaked = true
 		out.Recovered = recovered
@@ -319,8 +320,8 @@ func DisclosingKernel(scheme sim.Scheme) (Outcome, error) {
 // performed only at commit — so authen-then-commit suffices to stop it,
 // while authen-then-write does not (the paper's distinction between the two
 // exploit sinks).
-func IOPortDisclosure(scheme sim.Scheme) (Outcome, error) {
-	m, err := newVictim(scheme, victimWithPrologue())
+func IOPortDisclosure(pt policy.ControlPoint) (Outcome, error) {
+	m, err := newVictim(pt, victimWithPrologue())
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -332,7 +333,7 @@ func IOPortDisclosure(scheme sim.Scheme) (Outcome, error) {
 		return Outcome{}, err
 	}
 	res, _ := m.Run()
-	out := Outcome{Scheme: scheme, Runs: 1, Detected: res.Reason == sim.StopSecurityFault}
+	out := Outcome{Policy: pt, Runs: 1, Detected: res.Reason == sim.StopSecurityFault}
 	for _, e := range m.Core.OutLog() {
 		if e.Port == 0x80 && e.Val == victimSecret {
 			out.Leaked = true
@@ -348,11 +349,11 @@ func IOPortDisclosure(scheme sim.Scheme) (Outcome, error) {
 // guesses disclose through the bus; unmapped ones fault (and the faulting
 // address lands in the OS log — itself a channel). Returns how many of the
 // trials leaked and how many logged faults.
-func BruteForcePage(scheme sim.Scheme, trials int) (leaks, faults int, err error) {
+func BruteForcePage(pt policy.ControlPoint, trials int) (leaks, faults int, err error) {
 	src := bruteForcePageSrc
 	rng := uint64(42)
 	for i := 0; i < trials; i++ {
-		m, e := newVictim(scheme, src)
+		m, e := newVictim(pt, src)
 		if e != nil {
 			return 0, 0, e
 		}
@@ -382,14 +383,14 @@ func BruteForcePage(scheme sim.Scheme, trials int) (leaks, faults int, err error
 // enough data to evict the dirty line to external memory. If the derived
 // value can be decrypted out of external memory afterwards, unauthenticated
 // data contaminated the persistent memory state.
-func MemoryTaint(scheme sim.Scheme) (Outcome, error) {
-	m, err := newVictim(scheme, memoryTaintSrc)
+func MemoryTaint(pt policy.ControlPoint) (Outcome, error) {
+	m, err := newVictim(pt, memoryTaintSrc)
 	if err != nil {
 		return Outcome{}, err
 	}
 	xorU64(m, m.Prog.Symbols["input"], 7, 0x4141)
 	res, _ := m.Run()
-	out := Outcome{Scheme: scheme, Runs: 1, Detected: res.Reason == sim.StopSecurityFault}
+	out := Outcome{Policy: pt, Runs: 1, Detected: res.Reason == sim.StopSecurityFault}
 	ext, err := m.Ctrl.ReadPlain(m.Prog.Symbols["sink"], 8)
 	if err != nil {
 		return Outcome{}, err

@@ -3,22 +3,22 @@ package attack
 import (
 	"testing"
 
-	"authpoint/internal/sim"
+	"authpoint/internal/policy"
 )
 
 // The security half of Table 2: which schemes stop the active fetch-address
 // side channel.
 func TestPointerConversionMatrix(t *testing.T) {
 	cases := []struct {
-		scheme       sim.Scheme
+		scheme       policy.ControlPoint
 		wantLeak     bool
 		wantDetected bool
 	}{
-		{sim.SchemeBaseline, true, false},
-		{sim.SchemeThenWrite, true, true},
-		{sim.SchemeThenCommit, true, true},
-		{sim.SchemeThenIssue, false, true},
-		{sim.SchemeCommitPlusFetch, false, true},
+		{policy.Baseline, true, false},
+		{policy.ThenWrite, true, true},
+		{policy.ThenCommit, true, true},
+		{policy.ThenIssue, false, true},
+		{policy.CommitPlusFetch, false, true},
 	}
 	for _, c := range cases {
 		out, err := PointerConversion(c.scheme)
@@ -38,7 +38,7 @@ func TestPointerConversionMatrix(t *testing.T) {
 }
 
 func TestBinarySearchRecoversSecret(t *testing.T) {
-	out, err := BinarySearch(sim.SchemeThenCommit)
+	out, err := BinarySearch(policy.ThenCommit)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestBinarySearchRecoversSecret(t *testing.T) {
 }
 
 func TestBinarySearchBlockedByThenIssue(t *testing.T) {
-	for _, scheme := range []sim.Scheme{sim.SchemeThenIssue, sim.SchemeCommitPlusFetch} {
+	for _, scheme := range []policy.ControlPoint{policy.ThenIssue, policy.CommitPlusFetch} {
 		out, err := BinarySearch(scheme)
 		if err != nil {
 			t.Fatal(err)
@@ -69,7 +69,7 @@ func TestBinarySearchBlockedByThenIssue(t *testing.T) {
 }
 
 func TestDisclosingKernelShiftWindow(t *testing.T) {
-	out, err := DisclosingKernel(sim.SchemeThenCommit)
+	out, err := DisclosingKernel(policy.ThenCommit)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestDisclosingKernelShiftWindow(t *testing.T) {
 }
 
 func TestDisclosingKernelBlocked(t *testing.T) {
-	for _, scheme := range []sim.Scheme{sim.SchemeThenIssue, sim.SchemeCommitPlusFetch} {
+	for _, scheme := range []policy.ControlPoint{policy.ThenIssue, policy.CommitPlusFetch} {
 		out, err := DisclosingKernel(scheme)
 		if err != nil {
 			t.Fatal(err)
@@ -94,7 +94,7 @@ func TestDisclosingKernelBlocked(t *testing.T) {
 }
 
 func TestDisclosingKernelOnBaseline(t *testing.T) {
-	out, err := DisclosingKernel(sim.SchemeBaseline)
+	out, err := DisclosingKernel(policy.Baseline)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,14 +112,14 @@ func TestDisclosingKernelOnBaseline(t *testing.T) {
 // state" columns.
 func TestIOPortDisclosureMatrix(t *testing.T) {
 	cases := []struct {
-		scheme   sim.Scheme
+		scheme   policy.ControlPoint
 		wantLeak bool
 	}{
-		{sim.SchemeBaseline, true},
-		{sim.SchemeThenWrite, true},
-		{sim.SchemeThenCommit, false},
-		{sim.SchemeThenIssue, false},
-		{sim.SchemeCommitPlusFetch, false},
+		{policy.Baseline, true},
+		{policy.ThenWrite, true},
+		{policy.ThenCommit, false},
+		{policy.ThenIssue, false},
+		{policy.CommitPlusFetch, false},
 	}
 	for _, c := range cases {
 		out, err := IOPortDisclosure(c.scheme)
@@ -136,7 +136,7 @@ func TestBruteForcePageStatistics(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long")
 	}
-	leaks, faults, err := BruteForcePage(sim.SchemeThenCommit, 80)
+	leaks, faults, err := BruteForcePage(policy.ThenCommit, 80)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestBruteForceFaultLogUnderBaseline(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long")
 	}
-	_, faults, err := BruteForcePage(sim.SchemeBaseline, 20)
+	_, faults, err := BruteForcePage(policy.Baseline, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestBruteForceFaultLogUnderBaseline(t *testing.T) {
 }
 
 func TestObfuscationHidesPointerConversion(t *testing.T) {
-	out, err := PointerConversion(sim.SchemeCommitPlusObfuscation)
+	out, err := PointerConversion(policy.CommitPlusObfuscation)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,14 +193,14 @@ func TestMemoryTaintMatrix(t *testing.T) {
 		t.Skip("long")
 	}
 	cases := []struct {
-		scheme    sim.Scheme
+		scheme    policy.ControlPoint
 		wantTaint bool
 	}{
-		{sim.SchemeBaseline, true},
-		{sim.SchemeThenWrite, false},
-		{sim.SchemeThenCommit, false},
-		{sim.SchemeThenIssue, false},
-		{sim.SchemeCommitPlusFetch, false},
+		{policy.Baseline, true},
+		{policy.ThenWrite, false},
+		{policy.ThenCommit, false},
+		{policy.ThenIssue, false},
+		{policy.CommitPlusFetch, false},
 	}
 	for _, c := range cases {
 		out, err := MemoryTaint(c.scheme)

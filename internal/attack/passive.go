@@ -6,6 +6,7 @@ import (
 
 	"authpoint/internal/asm"
 	"authpoint/internal/bus"
+	"authpoint/internal/policy"
 	"authpoint/internal/sim"
 )
 
@@ -13,7 +14,7 @@ import (
 // all — the adversary just watches the fetch addresses a normal run emits
 // and reconstructs secret-dependent control flow.
 type PassiveOutcome struct {
-	Scheme sim.Scheme
+	Policy policy.ControlPoint
 	// RecoveredBits are the branch outcomes read off the bus trace, MSB
 	// first.
 	RecoveredBits []bool
@@ -69,13 +70,13 @@ next_%d:
 // which instruction lines appear on the bus. Authentication gates cannot
 // help — nothing fails verification; address obfuscation is the defence the
 // paper pairs against this channel (§4.3).
-func PassiveControlFlow(scheme sim.Scheme) (PassiveOutcome, error) {
+func PassiveControlFlow(pt policy.ControlPoint) (PassiveOutcome, error) {
 	const secret = passiveSecret
 	p, err := asm.Assemble(passiveVictim(secret))
 	if err != nil {
 		return PassiveOutcome{}, err
 	}
-	cfg := attackConfig(scheme)
+	cfg := attackConfig(pt)
 	m, err := sim.NewMachine(cfg, p)
 	if err != nil {
 		return PassiveOutcome{}, err
@@ -84,7 +85,7 @@ func PassiveControlFlow(scheme sim.Scheme) (PassiveOutcome, error) {
 	if err != nil {
 		return PassiveOutcome{}, err
 	}
-	out := PassiveOutcome{Scheme: scheme, Runs: 1}
+	out := PassiveOutcome{Policy: pt, Runs: 1}
 	if res.Reason != sim.StopHalt {
 		return out, fmt.Errorf("passive victim stopped with %v", res.Reason)
 	}

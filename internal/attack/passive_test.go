@@ -3,7 +3,7 @@ package attack
 import (
 	"testing"
 
-	"authpoint/internal/sim"
+	"authpoint/internal/policy"
 )
 
 // §3.1: the natural-execution fetch trace reveals secret-dependent control
@@ -11,14 +11,14 @@ import (
 // this channel. (Authentication answers tampering, not observation.)
 func TestPassiveControlFlow(t *testing.T) {
 	for _, c := range []struct {
-		scheme   sim.Scheme
+		scheme   policy.ControlPoint
 		wantLeak bool
 	}{
-		{sim.SchemeBaseline, true},
-		{sim.SchemeThenIssue, true},
-		{sim.SchemeThenCommit, true},
-		{sim.SchemeCommitPlusFetch, true},
-		{sim.SchemeCommitPlusObfuscation, false},
+		{policy.Baseline, true},
+		{policy.ThenIssue, true},
+		{policy.ThenCommit, true},
+		{policy.CommitPlusFetch, true},
+		{policy.CommitPlusObfuscation, false},
 	} {
 		out, err := PassiveControlFlow(c.scheme)
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"authpoint/internal/policy"
 	"authpoint/internal/secmem"
 	"authpoint/internal/sim"
 )
@@ -33,25 +34,25 @@ func (a *Ablation) Render(w io.Writer) {
 	}
 }
 
-// ablate runs one scheme under a sequence of config variants and collects
-// each variant's mean normalized and absolute IPC.
-func ablate(title string, p Params, scheme sim.Scheme, points []struct {
+// ablate runs one control point under a sequence of config variants and
+// collects each variant's mean normalized and absolute IPC.
+func ablate(title string, p Params, pol policy.ControlPoint, points []struct {
 	label   string
 	variant Variant
 }) (*Ablation, error) {
 	a := &Ablation{Title: title}
 	for _, pt := range points {
-		sw, err := RunSweep(pt.label, p, []sim.Scheme{scheme}, pt.variant)
+		sw, err := RunSweep(pt.label, p, []policy.ControlPoint{pol}, pt.variant)
 		if err != nil {
 			return nil, err
 		}
 		abs := 0.0
 		for _, r := range sw.Rows {
-			abs += r.IPC[scheme]
+			abs += r.IPC[pol]
 		}
 		a.Points = append(a.Points, AblationPoint{
 			Label:   pt.label,
-			Mean:    sw.MeanNormalized(scheme),
+			Mean:    sw.MeanNormalized(pol),
 			MeanIPC: abs / float64(max(len(sw.Rows), 1)),
 		})
 	}
@@ -62,7 +63,7 @@ func ablate(title string, p Params, scheme sim.Scheme, points []struct {
 // the paper sketches in §4.2.4: the LastRequest-register (per-instruction
 // tag) variant against the simpler drain variant.
 func AblationFetchVariants(p Params) (*Ablation, error) {
-	return ablate("Ablation: authen-then-fetch implementation variants (§4.2.4)", p, sim.SchemeThenFetch,
+	return ablate("Ablation: authen-then-fetch implementation variants (§4.2.4)", p, policy.ThenFetch,
 		[]struct {
 			label   string
 			variant Variant
@@ -87,7 +88,7 @@ func AblationDecryptLatency(p Params) (*Ablation, error) {
 			variant Variant
 		}{fmt.Sprintf("decrypt %dns", ns), func(c *sim.Config) { c.Sec.DecryptLat = ns }})
 	}
-	return ablate("Ablation: decryption latency sensitivity (authen-then-commit)", p, sim.SchemeThenCommit, pts)
+	return ablate("Ablation: decryption latency sensitivity (authen-then-commit)", p, policy.ThenCommit, pts)
 }
 
 // AblationMacLatency sweeps the hash-unit latency under authen-then-issue —
@@ -104,13 +105,13 @@ func AblationMacLatency(p Params) (*Ablation, error) {
 			variant Variant
 		}{fmt.Sprintf("MAC %dns", ns), func(c *sim.Config) { c.Sec.MacLat = ns }})
 	}
-	return ablate("Ablation: MAC latency sensitivity (authen-then-issue)", p, sim.SchemeThenIssue, pts)
+	return ablate("Ablation: MAC latency sensitivity (authen-then-issue)", p, policy.ThenIssue, pts)
 }
 
 // AblationCtrPrediction toggles [19]-style counter prediction: without it a
 // counter-cache miss delays pad generation behind a metadata fetch.
 func AblationCtrPrediction(p Params) (*Ablation, error) {
-	return ablate("Ablation: counter prediction/precomputation ([19], authen-then-commit)", p, sim.SchemeThenCommit,
+	return ablate("Ablation: counter prediction/precomputation ([19], authen-then-commit)", p, policy.ThenCommit,
 		[]struct {
 			label   string
 			variant Variant
@@ -135,7 +136,7 @@ func AblationMacWidth(p Params) (*Ablation, error) {
 			variant Variant
 		}{fmt.Sprintf("%d-bit MAC", b*8), func(c *sim.Config) { c.Sec.MacB = b }})
 	}
-	return ablate("Ablation: truncated MAC width (authen-then-commit)", p, sim.SchemeThenCommit, pts)
+	return ablate("Ablation: truncated MAC width (authen-then-commit)", p, policy.ThenCommit, pts)
 }
 
 // AblationMacUnits scales the number of parallel verification engines under
@@ -153,7 +154,7 @@ func AblationMacUnits(p Params) (*Ablation, error) {
 			variant Variant
 		}{fmt.Sprintf("%d verification unit(s)", n), func(c *sim.Config) { c.Sec.MacUnits = n }})
 	}
-	return ablate("Ablation: parallel verification engines (authen-then-issue)", p, sim.SchemeThenIssue, pts)
+	return ablate("Ablation: parallel verification engines (authen-then-issue)", p, policy.ThenIssue, pts)
 }
 
 // AblationEncryptionMode reproduces the paper's Section 2 argument for
@@ -165,16 +166,16 @@ func AblationEncryptionMode(p Params) (*Ablation, error) {
 	a := &Ablation{Title: "Ablation: encryption mode (counter vs CBC, Table 1 / §5.2.2)"}
 	for _, cfg := range []struct {
 		label  string
-		scheme sim.Scheme
+		scheme policy.ControlPoint
 		mode   secmem.Mode
 	}{
-		{"ctr, then-commit", sim.SchemeThenCommit, secmem.ModeCTR},
-		{"ctr, then-issue", sim.SchemeThenIssue, secmem.ModeCTR},
-		{"cbc, then-commit", sim.SchemeThenCommit, secmem.ModeCBC},
-		{"cbc, then-issue", sim.SchemeThenIssue, secmem.ModeCBC},
+		{"ctr, then-commit", policy.ThenCommit, secmem.ModeCTR},
+		{"ctr, then-issue", policy.ThenIssue, secmem.ModeCTR},
+		{"cbc, then-commit", policy.ThenCommit, secmem.ModeCBC},
+		{"cbc, then-issue", policy.ThenIssue, secmem.ModeCBC},
 	} {
 		cfg := cfg
-		sw, err := RunSweep(cfg.label, p, []sim.Scheme{cfg.scheme},
+		sw, err := RunSweep(cfg.label, p, []policy.ControlPoint{cfg.scheme},
 			func(c *sim.Config) { c.Sec.Mode = cfg.mode })
 		if err != nil {
 			return nil, err
@@ -215,7 +216,7 @@ func AblationMSHR(p Params) (*Ablation, error) {
 			variant Variant
 		}{label, func(c *sim.Config) { c.Mem.MSHRs = n }})
 	}
-	return ablate("Ablation: outstanding-miss bound (authen-then-commit)", p, sim.SchemeThenCommit, pts)
+	return ablate("Ablation: outstanding-miss bound (authen-then-commit)", p, policy.ThenCommit, pts)
 }
 
 // AblationPrefetch toggles the next-line L2 prefetcher under the baseline
@@ -225,16 +226,16 @@ func AblationPrefetch(p Params) (*Ablation, error) {
 	a := &Ablation{Title: "Ablation: next-line L2 prefetch"}
 	for _, cfg := range []struct {
 		label  string
-		scheme sim.Scheme
+		scheme policy.ControlPoint
 		pf     bool
 	}{
-		{"baseline, no prefetch", sim.SchemeBaseline, false},
-		{"baseline, prefetch", sim.SchemeBaseline, true},
-		{"then-fetch, no prefetch", sim.SchemeThenFetch, false},
-		{"then-fetch, prefetch", sim.SchemeThenFetch, true},
+		{"baseline, no prefetch", policy.Baseline, false},
+		{"baseline, prefetch", policy.Baseline, true},
+		{"then-fetch, no prefetch", policy.ThenFetch, false},
+		{"then-fetch, prefetch", policy.ThenFetch, true},
 	} {
 		cfg := cfg
-		sw, err := RunSweep(cfg.label, p, []sim.Scheme{cfg.scheme},
+		sw, err := RunSweep(cfg.label, p, []policy.ControlPoint{cfg.scheme},
 			func(c *sim.Config) { c.Mem.NextLinePrefetch = cfg.pf })
 		if err != nil {
 			return nil, err

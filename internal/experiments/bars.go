@@ -5,7 +5,7 @@ import (
 	"io"
 	"strings"
 
-	"authpoint/internal/sim"
+	"authpoint/internal/policy"
 )
 
 // RenderBars prints a sweep as per-workload bar groups, the visual shape of
@@ -25,34 +25,20 @@ func (s *Sweep) RenderBars(w io.Writer) {
 	}
 	for _, r := range s.Rows {
 		fmt.Fprintf(w, "%s (baseline IPC %.3f)\n", r.Workload, r.BaselineIPC)
-		for _, sc := range s.Schemes {
+		for _, sc := range s.Policies {
 			v := r.Normalized(sc)
-			fmt.Fprintf(w, "  %-20s |%s| %.3f\n", shortScheme(sc), bar(v), v)
+			fmt.Fprintf(w, "  %-24s |%s| %.3f\n", shortPolicy(sc), bar(v), v)
 		}
 	}
 	fmt.Fprintln(w, "MEAN")
-	for _, sc := range s.Schemes {
+	for _, sc := range s.Policies {
 		v := s.MeanNormalized(sc)
-		fmt.Fprintf(w, "  %-20s |%s| %.3f\n", shortScheme(sc), bar(v), v)
+		fmt.Fprintf(w, "  %-24s |%s| %.3f\n", shortPolicy(sc), bar(v), v)
 	}
 }
 
-func shortScheme(s sim.Scheme) string {
-	switch s {
-	case sim.SchemeThenIssue:
-		return "then-issue"
-	case sim.SchemeThenWrite:
-		return "then-write"
-	case sim.SchemeThenCommit:
-		return "then-commit"
-	case sim.SchemeThenFetch:
-		return "then-fetch"
-	case sim.SchemeCommitPlusFetch:
-		return "commit+fetch"
-	case sim.SchemeCommitPlusObfuscation:
-		return "commit+obfuscation"
-	case sim.SchemeBaseline:
-		return "baseline"
-	}
-	return s.String()
+// shortPolicy drops the shared "authen-" prefix so bar labels stay compact
+// ("then-issue", "then-commit+fetch") while remaining unambiguous.
+func shortPolicy(p policy.ControlPoint) string {
+	return strings.TrimPrefix(p.String(), "authen-")
 }

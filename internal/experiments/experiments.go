@@ -14,6 +14,7 @@ import (
 
 	"authpoint/internal/attack"
 	"authpoint/internal/harness"
+	"authpoint/internal/policy"
 	"authpoint/internal/sim"
 	"authpoint/internal/workload"
 )
@@ -58,51 +59,51 @@ func QuickParams() Params {
 	return Params{Warmup: 10_000, Measure: 40_000, Workloads: ws}
 }
 
-// PerfSchemes is the order the paper plots (Figure 7): five authentication
-// schemes plus address obfuscation on top of then-commit.
-var PerfSchemes = []sim.Scheme{
-	sim.SchemeThenIssue,
-	sim.SchemeThenWrite,
-	sim.SchemeThenCommit,
-	sim.SchemeThenFetch,
-	sim.SchemeCommitPlusFetch,
-	sim.SchemeCommitPlusObfuscation,
+// PerfPolicies is the order the paper plots (Figure 7): five authentication
+// control points plus address obfuscation on top of then-commit.
+var PerfPolicies = []policy.ControlPoint{
+	policy.ThenIssue,
+	policy.ThenWrite,
+	policy.ThenCommit,
+	policy.ThenFetch,
+	policy.CommitPlusFetch,
+	policy.CommitPlusObfuscation,
 }
 
-// IPCRow is one workload's results across schemes.
+// IPCRow is one workload's results across control points.
 type IPCRow struct {
 	Workload string
 	FP       bool
 	// BaselineIPC is the decrypt-only IPC everything normalizes against.
 	BaselineIPC float64
-	// IPC maps scheme -> absolute measured IPC.
-	IPC map[sim.Scheme]float64
+	// IPC maps control point -> absolute measured IPC.
+	IPC map[policy.ControlPoint]float64
 }
 
-// Normalized returns IPC(scheme)/IPC(baseline).
-func (r IPCRow) Normalized(s sim.Scheme) float64 {
+// Normalized returns IPC(policy)/IPC(baseline).
+func (r IPCRow) Normalized(p policy.ControlPoint) float64 {
 	if r.BaselineIPC == 0 {
 		return 0
 	}
-	return r.IPC[s] / r.BaselineIPC
+	return r.IPC[p] / r.BaselineIPC
 }
 
 // Sweep is a full normalized-IPC experiment (the Figure 7/10/12 family).
 type Sweep struct {
-	Title   string
-	Schemes []sim.Scheme
-	Rows    []IPCRow
+	Title    string
+	Policies []policy.ControlPoint
+	Rows     []IPCRow
 }
 
-// MeanNormalized returns the arithmetic mean of normalized IPC for a scheme
-// (the paper's "average IPC" statements).
-func (s *Sweep) MeanNormalized(scheme sim.Scheme) float64 {
+// MeanNormalized returns the arithmetic mean of normalized IPC for a control
+// point (the paper's "average IPC" statements).
+func (s *Sweep) MeanNormalized(p policy.ControlPoint) float64 {
 	if len(s.Rows) == 0 {
 		return 0
 	}
 	sum := 0.0
 	for _, r := range s.Rows {
-		sum += r.Normalized(scheme)
+		sum += r.Normalized(p)
 	}
 	return sum / float64(len(s.Rows))
 }
@@ -111,44 +112,44 @@ func (s *Sweep) MeanNormalized(scheme sim.Scheme) float64 {
 // tree mode, remap cache size...).
 type Variant func(*sim.Config)
 
-// RunSweep measures every workload under the baseline plus each scheme. The
-// cells fan out over the runner's worker pool; results fold back in input
-// order, so the rendered rows/series are identical to a serial run. Baseline
-// cells hit the runner's memo when an identical (workload, config, windows)
-// baseline was already measured this process.
-func RunSweep(title string, p Params, schemes []sim.Scheme, variant Variant) (*Sweep, error) {
-	sw := &Sweep{Title: title, Schemes: schemes}
-	cell := func(w workload.Workload, scheme sim.Scheme) harness.Spec {
+// RunSweep measures every workload under the baseline plus each control
+// point. The cells fan out over the runner's worker pool; results fold back
+// in input order, so the rendered rows/series are identical to a serial run.
+// Baseline cells hit the runner's memo when an identical (workload, config,
+// windows) baseline was already measured this process.
+func RunSweep(title string, p Params, policies []policy.ControlPoint, variant Variant) (*Sweep, error) {
+	sw := &Sweep{Title: title, Policies: policies}
+	cell := func(w workload.Workload, pt policy.ControlPoint) harness.Spec {
 		cfg := sim.DefaultConfig()
 		if variant != nil {
 			variant(&cfg)
 		}
-		cfg.Scheme = scheme
+		cfg.Policy = pt
 		return harness.Spec{Workload: w, Config: cfg, WarmupInsts: p.Warmup, MeasureInsts: p.Measure}
 	}
 	var specs []harness.Spec
 	for _, w := range p.Workloads {
-		specs = append(specs, cell(w, sim.SchemeBaseline))
-		for _, scheme := range schemes {
-			specs = append(specs, cell(w, scheme))
+		specs = append(specs, cell(w, policy.Baseline))
+		for _, pt := range policies {
+			specs = append(specs, cell(w, pt))
 		}
 	}
 	outs, err := p.runner().RunAll(context.Background(), specs)
 	if err != nil {
 		for _, o := range outs {
 			if o.Err != nil && !errors.Is(o.Err, context.Canceled) {
-				return nil, fmt.Errorf("%s %v: %w", o.Spec.Workload.Name, o.Spec.Config.Scheme, o.Err)
+				return nil, fmt.Errorf("%s %v: %w", o.Spec.Workload.Name, o.Spec.Config.ControlPoint(), o.Err)
 			}
 		}
 		return nil, err
 	}
 	i := 0
 	for _, w := range p.Workloads {
-		row := IPCRow{Workload: w.Name, FP: w.FP, IPC: map[sim.Scheme]float64{}}
+		row := IPCRow{Workload: w.Name, FP: w.FP, IPC: map[policy.ControlPoint]float64{}}
 		row.BaselineIPC = outs[i].Measurement.IPC
 		i++
-		for _, scheme := range schemes {
-			row.IPC[scheme] = outs[i].Measurement.IPC
+		for _, pt := range policies {
+			row.IPC[pt] = outs[i].Measurement.IPC
 			i++
 		}
 		sw.Rows = append(sw.Rows, row)
@@ -156,24 +157,38 @@ func RunSweep(title string, p Params, schemes []sim.Scheme, variant Variant) (*S
 	return sw, nil
 }
 
+// colWidth sizes a table column to the longest policy name in the set
+// (canonical names run up to 30 characters for the paper's combinations,
+// longer for deep lattice points).
+func colWidth(policies []policy.ControlPoint) int {
+	w := 18
+	for _, p := range policies {
+		if n := len(p.String()); n > w {
+			w = n
+		}
+	}
+	return w
+}
+
 // Render prints the sweep as a normalized-IPC table.
 func (s *Sweep) Render(w io.Writer) {
+	cw := colWidth(s.Policies)
 	fmt.Fprintf(w, "%s\n", s.Title)
 	fmt.Fprintf(w, "%-10s %9s", "workload", "base-IPC")
-	for _, sc := range s.Schemes {
-		fmt.Fprintf(w, " %18s", sc)
+	for _, sc := range s.Policies {
+		fmt.Fprintf(w, " %*s", cw, sc)
 	}
 	fmt.Fprintln(w)
 	for _, r := range s.Rows {
 		fmt.Fprintf(w, "%-10s %9.3f", r.Workload, r.BaselineIPC)
-		for _, sc := range s.Schemes {
-			fmt.Fprintf(w, " %18.3f", r.Normalized(sc))
+		for _, sc := range s.Policies {
+			fmt.Fprintf(w, " %*.3f", cw, r.Normalized(sc))
 		}
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "%-10s %9s", "MEAN", "")
-	for _, sc := range s.Schemes {
-		fmt.Fprintf(w, " %18.3f", s.MeanNormalized(sc))
+	for _, sc := range s.Policies {
+		fmt.Fprintf(w, " %*.3f", cw, s.MeanNormalized(sc))
 	}
 	fmt.Fprintln(w)
 }
@@ -182,17 +197,17 @@ func (s *Sweep) Render(w io.Writer) {
 // 8/11/13 family).
 type SpeedupRow struct {
 	Workload string
-	Speedup  map[sim.Scheme]float64
+	Speedup  map[policy.ControlPoint]float64
 }
 
-// Speedups derives the Figure 8-style view from a sweep: IPC(scheme) /
+// Speedups derives the Figure 8-style view from a sweep: IPC(policy) /
 // IPC(then-issue).
-func (s *Sweep) Speedups(schemes []sim.Scheme) []SpeedupRow {
+func (s *Sweep) Speedups(policies []policy.ControlPoint) []SpeedupRow {
 	var out []SpeedupRow
 	for _, r := range s.Rows {
-		ref := r.IPC[sim.SchemeThenIssue]
-		row := SpeedupRow{Workload: r.Workload, Speedup: map[sim.Scheme]float64{}}
-		for _, sc := range schemes {
+		ref := r.IPC[policy.ThenIssue]
+		row := SpeedupRow{Workload: r.Workload, Speedup: map[policy.ControlPoint]float64{}}
+		for _, sc := range policies {
 			if ref > 0 {
 				row.Speedup[sc] = r.IPC[sc] / ref
 			}
@@ -203,32 +218,33 @@ func (s *Sweep) Speedups(schemes []sim.Scheme) []SpeedupRow {
 }
 
 // RenderSpeedups prints a Figure 8-style table.
-func RenderSpeedups(w io.Writer, title string, rows []SpeedupRow, schemes []sim.Scheme) {
+func RenderSpeedups(w io.Writer, title string, rows []SpeedupRow, policies []policy.ControlPoint) {
+	cw := colWidth(policies)
 	fmt.Fprintf(w, "%s\n%-10s", title, "workload")
-	for _, sc := range schemes {
-		fmt.Fprintf(w, " %18s", sc)
+	for _, sc := range policies {
+		fmt.Fprintf(w, " %*s", cw, sc)
 	}
 	fmt.Fprintln(w)
-	means := map[sim.Scheme]float64{}
+	means := map[policy.ControlPoint]float64{}
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-10s", r.Workload)
-		for _, sc := range schemes {
-			fmt.Fprintf(w, " %18.3f", r.Speedup[sc])
+		for _, sc := range policies {
+			fmt.Fprintf(w, " %*.3f", cw, r.Speedup[sc])
 			means[sc] += r.Speedup[sc]
 		}
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "%-10s", "MEAN")
-	for _, sc := range schemes {
-		fmt.Fprintf(w, " %18.3f", means[sc]/float64(len(rows)))
+	for _, sc := range policies {
+		fmt.Fprintf(w, " %*.3f", cw, means[sc]/float64(len(rows)))
 	}
 	fmt.Fprintln(w)
 }
 
 // --- Figure 7 -------------------------------------------------------------
 
-// Fig7 runs one quadrant of Figure 7: normalized IPC of the six schemes for
-// INT or FP workloads at the given L2 size.
+// Fig7 runs one quadrant of Figure 7: normalized IPC of the six control
+// points for INT or FP workloads at the given L2 size.
 func Fig7(p Params, fp bool, l2B, l2Lat int) (*Sweep, error) {
 	var ws []workload.Workload
 	for _, w := range p.Workloads {
@@ -242,7 +258,7 @@ func Fig7(p Params, fp bool, l2B, l2Lat int) (*Sweep, error) {
 		kind = "FP"
 	}
 	title := fmt.Sprintf("Figure 7: normalized IPC, %s, %dKB L2 (baseline: decryption only)", kind, l2B>>10)
-	return RunSweep(title, p, PerfSchemes, func(c *sim.Config) {
+	return RunSweep(title, p, PerfPolicies, func(c *sim.Config) {
 		c.Mem.L2B = l2B
 		c.Mem.L2Lat = l2Lat
 	})
@@ -265,7 +281,7 @@ func Fig9(p Params, sizes []int) ([]Fig9Point, error) {
 		size := size
 		sw, err := RunSweep(
 			fmt.Sprintf("Figure 9: obfuscation re-map cache %dKB", size>>10),
-			p, []sim.Scheme{sim.SchemeCommitPlusObfuscation},
+			p, []policy.ControlPoint{policy.CommitPlusObfuscation},
 			func(c *sim.Config) { c.Sec.RemapCacheB = size },
 		)
 		if err != nil {
@@ -274,7 +290,7 @@ func Fig9(p Params, sizes []int) ([]Fig9Point, error) {
 		out = append(out, Fig9Point{
 			RemapCacheB: size,
 			PerRow:      sw.Rows,
-			Mean:        sw.MeanNormalized(sim.SchemeCommitPlusObfuscation),
+			Mean:        sw.MeanNormalized(policy.CommitPlusObfuscation),
 		})
 	}
 	return out, nil
@@ -294,7 +310,7 @@ func RenderFig9(w io.Writer, pts []Fig9Point) {
 	for i := range pts[0].PerRow {
 		fmt.Fprintf(w, "%-10s", pts[0].PerRow[i].Workload)
 		for _, pt := range pts {
-			fmt.Fprintf(w, " %12.3f", pt.PerRow[i].Normalized(sim.SchemeCommitPlusObfuscation))
+			fmt.Fprintf(w, " %12.3f", pt.PerRow[i].Normalized(policy.CommitPlusObfuscation))
 		}
 		fmt.Fprintln(w)
 	}
@@ -307,24 +323,24 @@ func RenderFig9(w io.Writer, pts []Fig9Point) {
 
 // --- Figures 10-13 ---------------------------------------------------------
 
-// Fig10Schemes are the four schemes of the RUU study.
-var Fig10Schemes = []sim.Scheme{
-	sim.SchemeThenIssue, sim.SchemeThenWrite, sim.SchemeThenCommit, sim.SchemeCommitPlusFetch,
+// Fig10Policies are the four control points of the RUU study.
+var Fig10Policies = []policy.ControlPoint{
+	policy.ThenIssue, policy.ThenWrite, policy.ThenCommit, policy.CommitPlusFetch,
 }
 
 // Fig10 runs the 64-entry RUU sensitivity study.
 func Fig10(p Params) (*Sweep, error) {
-	return RunSweep("Figure 10: normalized IPC, 64-entry RUU, 256KB L2", p, Fig10Schemes,
+	return RunSweep("Figure 10: normalized IPC, 64-entry RUU, 256KB L2", p, Fig10Policies,
 		func(c *sim.Config) {
 			c.Pipeline.RUUSize = 64
 			c.Pipeline.LSQSize = 32
 		})
 }
 
-// Fig12Schemes are the five schemes of the MAC-tree study.
-var Fig12Schemes = []sim.Scheme{
-	sim.SchemeThenIssue, sim.SchemeThenWrite, sim.SchemeThenCommit,
-	sim.SchemeThenFetch, sim.SchemeCommitPlusFetch,
+// Fig12Policies are the five control points of the MAC-tree study.
+var Fig12Policies = []policy.ControlPoint{
+	policy.ThenIssue, policy.ThenWrite, policy.ThenCommit,
+	policy.ThenFetch, policy.CommitPlusFetch,
 }
 
 // Fig12 runs the MAC-tree (CHTree-style) authentication study. The baseline
@@ -334,15 +350,15 @@ var Fig12Schemes = []sim.Scheme{
 func Fig12(p Params) (*Sweep, error) {
 	p.Warmup = p.Warmup/2 + 1
 	p.Measure = p.Measure/3 + 1
-	return RunSweep("Figure 12: normalized IPC under MAC-tree authentication", p, Fig12Schemes,
+	return RunSweep("Figure 12: normalized IPC under MAC-tree authentication", p, Fig12Policies,
 		func(c *sim.Config) { c.Sec.UseTree = true })
 }
 
 // --- Table 2 ----------------------------------------------------------------
 
-// Table2Row is one scheme's demonstrated security properties.
+// Table2Row is one control point's demonstrated security properties.
 type Table2Row struct {
-	Scheme sim.Scheme
+	Policy policy.ControlPoint
 	// PreventsFetchLeak: the pointer-conversion exploit failed to disclose
 	// the secret through fetch addresses.
 	PreventsFetchLeak bool
@@ -358,51 +374,51 @@ type Table2Row struct {
 	Detected bool
 }
 
-// Table2Schemes are the paper's five rows.
-var Table2Schemes = []sim.Scheme{
-	sim.SchemeThenIssue,
-	sim.SchemeThenWrite,
-	sim.SchemeThenCommit,
-	sim.SchemeCommitPlusFetch,
-	sim.SchemeCommitPlusObfuscation,
+// Table2Policies are the paper's five rows.
+var Table2Policies = []policy.ControlPoint{
+	policy.ThenIssue,
+	policy.ThenWrite,
+	policy.ThenCommit,
+	policy.CommitPlusFetch,
+	policy.CommitPlusObfuscation,
 }
 
 // Table2 demonstrates every cell of the characteristics matrix by running
-// the exploit suite against each scheme. The per-scheme exploit runs are
-// independent (each builds its own machines), so they fan out across
-// goroutines; rows come back in scheme order.
+// the exploit suite against each control point. The per-policy exploit runs
+// are independent (each builds its own machines), so they fan out across
+// goroutines; rows come back in policy order.
 func Table2() ([]Table2Row, error) {
-	rows := make([]Table2Row, len(Table2Schemes))
-	errs := make([]error, len(Table2Schemes))
+	rows := make([]Table2Row, len(Table2Policies))
+	errs := make([]error, len(Table2Policies))
 	var wg sync.WaitGroup
-	for i, scheme := range Table2Schemes {
+	for i, pt := range Table2Policies {
 		wg.Add(1)
-		go func(i int, scheme sim.Scheme) {
+		go func(i int, pt policy.ControlPoint) {
 			defer wg.Done()
-			pc, err := attack.PointerConversion(scheme)
+			pc, err := attack.PointerConversion(pt)
 			if err != nil {
 				errs[i] = err
 				return
 			}
-			io_, err := attack.IOPortDisclosure(scheme)
+			io_, err := attack.IOPortDisclosure(pt)
 			if err != nil {
 				errs[i] = err
 				return
 			}
-			mt, err := attack.MemoryTaint(scheme)
+			mt, err := attack.MemoryTaint(pt)
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			rows[i] = Table2Row{
-				Scheme:                 scheme,
+				Policy:                 pt,
 				PreventsFetchLeak:      !pc.Leaked,
 				PreciseException:       !io_.Leaked && io_.Detected,
 				AuthenticatedMemory:    !mt.Leaked,
 				AuthenticatedProcessor: !io_.Leaked && io_.Detected,
 				Detected:               pc.Detected,
 			}
-		}(i, scheme)
+		}(i, pt)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -422,9 +438,9 @@ func RenderTable2(w io.Writer, rows []Table2Row) {
 		return "-"
 	}
 	fmt.Fprintln(w, "Table 2: characteristics comparison (every cell demonstrated by running the exploit suite)")
-	fmt.Fprintf(w, "%-22s %12s %10s %10s %10s\n", "", "prevent-leak", "precise-ex", "auth-mem", "auth-proc")
+	fmt.Fprintf(w, "%-30s %12s %10s %10s %10s\n", "", "prevent-leak", "precise-ex", "auth-mem", "auth-proc")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-22s %12s %10s %10s %10s\n", r.Scheme,
+		fmt.Fprintf(w, "%-30s %12s %10s %10s %10s\n", r.Policy,
 			mark(r.PreventsFetchLeak), mark(r.PreciseException),
 			mark(r.AuthenticatedMemory), mark(r.AuthenticatedProcessor))
 	}

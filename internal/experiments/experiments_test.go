@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"authpoint/internal/harness"
+	"authpoint/internal/policy"
 	"authpoint/internal/sim"
 	"authpoint/internal/workload"
 )
@@ -19,7 +20,7 @@ func TestSweepParallelOutputByteIdentical(t *testing.T) {
 		w, _ := workload.ByName(n)
 		p.Workloads = append(p.Workloads, w)
 	}
-	schemes := []sim.Scheme{sim.SchemeThenIssue, sim.SchemeThenCommit}
+	schemes := []policy.ControlPoint{policy.ThenIssue, policy.ThenCommit}
 
 	render := func(parallelism int) (string, string) {
 		t.Helper()
@@ -97,8 +98,8 @@ func TestFig6DependentFetch(t *testing.T) {
 		t.Fatalf("rows %d", len(rows))
 	}
 	issue, fetch := rows[0], rows[1]
-	if issue.Scheme != sim.SchemeThenIssue || fetch.Scheme != sim.SchemeThenFetch {
-		t.Fatalf("unexpected order %v %v", issue.Scheme, fetch.Scheme)
+	if issue.Policy != policy.ThenIssue || fetch.Policy != policy.ThenFetch {
+		t.Fatalf("unexpected order %v %v", issue.Policy, fetch.Policy)
 	}
 	if issue.Fetch2Cycle == 0 || fetch.Fetch2Cycle == 0 {
 		t.Fatal("dependent fetch missing from a trace")
@@ -123,20 +124,20 @@ func TestTable2MatchesPaper(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[sim.Scheme]Table2Row{
-		sim.SchemeThenIssue:             {PreventsFetchLeak: true, PreciseException: true, AuthenticatedMemory: true, AuthenticatedProcessor: true},
-		sim.SchemeThenWrite:             {PreventsFetchLeak: false, PreciseException: false, AuthenticatedMemory: true, AuthenticatedProcessor: false},
-		sim.SchemeThenCommit:            {PreventsFetchLeak: false, PreciseException: true, AuthenticatedMemory: true, AuthenticatedProcessor: true},
-		sim.SchemeCommitPlusFetch:       {PreventsFetchLeak: true, PreciseException: true, AuthenticatedMemory: true, AuthenticatedProcessor: true},
-		sim.SchemeCommitPlusObfuscation: {PreventsFetchLeak: true, PreciseException: true, AuthenticatedMemory: true, AuthenticatedProcessor: true},
+	want := map[policy.ControlPoint]Table2Row{
+		policy.ThenIssue:             {PreventsFetchLeak: true, PreciseException: true, AuthenticatedMemory: true, AuthenticatedProcessor: true},
+		policy.ThenWrite:             {PreventsFetchLeak: false, PreciseException: false, AuthenticatedMemory: true, AuthenticatedProcessor: false},
+		policy.ThenCommit:            {PreventsFetchLeak: false, PreciseException: true, AuthenticatedMemory: true, AuthenticatedProcessor: true},
+		policy.CommitPlusFetch:       {PreventsFetchLeak: true, PreciseException: true, AuthenticatedMemory: true, AuthenticatedProcessor: true},
+		policy.CommitPlusObfuscation: {PreventsFetchLeak: true, PreciseException: true, AuthenticatedMemory: true, AuthenticatedProcessor: true},
 	}
 	for _, r := range rows {
-		w := want[r.Scheme]
+		w := want[r.Policy]
 		if r.PreventsFetchLeak != w.PreventsFetchLeak ||
 			r.PreciseException != w.PreciseException ||
 			r.AuthenticatedMemory != w.AuthenticatedMemory ||
 			r.AuthenticatedProcessor != w.AuthenticatedProcessor {
-			t.Errorf("%v: got %+v want %+v", r.Scheme, r, w)
+			t.Errorf("%v: got %+v want %+v", r.Policy, r, w)
 		}
 	}
 	var buf bytes.Buffer
@@ -155,7 +156,7 @@ func TestQuickSweepShape(t *testing.T) {
 		t.Skip("simulation-heavy; race coverage comes from TestSweepParallelOutputByteIdentical and TestTable2MatchesPaper")
 	}
 	p := QuickParams()
-	sw, err := RunSweep("quick", p, PerfSchemes, nil)
+	sw, err := RunSweep("quick", p, PerfPolicies, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestQuickSweepShape(t *testing.T) {
 		if r.BaselineIPC <= 0 {
 			t.Errorf("%s: baseline IPC %v", r.Workload, r.BaselineIPC)
 		}
-		for _, sc := range PerfSchemes {
+		for _, sc := range PerfPolicies {
 			n := r.Normalized(sc)
 			if n <= 0 || n > 1.10 {
 				t.Errorf("%s %v: normalized IPC %.3f out of range", r.Workload, sc, n)
@@ -175,9 +176,9 @@ func TestQuickSweepShape(t *testing.T) {
 	}
 	// Paper ranking on means: then-write best, then-commit next, then-issue
 	// and obfuscation worst.
-	mw := sw.MeanNormalized(sim.SchemeThenWrite)
-	mc := sw.MeanNormalized(sim.SchemeThenCommit)
-	mi := sw.MeanNormalized(sim.SchemeThenIssue)
+	mw := sw.MeanNormalized(policy.ThenWrite)
+	mc := sw.MeanNormalized(policy.ThenCommit)
+	mi := sw.MeanNormalized(policy.ThenIssue)
 	if !(mw >= mc && mc >= mi) {
 		t.Errorf("mean ranking violated: write=%.3f commit=%.3f issue=%.3f", mw, mc, mi)
 	}
@@ -186,13 +187,13 @@ func TestQuickSweepShape(t *testing.T) {
 	if !strings.Contains(buf.String(), "MEAN") {
 		t.Error("render missing mean row")
 	}
-	sp := sw.Speedups([]sim.Scheme{sim.SchemeThenCommit, sim.SchemeThenWrite, sim.SchemeCommitPlusFetch})
+	sp := sw.Speedups([]policy.ControlPoint{policy.ThenCommit, policy.ThenWrite, policy.CommitPlusFetch})
 	for _, r := range sp {
-		if r.Speedup[sim.SchemeThenCommit] < 1.0-0.05 {
-			t.Errorf("%s: then-commit speedup over then-issue %.3f < 1", r.Workload, r.Speedup[sim.SchemeThenCommit])
+		if r.Speedup[policy.ThenCommit] < 1.0-0.05 {
+			t.Errorf("%s: then-commit speedup over then-issue %.3f < 1", r.Workload, r.Speedup[policy.ThenCommit])
 		}
 	}
-	RenderSpeedups(&buf, "quick speedups", sp, []sim.Scheme{sim.SchemeThenCommit})
+	RenderSpeedups(&buf, "quick speedups", sp, []policy.ControlPoint{policy.ThenCommit})
 }
 
 func TestAblationsQuick(t *testing.T) {
@@ -238,14 +239,14 @@ func TestAblationsQuick(t *testing.T) {
 
 func TestRenderBars(t *testing.T) {
 	sw := &Sweep{
-		Title:   "bars",
-		Schemes: []sim.Scheme{sim.SchemeThenIssue, sim.SchemeThenCommit},
+		Title:    "bars",
+		Policies: []policy.ControlPoint{policy.ThenIssue, policy.ThenCommit},
 		Rows: []IPCRow{{
 			Workload:    "demo",
 			BaselineIPC: 1.0,
-			IPC: map[sim.Scheme]float64{
-				sim.SchemeThenIssue:  0.85,
-				sim.SchemeThenCommit: 1.5, // clamps at the bar edge
+			IPC: map[policy.ControlPoint]float64{
+				policy.ThenIssue:  0.85,
+				policy.ThenCommit: 1.5, // clamps at the bar edge
 			},
 		}},
 	}
@@ -301,8 +302,8 @@ func TestFigureDriversQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(f10.Schemes) != 4 {
-		t.Fatalf("fig10 schemes %d", len(f10.Schemes))
+	if len(f10.Policies) != 4 {
+		t.Fatalf("fig10 policies %d", len(f10.Policies))
 	}
 
 	f12, err := Fig12(p)
@@ -310,7 +311,7 @@ func TestFigureDriversQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, r := range f12.Rows {
-		for _, sc := range Fig12Schemes {
+		for _, sc := range Fig12Policies {
 			if n := r.Normalized(sc); n <= 0 || n > 1.2 {
 				t.Errorf("fig12 %s %v: %.3f", r.Workload, sc, n)
 			}

@@ -7,6 +7,7 @@ import (
 	"authpoint/internal/asm"
 	"authpoint/internal/bus"
 	"authpoint/internal/dram"
+	"authpoint/internal/policy"
 	"authpoint/internal/sim"
 )
 
@@ -58,7 +59,7 @@ func Table1(cfg sim.Config) ([]Table1Row, error) {
 		return nil, err
 	}
 	mcfg := cfg
-	mcfg.Scheme = sim.SchemeThenCommit
+	mcfg.Policy = policy.ThenCommit
 	m, err := sim.NewMachine(mcfg, p)
 	if err != nil {
 		return nil, err
@@ -114,7 +115,7 @@ func RenderTable3(w io.Writer, cfg sim.Config) {
 // Fig6Result captures the Figure 6 timeline: two data-dependent external
 // fetches under authen-then-issue vs authen-then-fetch.
 type Fig6Result struct {
-	Scheme       sim.Scheme
+	Policy       policy.ControlPoint
 	Fetch1Addr   uint64
 	Fetch1Cycle  uint64 // address of the first fetch on the bus
 	Fetch2Addr   uint64
@@ -141,13 +142,13 @@ func Fig6() ([]Fig6Result, error) {
 	p0:     .word target
 	`
 	var out []Fig6Result
-	for _, scheme := range []sim.Scheme{sim.SchemeThenIssue, sim.SchemeThenFetch} {
+	for _, pt := range []policy.ControlPoint{policy.ThenIssue, policy.ThenFetch} {
 		p, err := asm.Assemble(src)
 		if err != nil {
 			return nil, err
 		}
 		cfg := sim.DefaultConfig()
-		cfg.Scheme = scheme
+		cfg.Policy = pt
 		cfg.TraceBus = true
 		m, err := sim.NewMachine(cfg, p)
 		if err != nil {
@@ -157,7 +158,7 @@ func Fig6() ([]Fig6Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r := Fig6Result{Scheme: scheme, TotalCycles: res.Cycles}
+		r := Fig6Result{Policy: pt, TotalCycles: res.Cycles}
 		p0Line := m.Prog.Symbols["p0"] &^ 63
 		tgtLine := m.Prog.Symbols["target"] &^ 63
 		for _, e := range m.Bus.Trace() {
@@ -180,9 +181,9 @@ func Fig6() ([]Fig6Result, error) {
 // RenderFig6 prints the dependent-fetch timeline.
 func RenderFig6(w io.Writer, rows []Fig6Result) {
 	fmt.Fprintln(w, "Figure 6: dependent external fetches — authen-then-fetch vs authen-then-issue")
-	fmt.Fprintf(w, "%-20s %14s %14s %16s %12s\n", "scheme", "fetch1@cycle", "fetch2@cycle", "fetch2-fetch1", "total")
+	fmt.Fprintf(w, "%-20s %14s %14s %16s %12s\n", "policy", "fetch1@cycle", "fetch2@cycle", "fetch2-fetch1", "total")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-20s %14d %14d %16d %12d\n", r.Scheme, r.Fetch1Cycle, r.Fetch2Cycle, r.SecondMinus1, r.TotalCycles)
+		fmt.Fprintf(w, "%-20s %14d %14d %16d %12d\n", r.Policy, r.Fetch1Cycle, r.Fetch2Cycle, r.SecondMinus1, r.TotalCycles)
 	}
 	fmt.Fprintln(w, "(then-fetch grants the dependent fetch earlier: it stalls only on already-queued")
 	fmt.Fprintln(w, " verification requests, not on verification of its own address operand)")

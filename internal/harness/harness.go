@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"authpoint/internal/obs"
+	"authpoint/internal/policy"
 	"authpoint/internal/sim"
 	"authpoint/internal/workload"
 )
@@ -36,8 +37,10 @@ const (
 
 // Measurement is the outcome of one run.
 type Measurement struct {
-	Name   string
-	Scheme sim.Scheme
+	Name string
+	// Policy is the resolved control point the cell ran under (the spec's
+	// Policy, or its deprecated Scheme translated through the registry).
+	Policy policy.ControlPoint
 	IPC    float64 // measured-window IPC
 	Cycles uint64  // measured-window cycles
 	Insts  uint64  // measured-window instructions
@@ -97,7 +100,7 @@ func Measure(spec Spec) (Measurement, error) {
 	mi := res.Insts - warmInsts
 	out := Measurement{
 		Name:   spec.Workload.Name,
-		Scheme: spec.Config.Scheme,
+		Policy: spec.Config.ControlPoint(),
 		Cycles: mc,
 		Insts:  mi,
 		Result: res,
@@ -111,13 +114,13 @@ func Measure(spec Spec) (Measurement, error) {
 	return out, nil
 }
 
-// NormalizedIPC runs a workload under scheme and under the baseline with the
-// same machine configuration, returning IPC(scheme)/IPC(baseline) — the
-// paper's normalized-IPC metric (Figure 7 and friends). The baseline leg is
-// memoized on DefaultRunner, so calling this for k schemes performs k+1
+// NormalizedIPC runs a workload under a control point and under the baseline
+// with the same machine configuration, returning IPC(policy)/IPC(baseline) —
+// the paper's normalized-IPC metric (Figure 7 and friends). The baseline leg
+// is memoized on DefaultRunner, so calling this for k policies performs k+1
 // simulations, not 2k.
-func NormalizedIPC(w workload.Workload, cfg sim.Config, scheme sim.Scheme, warmup, measure uint64) (float64, error) {
-	return DefaultRunner.NormalizedIPC(w, cfg, scheme, warmup, measure)
+func NormalizedIPC(w workload.Workload, cfg sim.Config, p policy.ControlPoint, warmup, measure uint64) (float64, error) {
+	return DefaultRunner.NormalizedIPC(w, cfg, p, warmup, measure)
 }
 
 func baselineZeroErr(name string) error {

@@ -3,6 +3,7 @@ package harness
 import (
 	"testing"
 
+	"authpoint/internal/policy"
 	"authpoint/internal/sim"
 	"authpoint/internal/workload"
 )
@@ -24,8 +25,8 @@ func TestMeasureBasics(t *testing.T) {
 	if m.IPC <= 0 || m.IPC > 8 {
 		t.Errorf("IPC %v", m.IPC)
 	}
-	if m.Name != "swimx" || m.Scheme != sim.SchemeThenCommit {
-		t.Errorf("metadata %q %v", m.Name, m.Scheme)
+	if m.Name != "swimx" || m.Policy != policy.ThenCommit {
+		t.Errorf("metadata %q %v", m.Name, m.Policy)
 	}
 	if m.Cycles == 0 {
 		t.Error("no cycles measured")
@@ -65,7 +66,7 @@ func TestMeasureDefaults(t *testing.T) {
 func TestNormalizedIPC(t *testing.T) {
 	w, _ := workload.ByName("lucasx")
 	cfg := sim.DefaultConfig()
-	n, err := NormalizedIPC(w, cfg, sim.SchemeThenIssue, 5_000, 20_000)
+	n, err := NormalizedIPC(w, cfg, policy.ThenIssue, 5_000, 20_000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"authpoint/internal/asm"
+	"authpoint/internal/policy"
 	"authpoint/internal/sim"
 	"authpoint/internal/workload"
 )
@@ -62,9 +63,10 @@ type Runner struct {
 	CollectMetrics bool
 
 	// baselines memoizes decrypt-only baseline measurements keyed on
-	// (workload, config with Scheme forced to baseline, windows), so a
-	// k-scheme normalized sweep costs k+1 simulations per workload instead
-	// of 2k, and identical configs across experiments share baselines.
+	// (workload, config with the control point forced to baseline, windows),
+	// so a k-policy normalized sweep costs k+1 simulations per workload
+	// instead of 2k, and identical configs across experiments share
+	// baselines.
 	baselines sync.Map // baseKey -> *memoEntry
 
 	baselineSims atomic.Int64
@@ -200,7 +202,7 @@ func (r *Runner) runOne(ctx context.Context, s Spec) Outcome {
 		s.Metrics = true
 	}
 	o := Outcome{Spec: s}
-	if s.Config.Scheme == sim.SchemeBaseline {
+	if s.Config.ControlPoint().IsBaseline() {
 		o.Measurement, o.Cached, o.Err = r.baseline(s)
 	} else {
 		o.Measurement, o.Err = Measure(s)
@@ -213,6 +215,9 @@ func (r *Runner) runOne(ctx context.Context, s Spec) Outcome {
 // running it at most once per (workload, config, windows) key per Runner.
 // The reported cached flag is true when the measurement already existed.
 func (r *Runner) baseline(s Spec) (Measurement, bool, error) {
+	// Zero both the policy and the deprecated scheme shim so a baseline
+	// expressed either way lands on the same memo entry.
+	s.Config.Policy = policy.ControlPoint{}
 	s.Config.Scheme = sim.SchemeBaseline
 	key := baseKey{w: s.Workload, cfg: s.Config, warmup: s.WarmupInsts, measure: s.MeasureInsts,
 		metrics: s.Metrics}
@@ -243,14 +248,15 @@ func (r *Runner) Baseline(w workload.Workload, cfg sim.Config, warmup, measure u
 }
 
 // NormalizedIPC is the memoized version of the package-level helper: the
-// baseline leg comes from the memo, so sweeping k schemes over one workload
+// baseline leg comes from the memo, so sweeping k policies over one workload
 // costs k+1 measurements, not 2k.
-func (r *Runner) NormalizedIPC(w workload.Workload, cfg sim.Config, scheme sim.Scheme, warmup, measure uint64) (float64, error) {
+func (r *Runner) NormalizedIPC(w workload.Workload, cfg sim.Config, p policy.ControlPoint, warmup, measure uint64) (float64, error) {
 	mb, err := r.Baseline(w, cfg, warmup, measure)
 	if err != nil {
 		return 0, err
 	}
-	cfg.Scheme = scheme
+	cfg.Policy = p
+	cfg.Scheme = sim.SchemeBaseline
 	ms, err := Measure(Spec{Workload: w, Config: cfg, WarmupInsts: warmup, MeasureInsts: measure})
 	if err != nil {
 		return 0, err

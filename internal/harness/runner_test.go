@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"authpoint/internal/policy"
 	"authpoint/internal/sim"
 	"authpoint/internal/workload"
 )
@@ -107,11 +108,11 @@ func TestNormalizedIPCUsesMemo(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := r.BaselineSims()
-	n1, err := r.NormalizedIPC(w, cfg, sim.SchemeThenCommit, 4_000, 12_000)
+	n1, err := r.NormalizedIPC(w, cfg, policy.ThenCommit, 4_000, 12_000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	n2, err := r.NormalizedIPC(w, cfg, sim.SchemeThenIssue, 4_000, 12_000)
+	n2, err := r.NormalizedIPC(w, cfg, policy.ThenIssue, 4_000, 12_000)
 	if err != nil {
 		t.Fatal(err)
 	}

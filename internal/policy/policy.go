@@ -1,0 +1,370 @@
+// Package policy defines authentication control points as first-class,
+// composable values. The paper evaluates seven fixed design points; its
+// actual contribution is the *space* those points are drawn from — where in
+// the machine completed integrity verification must gate forward progress.
+// This package spans that space with orthogonal gate dimensions so any
+// lattice point (then-write+fetch, then-issue+obfuscation, every 3-way
+// combo) is expressible without touching the simulator:
+//
+//	GateIssue   — verification gates instruction issue and operand use
+//	GateWrite   — committed stores wait for their authentication tag
+//	GateCommit  — verification gates instruction retirement
+//	GateFetch   — new external fetches wait for the auth queue
+//	Obfuscate   — HIDE-style address obfuscation (re-map cache)
+//
+// plus Authenticate=false for the decrypt-only normalization baseline (the
+// zero ControlPoint). Canonical points live in a registry keyed by name;
+// Parse additionally accepts any composition spelled from the gate grammar
+// ("authen-then-commit+fetch", "then-write+fetch", "commit+obfuscation").
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ControlPoint is one point of the authentication control-point lattice:
+// a set of orthogonal gate dimensions. The zero value is the decrypt-only
+// baseline. ControlPoint is a comparable value type — equal gate sets are
+// the same control point, wherever they came from.
+type ControlPoint struct {
+	// Authenticate enables integrity verification at all. False only for
+	// the baseline: every gate implies verification (see Normalize).
+	Authenticate bool
+	// GateIssue: an instruction may not issue, nor its loaded operands be
+	// used, before the lines they came from verified (authen-then-issue).
+	GateIssue bool
+	// GateWrite: committed stores drain to memory only after their
+	// authentication tag clears (authen-then-write).
+	GateWrite bool
+	// GateCommit: the RUU head may not retire before its instruction and
+	// operand lines verified (authen-then-commit).
+	GateCommit bool
+	// GateFetch: a new external fetch may not be granted before the
+	// verification requests outstanding at its creation drained
+	// (authen-then-fetch).
+	GateFetch bool
+	// Obfuscate: HIDE-style address obfuscation via the re-map cache.
+	Obfuscate bool
+}
+
+// Predefined lattice points: the paper's seven plus detection-only.
+var (
+	// Baseline is decryption only — the zero ControlPoint.
+	Baseline = ControlPoint{}
+	// AuthOnly verifies every line but gates nothing: tampering is
+	// detected (eventually) while execution runs ahead unchecked.
+	AuthOnly = ControlPoint{Authenticate: true}
+	// ThenIssue is authen-then-issue.
+	ThenIssue = ControlPoint{Authenticate: true, GateIssue: true}
+	// ThenWrite is authen-then-write.
+	ThenWrite = ControlPoint{Authenticate: true, GateWrite: true}
+	// ThenCommit is authen-then-commit.
+	ThenCommit = ControlPoint{Authenticate: true, GateCommit: true}
+	// ThenFetch is authen-then-fetch.
+	ThenFetch = ControlPoint{Authenticate: true, GateFetch: true}
+	// CommitPlusFetch is the paper's recommended secure-and-fast point.
+	CommitPlusFetch = ControlPoint{Authenticate: true, GateCommit: true, GateFetch: true}
+	// CommitPlusObfuscation closes the passive address channel on top of
+	// then-commit.
+	CommitPlusObfuscation = ControlPoint{Authenticate: true, GateCommit: true, Obfuscate: true}
+)
+
+// Compose returns the join of two lattice points: the union of their gates.
+// Composing anything with the baseline returns the other point.
+func Compose(a, b ControlPoint) ControlPoint {
+	return ControlPoint{
+		Authenticate: a.Authenticate || b.Authenticate,
+		GateIssue:    a.GateIssue || b.GateIssue,
+		GateWrite:    a.GateWrite || b.GateWrite,
+		GateCommit:   a.GateCommit || b.GateCommit,
+		GateFetch:    a.GateFetch || b.GateFetch,
+		Obfuscate:    a.Obfuscate || b.Obfuscate,
+	}
+}
+
+// Normalize returns the point with the Authenticate invariant restored: any
+// gate (or obfuscation) implies verification. Hand-built literals that set a
+// gate without Authenticate mean the gated point, not a machine that stalls
+// on verifications that never run.
+func (p ControlPoint) Normalize() ControlPoint {
+	if p.GateIssue || p.GateWrite || p.GateCommit || p.GateFetch || p.Obfuscate {
+		p.Authenticate = true
+	}
+	return p
+}
+
+// IsBaseline reports whether the point is the decrypt-only baseline.
+func (p ControlPoint) IsBaseline() bool { return p.Normalize() == Baseline }
+
+// dimension is one composable axis of the lattice.
+type dimension struct {
+	name  string
+	point ControlPoint
+}
+
+// dimensions lists the gate axes in canonical (presentation) order; String
+// renders components in this order and Parse accepts them in any order.
+var dimensions = []dimension{
+	{"issue", ThenIssue},
+	{"write", ThenWrite},
+	{"commit", ThenCommit},
+	{"fetch", ThenFetch},
+	{"obfuscation", ControlPoint{Authenticate: true, Obfuscate: true}},
+}
+
+// Components returns the point's gate dimensions in canonical order
+// ("commit", "fetch", ...). Baseline and AuthOnly have none.
+func (p ControlPoint) Components() []string {
+	var out []string
+	p = p.Normalize()
+	for _, d := range dimensions {
+		if Compose(p, d.point) == p {
+			out = append(out, d.name)
+		}
+	}
+	return out
+}
+
+// String renders the canonical name: "baseline", "authen-only", or
+// "authen-then-" plus the "+"-joined components in canonical order
+// ("authen-then-commit+fetch"). Parse round-trips every rendering.
+func (p ControlPoint) String() string {
+	p = p.Normalize()
+	if !p.Authenticate {
+		return "baseline"
+	}
+	parts := p.Components()
+	if len(parts) == 0 {
+		return "authen-only"
+	}
+	return "authen-then-" + strings.Join(parts, "+")
+}
+
+// MarshalText implements encoding.TextMarshaler with the canonical name.
+func (p ControlPoint) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler via Parse.
+func (p *ControlPoint) UnmarshalText(b []byte) error {
+	pt, err := Parse(string(b))
+	if err != nil {
+		return err
+	}
+	*p = pt
+	return nil
+}
+
+// Parse resolves a control-point name: a registered canonical name first,
+// then the composition grammar — an optional "authen-then-"/"then-" prefix
+// followed by "+"-separated gate dimensions (issue, write, commit, fetch,
+// obfuscation). The legacy short names ("commit+fetch",
+// "commit+obfuscation") parse through the grammar. Unknown names error with
+// the registered canonical names.
+func Parse(name string) (ControlPoint, error) {
+	if p, ok := Lookup(name); ok {
+		return p, nil
+	}
+	body := strings.TrimPrefix(name, "authen-then-")
+	body = strings.TrimPrefix(body, "then-")
+	p := ControlPoint{Authenticate: true}
+	ok := body != ""
+	for _, part := range strings.Split(body, "+") {
+		found := false
+		for _, d := range dimensions {
+			if d.name == part {
+				next := Compose(p, d.point)
+				if next == p {
+					ok = false // duplicate component
+				}
+				p, found = next, true
+				break
+			}
+		}
+		if !found {
+			ok = false
+			break
+		}
+	}
+	if !ok {
+		return ControlPoint{}, fmt.Errorf(
+			"policy: unknown control point %q (registered: %s; or compose gates like %q from issue, write, commit, fetch, obfuscation)",
+			name, strings.Join(Names(), ", "), "authen-then-commit+fetch")
+	}
+	return p, nil
+}
+
+// --- registry ---------------------------------------------------------------
+
+// Entry is one registered canonical control point.
+type Entry struct {
+	Name  string
+	Point ControlPoint
+	// Doc is a one-line description for listings.
+	Doc string
+}
+
+var (
+	regMu   sync.RWMutex
+	regList []Entry
+	regName map[string]ControlPoint
+)
+
+// Register adds a canonical name for a control point. Names must be unique;
+// the composition grammar keeps working alongside registered names, so a
+// registration only adds an alias and a listing entry, never semantics.
+func Register(name string, p ControlPoint, doc string) error {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := regName[name]; dup {
+		return fmt.Errorf("policy: %q already registered", name)
+	}
+	p = p.Normalize()
+	regName[name] = p
+	regList = append(regList, Entry{Name: name, Point: p, Doc: doc})
+	return nil
+}
+
+// MustRegister is Register that panics on error (init-time registration).
+func MustRegister(name string, p ControlPoint, doc string) {
+	if err := Register(name, p, doc); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a registered canonical name.
+func Lookup(name string) (ControlPoint, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	p, ok := regName[name]
+	return p, ok
+}
+
+// Registered returns the canonical entries in registration order.
+func Registered() []Entry {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Entry, len(regList))
+	copy(out, regList)
+	return out
+}
+
+// Names returns the registered canonical names in registration order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, len(regList))
+	for i, e := range regList {
+		out[i] = e.Name
+	}
+	return out
+}
+
+func init() {
+	regName = map[string]ControlPoint{}
+	MustRegister("baseline", Baseline, "decryption only, no integrity verification (normalization baseline)")
+	MustRegister("authen-then-issue", ThenIssue, "verification gates instruction issue and operand use")
+	MustRegister("authen-then-write", ThenWrite, "committed stores wait for their authentication tag")
+	MustRegister("authen-then-commit", ThenCommit, "verification gates instruction retirement")
+	MustRegister("authen-then-fetch", ThenFetch, "new external fetches wait for the auth queue to drain")
+	MustRegister("authen-then-commit+fetch", CommitPlusFetch, "then-commit plus then-fetch — the paper's recommended point")
+	MustRegister("authen-then-commit+obfuscation", CommitPlusObfuscation, "then-commit plus HIDE-style address obfuscation")
+	MustRegister("authen-only", AuthOnly, "verify every line but gate nothing (detection without containment)")
+}
+
+// --- machine knobs ----------------------------------------------------------
+
+// Knobs is the flat set of component configuration bits a control point
+// determines. The simulator copies these onto pipeline.Config,
+// sim.MemConfig, and secmem.Config — the knobs stay on the components, but
+// only the policy layer sets them.
+type Knobs struct {
+	// Authenticate -> secmem.Config.Authenticate
+	Authenticate bool
+	// Remap -> secmem.Config.Remap (address obfuscation)
+	Remap bool
+	// GateIssue -> pipeline.Config.GateIssue
+	GateIssue bool
+	// UseAtAuth -> sim.MemConfig.UseAtAuth (loaded values usable only
+	// after verification; paired with GateIssue)
+	UseAtAuth bool
+	// StoreWaitAuth -> pipeline.Config.StoreWaitAuth
+	StoreWaitAuth bool
+	// GateCommit -> pipeline.Config.GateCommit
+	GateCommit bool
+	// GateFetch -> sim.MemConfig.GateFetch
+	GateFetch bool
+}
+
+// Knobs maps the point onto component configuration bits. Each gate
+// dimension owns a fixed knob set, so a composition's knobs are exactly the
+// union of its components' (pinned by TestKnobOrthogonality).
+func (p ControlPoint) Knobs() Knobs {
+	p = p.Normalize()
+	return Knobs{
+		Authenticate:  p.Authenticate,
+		Remap:         p.Obfuscate,
+		GateIssue:     p.GateIssue,
+		UseAtAuth:     p.GateIssue,
+		StoreWaitAuth: p.GateWrite,
+		GateCommit:    p.GateCommit,
+		GateFetch:     p.GateFetch,
+	}
+}
+
+// union is the knob-level join, mirroring Compose.
+func (k Knobs) union(o Knobs) Knobs {
+	return Knobs{
+		Authenticate:  k.Authenticate || o.Authenticate,
+		Remap:         k.Remap || o.Remap,
+		GateIssue:     k.GateIssue || o.GateIssue,
+		UseAtAuth:     k.UseAtAuth || o.UseAtAuth,
+		StoreWaitAuth: k.StoreWaitAuth || o.StoreWaitAuth,
+		GateCommit:    k.GateCommit || o.GateCommit,
+		GateFetch:     k.GateFetch || o.GateFetch,
+	}
+}
+
+// --- lattice enumeration ----------------------------------------------------
+
+// Lattice returns the sweepable composable space: every single gate
+// dimension plus every pairwise composition, deterministically ordered
+// (singles in canonical dimension order, then pairs). The baseline is not
+// included — sweeps add it as the normalization leg. 15 points.
+func Lattice() []ControlPoint {
+	var out []ControlPoint
+	for _, d := range dimensions {
+		out = append(out, d.point)
+	}
+	for i := range dimensions {
+		for j := i + 1; j < len(dimensions); j++ {
+			out = append(out, Compose(dimensions[i].point, dimensions[j].point))
+		}
+	}
+	return out
+}
+
+// FullLattice returns every non-baseline point of the lattice: all 31
+// non-empty gate subsets, ordered by gate count then canonical name.
+func FullLattice() []ControlPoint {
+	var out []ControlPoint
+	n := len(dimensions)
+	for mask := 1; mask < 1<<n; mask++ {
+		p := ControlPoint{Authenticate: true}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				p = Compose(p, dimensions[i].point)
+			}
+		}
+		out = append(out, p)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ci, cj := len(out[i].Components()), len(out[j].Components())
+		if ci != cj {
+			return ci < cj
+		}
+		return out[i].String() < out[j].String()
+	})
+	return out
+}

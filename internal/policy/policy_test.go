@@ -1,0 +1,213 @@
+package policy
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCanonicalNames(t *testing.T) {
+	want := map[string]ControlPoint{
+		"baseline":                       Baseline,
+		"authen-only":                    AuthOnly,
+		"authen-then-issue":              ThenIssue,
+		"authen-then-write":              ThenWrite,
+		"authen-then-commit":             ThenCommit,
+		"authen-then-fetch":              ThenFetch,
+		"authen-then-commit+fetch":       CommitPlusFetch,
+		"authen-then-commit+obfuscation": CommitPlusObfuscation,
+	}
+	for name, p := range want {
+		if got := p.String(); got != name {
+			t.Errorf("%v.String() = %q, want %q", p, got, name)
+		}
+		parsed, err := Parse(name)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", name, err)
+		} else if parsed != p {
+			t.Errorf("Parse(%q) = %+v, want %+v", name, parsed, p)
+		}
+	}
+}
+
+func TestParseLegacyAliases(t *testing.T) {
+	for name, want := range map[string]ControlPoint{
+		"commit+fetch":       CommitPlusFetch,
+		"commit+obfuscation": CommitPlusObfuscation,
+		"then-commit":        ThenCommit,
+		"then-write+fetch":   Compose(ThenWrite, ThenFetch),
+		"fetch+commit":       CommitPlusFetch, // order-insensitive
+	} {
+		got, err := Parse(name)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", name, err)
+		} else if got != want {
+			t.Errorf("Parse(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestParseUnknownListsRegistered(t *testing.T) {
+	for _, bad := range []string{"", "authen-then-", "nonsense", "commit+nonsense", "commit+commit"} {
+		_, err := Parse(bad)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "authen-then-commit") || !strings.Contains(err.Error(), "baseline") {
+			t.Errorf("Parse(%q) error should list registered names: %v", bad, err)
+		}
+	}
+}
+
+// TestRoundTripFullLattice pins Parse(String(p)) == p over every point of
+// the lattice, including all 3-, 4-, and 5-way compositions.
+func TestRoundTripFullLattice(t *testing.T) {
+	pts := append([]ControlPoint{Baseline, AuthOnly}, FullLattice()...)
+	if len(pts) != 33 {
+		t.Fatalf("lattice size %d, want 33 (baseline + authen-only + 31 gate subsets)", len(pts))
+	}
+	seen := map[string]bool{}
+	for _, p := range pts {
+		s := p.String()
+		if seen[s] {
+			t.Errorf("duplicate canonical name %q", s)
+		}
+		seen[s] = true
+		got, err := Parse(s)
+		if err != nil {
+			t.Errorf("Parse(String(%+v)=%q): %v", p, s, err)
+		} else if got != p {
+			t.Errorf("round trip %q: got %+v want %+v", s, got, p)
+		}
+	}
+}
+
+func TestMarshalTextRoundTrip(t *testing.T) {
+	type box struct {
+		P ControlPoint `json:"p"`
+	}
+	in := box{P: Compose(ThenIssue, CommitPlusObfuscation)}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"authen-then-issue+commit+obfuscation"`) {
+		t.Errorf("marshal: %s", b)
+	}
+	var out box
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.P != in.P {
+		t.Errorf("unmarshal %+v != %+v", out.P, in.P)
+	}
+}
+
+func TestCompose(t *testing.T) {
+	if got := Compose(ThenCommit, ThenFetch); got != CommitPlusFetch {
+		t.Errorf("commit∘fetch = %v", got)
+	}
+	if got := Compose(Baseline, ThenCommit); got != ThenCommit {
+		t.Errorf("baseline∘commit = %v", got)
+	}
+	if got := Compose(ThenCommit, ThenCommit); got != ThenCommit {
+		t.Errorf("compose not idempotent: %v", got)
+	}
+	// Commutative and associative over a 3-way combo.
+	abc := Compose(ThenIssue, Compose(ThenWrite, ThenFetch))
+	cba := Compose(Compose(ThenFetch, ThenWrite), ThenIssue)
+	if abc != cba {
+		t.Errorf("compose order-dependent: %v vs %v", abc, cba)
+	}
+	if abc.String() != "authen-then-issue+write+fetch" {
+		t.Errorf("3-way name %q", abc.String())
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	p := ControlPoint{GateCommit: true} // literal without Authenticate
+	if !p.Normalize().Authenticate {
+		t.Error("gate without Authenticate must normalize to authenticated")
+	}
+	if p.Normalize() != ThenCommit {
+		t.Errorf("normalize: %v", p.Normalize())
+	}
+	if !Baseline.IsBaseline() || ThenCommit.IsBaseline() {
+		t.Error("IsBaseline misclassifies")
+	}
+}
+
+// TestKnobOrthogonality pins that every registered composition (and every
+// lattice point) sets exactly the union of its components' knobs — no
+// composition silently drops a knob (e.g. UseAtAuth) the way a hand-written
+// switch case could.
+func TestKnobOrthogonality(t *testing.T) {
+	check := func(name string, p ControlPoint) {
+		t.Helper()
+		want := Knobs{Authenticate: p.Normalize().Authenticate}
+		for _, comp := range p.Components() {
+			single, err := Parse(comp)
+			if err != nil {
+				t.Fatalf("%s: component %q: %v", name, comp, err)
+			}
+			want = want.union(single.Knobs())
+		}
+		if got := p.Knobs(); got != want {
+			t.Errorf("%s: knobs %+v != union of component knobs %+v", name, got, want)
+		}
+	}
+	for _, e := range Registered() {
+		check(e.Name, e.Point)
+	}
+	for _, p := range FullLattice() {
+		check(p.String(), p)
+	}
+	// The issue gate must carry UseAtAuth through every composition.
+	if k := Compose(ThenIssue, ThenFetch).Knobs(); !k.UseAtAuth {
+		t.Error("issue+fetch dropped UseAtAuth")
+	}
+}
+
+func TestLatticeShape(t *testing.T) {
+	lat := Lattice()
+	if len(lat) != 15 {
+		t.Fatalf("lattice points %d, want 15 (5 singles + 10 pairs)", len(lat))
+	}
+	seen := map[ControlPoint]bool{}
+	for _, p := range lat {
+		if seen[p] {
+			t.Errorf("duplicate lattice point %v", p)
+		}
+		seen[p] = true
+		if p.IsBaseline() {
+			t.Error("lattice must not contain the baseline")
+		}
+	}
+	if !seen[CommitPlusFetch] || !seen[CommitPlusObfuscation] {
+		t.Error("lattice missing the paper's combination points")
+	}
+}
+
+func TestRegister(t *testing.T) {
+	custom := Compose(ThenWrite, ThenFetch)
+	if err := Register("test-write+fetch", custom, "test entry"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse("test-write+fetch")
+	if err != nil || got != custom {
+		t.Fatalf("registered name: %v %v", got, err)
+	}
+	if err := Register("test-write+fetch", custom, "dup"); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "test-write+fetch" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Names() missing registered entry")
+	}
+}

@@ -10,7 +10,7 @@ import (
 	"strings"
 
 	"authpoint/internal/obs"
-	"authpoint/internal/sim"
+	"authpoint/internal/policy"
 )
 
 // WriteMetrics renders a metrics snapshot: histograms with distribution
@@ -37,40 +37,40 @@ func WriteMetrics(w io.Writer, s *obs.Snapshot) {
 	}
 }
 
-// SchemeSummary is the per-scheme aggregate of every measured cell's metrics
-// snapshot.
+// SchemeSummary is the per-control-point aggregate of every measured cell's
+// metrics snapshot.
 type SchemeSummary struct {
-	Scheme sim.Scheme
+	Policy policy.ControlPoint
 	Cells  int
 	Snap   *obs.Snapshot
 }
 
-// Aggregator folds per-cell snapshots into per-scheme summaries, preserving
-// first-seen scheme order.
+// Aggregator folds per-cell snapshots into per-control-point summaries,
+// preserving first-seen policy order.
 type Aggregator struct {
-	order []sim.Scheme
-	by    map[sim.Scheme]*SchemeSummary
+	order []policy.ControlPoint
+	by    map[policy.ControlPoint]*SchemeSummary
 }
 
 // NewAggregator returns an empty aggregator.
 func NewAggregator() *Aggregator {
-	return &Aggregator{by: map[sim.Scheme]*SchemeSummary{}}
+	return &Aggregator{by: map[policy.ControlPoint]*SchemeSummary{}}
 }
 
-// Add merges one cell's snapshot into its scheme's summary (nil snapshots are
-// counted but contribute nothing).
-func (a *Aggregator) Add(scheme sim.Scheme, snap *obs.Snapshot) error {
-	s, ok := a.by[scheme]
+// Add merges one cell's snapshot into its control point's summary (nil
+// snapshots are counted but contribute nothing).
+func (a *Aggregator) Add(pt policy.ControlPoint, snap *obs.Snapshot) error {
+	s, ok := a.by[pt]
 	if !ok {
-		s = &SchemeSummary{Scheme: scheme, Snap: &obs.Snapshot{}}
-		a.by[scheme] = s
-		a.order = append(a.order, scheme)
+		s = &SchemeSummary{Policy: pt, Snap: &obs.Snapshot{}}
+		a.by[pt] = s
+		a.order = append(a.order, pt)
 	}
 	s.Cells++
 	return s.Snap.Merge(snap)
 }
 
-// Summaries returns the per-scheme summaries in first-seen order.
+// Summaries returns the per-control-point summaries in first-seen order.
 func (a *Aggregator) Summaries() []SchemeSummary {
 	out := make([]SchemeSummary, 0, len(a.order))
 	for _, sc := range a.order {
@@ -87,17 +87,17 @@ func WriteSchemeSummaries(w io.Writer, sums []SchemeSummary) {
 		return
 	}
 	p := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
-	p("per-scheme observability summary:")
-	p("  %-20s %5s | %21s | %21s | %30s", "", "", "auth latency (cyc)", "decrypt→auth gap", "stall cycles")
-	p("  %-20s %5s | %6s %6s %7s | %6s %6s %7s | %9s %9s %9s",
-		"scheme", "cells", "mean", "p90", "max", "mean", "p90", "max",
+	p("per-policy observability summary:")
+	p("  %-30s %5s | %21s | %21s | %30s", "", "", "auth latency (cyc)", "decrypt→auth gap", "stall cycles")
+	p("  %-30s %5s | %6s %6s %7s | %6s %6s %7s | %9s %9s %9s",
+		"policy", "cells", "mean", "p90", "max", "mean", "p90", "max",
 		"commit", "issue", "sb-full")
-	p("  %s", strings.Repeat("-", 112))
+	p("  %s", strings.Repeat("-", 122))
 	for _, s := range sums {
 		lat := s.Snap.Histograms[obs.MetricAuthLatency]
 		gap := s.Snap.Histograms[obs.MetricAuthGap]
-		p("  %-20s %5d | %6.1f %6d %7d | %6.1f %6d %7d | %9d %9d %9d",
-			s.Scheme, s.Cells,
+		p("  %-30s %5d | %6.1f %6d %7d | %6.1f %6d %7d | %9d %9d %9d",
+			s.Policy, s.Cells,
 			lat.Mean(), lat.Quantile(0.9), lat.Max,
 			gap.Mean(), gap.Quantile(0.9), gap.Max,
 			s.Snap.Counters["stall.commit-auth.cycles"],

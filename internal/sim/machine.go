@@ -10,10 +10,17 @@ import (
 	"authpoint/internal/mem"
 	"authpoint/internal/obs"
 	"authpoint/internal/pipeline"
+	"authpoint/internal/policy"
 	"authpoint/internal/secmem"
 )
 
-// Scheme names one of the paper's authentication control points.
+// Scheme names one of the paper's seven evaluated control points.
+//
+// Deprecated: Scheme is a closed enum kept as a thin shim over the open
+// policy layer; it resolves through the policy registry (see Policy and
+// Config.ControlPoint). New code should set Config.Policy with a
+// policy.ControlPoint, which also expresses compositions the enum cannot
+// (then-write+fetch, then-issue+obfuscation, any 3-way combo).
 type Scheme int
 
 // The evaluated design points (Section 4.2 + 4.3 of the paper).
@@ -68,6 +75,54 @@ func (s Scheme) String() string {
 	return "?"
 }
 
+// Policy maps the legacy enum value onto its lattice point.
+func (s Scheme) Policy() policy.ControlPoint {
+	switch s {
+	case SchemeThenIssue:
+		return policy.ThenIssue
+	case SchemeThenWrite:
+		return policy.ThenWrite
+	case SchemeThenCommit:
+		return policy.ThenCommit
+	case SchemeThenFetch:
+		return policy.ThenFetch
+	case SchemeCommitPlusFetch:
+		return policy.CommitPlusFetch
+	case SchemeCommitPlusObfuscation:
+		return policy.CommitPlusObfuscation
+	}
+	return policy.Baseline
+}
+
+// ParseScheme resolves a scheme name through the policy registry, so the
+// `-scheme` flags and `-json` output are guaranteed mutually consistent:
+// every Scheme.String() rendering parses back to the same enum value (the
+// legacy "commit+fetch" short names included). Names that resolve to a
+// lattice point outside the legacy seven are rejected here — use
+// policy.Parse and Config.Policy for those.
+func ParseScheme(name string) (Scheme, error) {
+	p, err := policy.Parse(name)
+	if err != nil {
+		return 0, err
+	}
+	if s, ok := SchemeForPolicy(p); ok {
+		return s, nil
+	}
+	return 0, fmt.Errorf("sim: %q is not one of the legacy schemes %v (set Config.Policy for composed control points)", name, Schemes)
+}
+
+// SchemeForPolicy maps a lattice point back onto the legacy enum, when the
+// point is one of the seven evaluated schemes.
+func SchemeForPolicy(p policy.ControlPoint) (Scheme, bool) {
+	p = p.Normalize()
+	for _, s := range Schemes {
+		if s.Policy() == p {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
 // Config is the full machine configuration.
 type Config struct {
 	Pipeline pipeline.Config
@@ -76,6 +131,17 @@ type Config struct {
 	DRAM     dram.Config
 	Bus      bus.Config
 
+	// Policy is the authentication control point: any point of the
+	// composable gate lattice (see internal/policy). The zero value is the
+	// decrypt-only baseline. The gate knobs on Pipeline, Mem, and Sec are
+	// overwritten from this policy when the machine is built — they are set
+	// only through the policy layer.
+	Policy policy.ControlPoint
+
+	// Scheme is the legacy closed enum of the paper's seven points.
+	//
+	// Deprecated: kept as a shim; it is consulted only when Policy is the
+	// zero value, and resolves through the policy registry. Set Policy.
 	Scheme Scheme
 
 	// StackB is the protected stack region size.
@@ -108,34 +174,30 @@ func DefaultConfig() Config {
 	}
 }
 
-// applyScheme translates the scheme into component knobs.
-func (c *Config) applyScheme() {
-	c.Sec.Authenticate = true
-	c.Sec.Remap = false
-	c.Pipeline.GateIssue = false
-	c.Pipeline.GateCommit = false
-	c.Pipeline.StoreWaitAuth = false
-	c.Mem.GateFetch = false
-	c.Mem.UseAtAuth = false
-	switch c.Scheme {
-	case SchemeBaseline:
-		c.Sec.Authenticate = false
-	case SchemeThenIssue:
-		c.Pipeline.GateIssue = true
-		c.Mem.UseAtAuth = true
-	case SchemeThenWrite:
-		c.Pipeline.StoreWaitAuth = true
-	case SchemeThenCommit:
-		c.Pipeline.GateCommit = true
-	case SchemeThenFetch:
-		c.Mem.GateFetch = true
-	case SchemeCommitPlusFetch:
-		c.Pipeline.GateCommit = true
-		c.Mem.GateFetch = true
-	case SchemeCommitPlusObfuscation:
-		c.Pipeline.GateCommit = true
-		c.Sec.Remap = true
+// ControlPoint resolves the effective policy: Policy when set, otherwise
+// the deprecated Scheme shim through the registry. The result is
+// normalized (any gate implies Authenticate).
+func (c Config) ControlPoint() policy.ControlPoint {
+	if c.Policy == (policy.ControlPoint{}) {
+		return c.Scheme.Policy()
 	}
+	return c.Policy.Normalize()
+}
+
+// applyPolicy copies the resolved control point's knobs onto the component
+// configs, overwriting whatever was there: the gate knobs are owned by the
+// policy layer.
+func (c *Config) applyPolicy() {
+	p := c.ControlPoint()
+	c.Policy = p
+	k := p.Knobs()
+	c.Sec.Authenticate = k.Authenticate
+	c.Sec.Remap = k.Remap
+	c.Pipeline.GateIssue = k.GateIssue
+	c.Pipeline.GateCommit = k.GateCommit
+	c.Pipeline.StoreWaitAuth = k.StoreWaitAuth
+	c.Mem.GateFetch = k.GateFetch
+	c.Mem.UseAtAuth = k.UseAtAuth
 }
 
 // StopReason says why a run ended.
@@ -261,7 +323,7 @@ type Region struct {
 // NewMachineWithRegions is NewMachine plus extra protected regions (probe
 // windows for the attack experiments).
 func NewMachineWithRegions(cfg Config, p *asm.Program, extra []Region) (*Machine, error) {
-	cfg.applyScheme()
+	cfg.applyPolicy()
 	physical := mem.New()
 	b, err := bus.New(cfg.Bus)
 	if err != nil {
