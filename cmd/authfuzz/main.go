@@ -1,0 +1,270 @@
+// Command authfuzz hunts correctness bugs in the timed simulator by
+// differential fuzzing: seed-deterministic random programs run on the
+// out-of-order machine and on the in-order oracle, across the
+// authentication control-point lattice, and every piece of architectural
+// state is diffed. Tamper mode flips a bit in the encrypted image and
+// asserts the containment invariants of gated policies; monotone mode
+// asserts the metamorphic timing invariant (removing stall gates never
+// costs cycles). Divergences are shrunk to minimal programs and written as
+// deterministic .repro files that replay byte-identically.
+//
+// Usage:
+//
+//	authfuzz [flags]                  # fuzz sweep
+//	authfuzz -repro file.repro ...    # deterministic replay
+//
+// Examples:
+//
+//	authfuzz -seeds 1:500 -policies ci -tamper -out findings/
+//	authfuzz -seeds 1:50 -policies full -mode cross -monotone
+//	authfuzz -repro internal/diffcheck/testdata/s2l-forwarding.repro
+//
+// The exit status is 0 when every check is clean (every replay matches), 1
+// when any divergence, invariant violation, or replay mismatch is found,
+// and 2 on usage errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"authpoint/internal/diffcheck"
+	"authpoint/internal/policy"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "authfuzz: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func main() {
+	var (
+		seedsFlag = flag.String("seeds", "1:100", "inclusive seed range lo:hi")
+		polFlag   = flag.String("policies", "ci", "policy set: full (31-point lattice), lattice, ci (CI smoke set), or comma-separated names (e.g. baseline,authen-then-commit+fetch)")
+		mode      = flag.String("mode", "pair", "pair (seed i under policies[i mod n]) or cross (every seed under every policy)")
+		tamper    = flag.Bool("tamper", false, "also run every cell with a tampered entry line and check containment invariants")
+		monotone  = flag.Bool("monotone", false, "per seed, check cycle monotonicity across the policy set (runs every policy per seed)")
+		minimize  = flag.Bool("minimize", true, "shrink divergent programs to minimal repros before recording")
+		outDir    = flag.String("out", "", "directory to write .repro files for findings (none if empty)")
+		repro     = flag.Bool("repro", false, "replay .repro files given as arguments instead of fuzzing")
+		parallel  = flag.Int("parallel", 0, "worker pool size (0 = NumCPU)")
+		budget    = flag.Duration("budget", 0, "wall-clock bound for the sweep (0 = none); cells not reached are skipped, not failed")
+		verbose   = flag.Bool("v", false, "print one line per cell")
+	)
+	flag.Parse()
+
+	if *repro {
+		os.Exit(replayFiles(flag.Args(), *verbose))
+	}
+	if flag.NArg() > 0 {
+		fatalf("unexpected arguments %q (use -repro to replay files)", flag.Args())
+	}
+
+	seeds, err := parseSeeds(*seedsFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pols, err := parsePolicies(*polFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	ctx := context.Background()
+	if *budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *budget)
+		defer cancel()
+	}
+
+	bad := runSweep(ctx, seeds, pols, *mode, *tamper, *minimize, *outDir, *parallel, *verbose)
+	if *monotone {
+		bad = runMonotone(seeds, pols, *verbose) || bad
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func parseSeeds(s string) ([]int64, error) {
+	lo, hi, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("seeds %q: want lo:hi", s)
+	}
+	l, err1 := strconv.ParseInt(strings.TrimSpace(lo), 10, 64)
+	h, err2 := strconv.ParseInt(strings.TrimSpace(hi), 10, 64)
+	if err1 != nil || err2 != nil || h < l {
+		return nil, fmt.Errorf("seeds %q: want lo:hi with hi >= lo", s)
+	}
+	out := make([]int64, 0, h-l+1)
+	for v := l; v <= h; v++ {
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parsePolicies(s string) ([]policy.ControlPoint, error) {
+	switch s {
+	case "full":
+		return policy.FullLattice(), nil
+	case "lattice", "ci":
+		// The CI smoke set: the 15-point lattice (all singles and pairs),
+		// cheap enough to pair-sweep hundreds of seeds on every push.
+		return policy.Lattice(), nil
+	}
+	var out []policy.ControlPoint
+	for _, name := range strings.Split(s, ",") {
+		p, err := policy.Parse(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func runSweep(ctx context.Context, seeds []int64, pols []policy.ControlPoint, mode string, tamper, minimize bool, outDir string, parallel int, verbose bool) bool {
+	var cells []diffcheck.Cell
+	switch mode {
+	case "pair":
+		cells = diffcheck.PairCells(seeds, pols, false)
+		if tamper {
+			cells = append(cells, diffcheck.PairCells(seeds, pols, true)...)
+		}
+	case "cross":
+		cells = diffcheck.CrossCells(seeds, pols, false)
+		if tamper {
+			cells = append(cells, diffcheck.CrossCells(seeds, pols, true)...)
+		}
+	default:
+		fatalf("mode %q: want pair or cross", mode)
+	}
+
+	start := time.Now()
+	results, findings, err := diffcheck.Sweep(ctx, cells, diffcheck.Options{}, parallel)
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	counts := map[diffcheck.Verdict]int{}
+	skipped := 0
+	for _, r := range results {
+		if r.Verdict == "" {
+			skipped++
+			continue
+		}
+		counts[r.Verdict]++
+		if verbose {
+			fmt.Printf("seed %-6d %-45v tamper=%-5v %s\n", r.Seed, r.Policy, r.Tamper, r.Verdict)
+		}
+	}
+	fmt.Printf("authfuzz: %d cells (%d seeds x %d policies, mode %s, tamper %v) in %v\n",
+		len(cells), len(seeds), len(pols), mode, tamper, elapsed)
+	fmt.Printf("authfuzz: verdicts:")
+	for _, v := range []diffcheck.Verdict{diffcheck.VerdictOK, diffcheck.VerdictContained,
+		diffcheck.VerdictDetected, diffcheck.VerdictUndetected, diffcheck.VerdictDivergence, diffcheck.VerdictError} {
+		if counts[v] > 0 {
+			fmt.Printf(" %s=%d", v, counts[v])
+		}
+	}
+	if skipped > 0 {
+		fmt.Printf(" skipped=%d (budget)", skipped)
+	}
+	fmt.Println()
+	if err != nil && err != context.DeadlineExceeded {
+		fmt.Fprintf(os.Stderr, "authfuzz: sweep: %v\n", err)
+	}
+
+	for _, f := range findings {
+		reportFinding(f, minimize, outDir)
+	}
+	return len(findings) > 0
+}
+
+// reportFinding prints one divergence, optionally shrinks it, and records a
+// replayable .repro under outDir.
+func reportFinding(f diffcheck.Finding, minimize bool, outDir string) {
+	res := f.Result
+	fmt.Printf("authfuzz: FINDING seed %d under %v tamper=%v: %s: %s\n",
+		res.Seed, res.Policy, res.Tamper, res.Verdict, res.Divergence)
+
+	src := f.Source
+	if minimize && res.Verdict == diffcheck.VerdictDivergence {
+		opt := diffcheck.Options{Policy: res.Policy, Tamper: res.Tamper, WatchdogCycles: 500_000}
+		src = diffcheck.Minimize(src, func(s string) bool {
+			return diffcheck.Check(s, opt).Verdict == diffcheck.VerdictDivergence
+		})
+	}
+	if outDir == "" {
+		return
+	}
+	// Re-check with default options so the recording replays with defaults.
+	final := diffcheck.Check(src, diffcheck.Options{Policy: res.Policy, Tamper: res.Tamper})
+	final.Seed = res.Seed
+	r := diffcheck.NewRepro(final, src, "authfuzz finding: "+res.Divergence)
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fatalf("%v", err)
+	}
+	name := fmt.Sprintf("seed%d-%s", res.Seed, res.Policy)
+	if res.Tamper {
+		name += "-tamper"
+	}
+	path := filepath.Join(outDir, name+".repro")
+	if err := r.WriteFile(path); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("authfuzz: wrote %s\n", path)
+}
+
+func runMonotone(seeds []int64, pols []policy.ControlPoint, verbose bool) bool {
+	bad := false
+	for _, seed := range seeds {
+		src := diffcheck.GenProgram(seed)
+		results, viols := diffcheck.CheckMonotone(src, pols, diffcheck.Options{})
+		for _, r := range results {
+			if r.Verdict == diffcheck.VerdictDivergence || r.Verdict == diffcheck.VerdictError {
+				bad = true
+				fmt.Printf("authfuzz: FINDING seed %d under %v: %s: %s\n", seed, r.Policy, r.Verdict, r.Divergence)
+			}
+		}
+		for _, v := range viols {
+			bad = true
+			fmt.Printf("authfuzz: MONOTONE seed %d: %s\n", seed, v)
+		}
+		if verbose {
+			fmt.Printf("seed %-6d monotone over %d policies: %d violations\n", seed, len(pols), len(viols))
+		}
+	}
+	return bad
+}
+
+// replayFiles replays each .repro byte-identically; any mismatch is a
+// finding (the model drifted from the recording, or the recording is stale).
+func replayFiles(files []string, verbose bool) int {
+	if len(files) == 0 {
+		fatalf("-repro needs at least one file")
+	}
+	code := 0
+	for _, path := range files {
+		r, err := diffcheck.LoadRepro(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		res, err := r.Replay()
+		if err != nil {
+			code = 1
+			fmt.Printf("authfuzz: REPLAY MISMATCH %s: %v\n", path, err)
+			continue
+		}
+		if verbose {
+			fmt.Printf("%s: %s (%d cycles, %d insts) replayed byte-identically\n",
+				path, res.Verdict, res.Cycles, res.Insts)
+		} else {
+			fmt.Printf("%s: ok\n", path)
+		}
+	}
+	return code
+}

@@ -1,0 +1,63 @@
+package asm
+
+import "strings"
+
+// LineKind classifies one source line the way the assembler's own lexer
+// would, without assembling it. The differential-fuzzing minimizer uses this
+// to decide which lines are safe candidates for removal: instruction lines
+// can go, while labels (branch targets) and directives (the data image)
+// must survive for the shrunk program to stay well-formed.
+type LineKind int
+
+// Line kinds.
+const (
+	// LineBlank is empty or comment-only.
+	LineBlank LineKind = iota
+	// LineLabel carries only label definitions ("loop:").
+	LineLabel
+	// LineDirective is a dot-directive (".data", ".space 64", ...).
+	LineDirective
+	// LineInst carries an instruction (possibly after labels on the same
+	// line — such lines must be kept, for the labels).
+	LineInst
+)
+
+func (k LineKind) String() string {
+	switch k {
+	case LineBlank:
+		return "blank"
+	case LineLabel:
+		return "label"
+	case LineDirective:
+		return "directive"
+	case LineInst:
+		return "inst"
+	}
+	return "?"
+}
+
+// ClassifyLine reports the kind of one source line, using the same comment
+// stripping and label scanning as Assemble.
+func ClassifyLine(line string) LineKind {
+	s := stripComment(line)
+	if s == "" {
+		return LineBlank
+	}
+	for {
+		i := strings.Index(s, ":")
+		if i < 0 {
+			break
+		}
+		if !isIdent(strings.TrimSpace(s[:i])) {
+			break // malformed label; let the assembler report it
+		}
+		s = strings.TrimSpace(s[i+1:])
+		if s == "" {
+			return LineLabel
+		}
+	}
+	if strings.HasPrefix(s, ".") {
+		return LineDirective
+	}
+	return LineInst
+}

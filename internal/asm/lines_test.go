@@ -1,0 +1,31 @@
+package asm
+
+import "testing"
+
+func TestClassifyLine(t *testing.T) {
+	cases := []struct {
+		line string
+		want LineKind
+	}{
+		{"", LineBlank},
+		{"   ", LineBlank},
+		{"; just a comment", LineBlank},
+		{"  # hash comment", LineBlank},
+		{"loop:", LineLabel},
+		{"  loop: ", LineLabel},
+		{"a: b:", LineLabel}, // multiple labels, nothing else
+		{".data", LineDirective},
+		{".space 64", LineDirective},
+		{"buf: .space 64", LineDirective}, // label then directive: must survive minimization
+		{"\tadd r1, r2, r3", LineInst},
+		{"halt", LineInst},
+		{"loop: addi r1, r1, -1", LineInst}, // label then inst: kept, for the label
+		{"\tld   r3, 0(r1)  ; trailing comment", LineInst},
+		{"beq r1, r2, done", LineInst}, // the operand colon-less label is not a definition
+	}
+	for _, c := range cases {
+		if got := ClassifyLine(c.line); got != c.want {
+			t.Errorf("ClassifyLine(%q) = %v, want %v", c.line, got, c.want)
+		}
+	}
+}

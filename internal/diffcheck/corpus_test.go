@@ -1,0 +1,175 @@
+package diffcheck
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"authpoint/internal/policy"
+)
+
+var update = flag.Bool("update", false, "regenerate the checked-in repro corpus under testdata/")
+
+// s2lForwardSrc stresses the store-to-load forwarding and disambiguation
+// paths that bit during development (DESIGN.md §3): wide stores read back by
+// narrower overlapping loads, a sub-word store punched into a doubleword
+// that a wider load then crosses, all close enough together to still be in
+// the store buffer when the loads issue.
+const s2lForwardSrc = `_start:
+	la  r12, buf
+	li  r1, 123456789123456
+	sd  r1, 0(r12)
+	lw  r2, 4(r12)
+	lbu r3, 0(r12)
+	lb  r4, 7(r12)
+	sw  r2, 8(r12)
+	lbu r5, 8(r12)
+	sb  r5, 17(r12)
+	lw  r6, 16(r12)
+	ld  r7, 16(r12)
+	sb  r1, 24(r12)
+	sw  r2, 24(r12)
+	ld  r8, 24(r12)
+	out r2, 1
+	out r4, 2
+	out r6, 3
+	out r7, 4
+	out r8, 5
+	halt
+.data
+buf: .space 64
+`
+
+// faultMisalignedSrc pins the fault-equivalence contract: both machines
+// stop on the misaligned load with identical pre-fault state.
+const faultMisalignedSrc = `_start:
+	li r2, 80
+	lw r1, 3(r2)
+	halt
+`
+
+type corpusEntry struct {
+	file   string
+	note   string
+	seed   int64 // 0 = hand-written src
+	src    string
+	pol    policy.ControlPoint
+	tamper bool
+}
+
+func (e corpusEntry) source() string {
+	if e.seed != 0 {
+		return GenProgram(e.seed)
+	}
+	return e.src
+}
+
+// corpusEntries defines the checked-in corpus. Each entry is checked under
+// default Options (so it replays with `authfuzz -repro`) and written with
+// -update; TestCorpusReplay replays every file on every `go test` run.
+var corpusEntries = []corpusEntry{
+	{
+		file: "s2l-forwarding.repro",
+		note: "store-to-load forwarding bug class (DESIGN.md §3): overlapping sub-word stores and wider loads through the store buffer",
+		src:  s2lForwardSrc,
+		pol:  policy.ThenCommit,
+	},
+	{
+		file: "s2l-forwarding-write-gated.repro",
+		note: "same forwarding stress with store drains held for authentication (StoreWaitAuth reorders buffer occupancy)",
+		src:  s2lForwardSrc,
+		pol:  policy.Compose(policy.ThenWrite, policy.ThenFetch),
+	},
+	{
+		file: "fault-misaligned.repro",
+		note: "fault equivalence: misaligned load must stop both machines with identical committed state",
+		src:  faultMisalignedSrc,
+		pol:  policy.CommitPlusFetch,
+	},
+	{
+		file: "seed7-baseline.repro",
+		note: "generated program, decrypt-only baseline",
+		seed: 7,
+	},
+	{
+		file: "seed23-then-issue.repro",
+		note: "generated program under the strictest single gate",
+		seed: 23,
+		pol:  policy.ThenIssue,
+	},
+	{
+		file: "seed42-full-gates.repro",
+		note: "generated program with every gate and obfuscation enabled",
+		seed: 42,
+		pol: policy.Compose(policy.CommitPlusObfuscation,
+			policy.Compose(policy.ThenIssue, policy.Compose(policy.ThenWrite, policy.ThenFetch))),
+	},
+	{
+		file:   "tamper-contained-then-commit.repro",
+		note:   "tampered entry line under then-commit must security-fault with zero commits",
+		seed:   3,
+		pol:    policy.ThenCommit,
+		tamper: true,
+	},
+	{
+		file:   "tamper-detected-then-fetch.repro",
+		note:   "tampered entry line under then-fetch is flagged while execution runs ahead",
+		seed:   3,
+		pol:    policy.ThenFetch,
+		tamper: true,
+	},
+}
+
+func TestCorpusUpToDate(t *testing.T) {
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range corpusEntries {
+		src := e.source()
+		res := Check(src, Options{Policy: e.pol, Tamper: e.tamper})
+		if res.Verdict == VerdictDivergence || res.Verdict == VerdictError {
+			t.Fatalf("%s: %s: %s", e.file, res.Verdict, res.Divergence)
+		}
+		res.Seed = e.seed
+		r := NewRepro(res, src, e.note)
+		path := filepath.Join("testdata", e.file)
+		if *update {
+			if err := r.WriteFile(path); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s missing (run `go test -run TestCorpusUpToDate -update ./internal/diffcheck`): %v", path, err)
+		}
+		if string(want) != string(r.Encode()) {
+			t.Errorf("%s is stale: model behaviour drifted from the recording (re-record with -update only if the drift is intended)", path)
+		}
+	}
+}
+
+// TestCorpusReplay replays every checked-in repro byte-identically — the
+// same path `authfuzz -repro <file>` takes.
+func TestCorpusReplay(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.repro"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < len(corpusEntries) {
+		t.Fatalf("corpus has %d files, expected at least %d", len(files), len(corpusEntries))
+	}
+	for _, f := range files {
+		r, err := LoadRepro(f)
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if _, err := r.Replay(); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package diffcheck
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"authpoint/internal/asm"
+	"authpoint/internal/interp"
+	"authpoint/internal/isa"
+	"authpoint/internal/policy"
+	"authpoint/internal/sim"
+)
+
+// Verdict classifies one differential check.
+type Verdict string
+
+// Verdicts. The set is part of the .repro file contract: replays compare
+// verdict strings byte-for-byte.
+const (
+	// VerdictOK: architectural equivalence held (untampered runs), or an
+	// untampered-semantics check had nothing to assert.
+	VerdictOK Verdict = "ok"
+	// VerdictDivergence: the timed simulator and the oracle disagree, or a
+	// tamper-containment invariant broke. This is a bug.
+	VerdictDivergence Verdict = "divergence"
+	// VerdictContained: a tamper run ended in a security fault before any
+	// tainted instruction committed (the strong guarantee of issue/commit
+	// gates).
+	VerdictContained Verdict = "contained"
+	// VerdictDetected: a tamper run flagged the tampered line but execution
+	// ran ahead to some other stop (detection without containment —
+	// authen-only, write/fetch gates).
+	VerdictDetected Verdict = "detected"
+	// VerdictUndetected: a baseline tamper run — no verification exists to
+	// flag it. Expected, not a bug.
+	VerdictUndetected Verdict = "undetected"
+	// VerdictError: the check itself could not run (assembly failure,
+	// non-terminating oracle, machine construction error). Not a divergence,
+	// but fuzz sweeps surface it: generated programs must never trip it.
+	VerdictError Verdict = "error"
+)
+
+// Options configures one differential check.
+type Options struct {
+	// Policy is the authentication control point for the timed run. The
+	// zero value is the decrypt-only baseline.
+	Policy policy.ControlPoint
+	// Mutate, if set, adjusts the timed config after the policy is applied
+	// (prefetcher on, MSHR bounds, ...). Mutations are not recorded in
+	// repro files; corpus entries must not rely on them.
+	Mutate func(*sim.Config)
+	// Tamper flips one bit in the encrypted text image at the entry point
+	// before the run and checks containment invariants instead of
+	// equivalence.
+	Tamper bool
+	// MaxOracleInsts bounds the oracle run (0 = DefaultMaxOracleInsts).
+	// Programs that exceed it report VerdictError, not a divergence.
+	MaxOracleInsts uint64
+	// WatchdogCycles overrides the timed machine's watchdog (0 = the
+	// simulator default). The minimizer lowers it so non-terminating
+	// shrink candidates fail fast.
+	WatchdogCycles uint64
+}
+
+// DefaultMaxOracleInsts bounds the in-order oracle: generated programs
+// terminate within a few thousand instructions, so anything near this bound
+// is a runaway shrink candidate, not a real program.
+const DefaultMaxOracleInsts = 2_000_000
+
+// tamperMaxInsts bounds tampered timed runs: a tampered instruction stream
+// may do anything, including loop forever without faulting, and the bound
+// turns that into a deterministic stop instead of a slow watchdog abort.
+const tamperMaxInsts = 100_000
+
+// Result is the outcome of one differential check. All fields are
+// deterministic functions of (source, policy, tamper): recorded results
+// replay byte-identically.
+type Result struct {
+	Seed    int64 // generator seed, when the source came from Gen (else 0)
+	Policy  policy.ControlPoint
+	Tamper  bool
+	Verdict Verdict
+	// Divergence describes the first difference found, empty otherwise.
+	Divergence string
+	// Reason is the timed machine's stop reason string.
+	Reason string
+	// Cycles and Insts are the timed run's totals.
+	Cycles uint64
+	Insts  uint64
+	// OracleDigest and SimDigest are hex state digests over registers, OUT
+	// log, data segment, and stack (see interp.DigestArchState). For
+	// untampered runs with VerdictOK they are equal by construction.
+	OracleDigest string
+	SimDigest    string
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxOracleInsts == 0 {
+		o.MaxOracleInsts = DefaultMaxOracleInsts
+	}
+	return o
+}
+
+// digestRanges returns the memory windows covered by state digests and
+// memory comparison: the data segment and the stack.
+func digestRanges(p *asm.Program, stackB uint64) []interp.MemRange {
+	var out []interp.MemRange
+	if len(p.Data) > 0 {
+		out = append(out, interp.MemRange{Start: p.DataBase, Len: uint64(len(p.Data))})
+	}
+	out = append(out, interp.MemRange{Start: sim.StackBase, Len: stackB})
+	return out
+}
+
+// CheckSeed generates the program for seed and checks it; it returns the
+// result (with Seed stamped) and the generated source.
+func CheckSeed(seed int64, opt Options) (Result, string) {
+	src := GenProgram(seed)
+	res := Check(src, opt)
+	res.Seed = seed
+	return res, src
+}
+
+// Check runs one program on the timed out-of-order machine and the in-order
+// oracle and diffs every piece of architectural state: stop/fault
+// behaviour, committed instruction count, both register files, the OUT log,
+// and the final memory image of the data segment and stack. Under Tamper it
+// instead asserts the policy's containment invariants (see Verdicts).
+func Check(src string, opt Options) Result {
+	opt = opt.withDefaults()
+	res := Result{Policy: opt.Policy.Normalize(), Tamper: opt.Tamper}
+
+	p, err := asm.Assemble(src)
+	if err != nil {
+		res.Verdict = VerdictError
+		res.Divergence = "assemble: " + err.Error()
+		return res
+	}
+
+	// Oracle leg. Tamper runs still record the untampered reference digest:
+	// it is the state the machine would have to "commit" for a containment
+	// break to go unnoticed.
+	oracle := interp.New(p)
+	oStop := oracle.Run(opt.MaxOracleInsts)
+	if oStop == interp.StopMaxInsts {
+		res.Verdict = VerdictError
+		res.Divergence = fmt.Sprintf("oracle did not terminate within %d instructions", opt.MaxOracleInsts)
+		return res
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Policy = opt.Policy
+	if opt.WatchdogCycles > 0 {
+		cfg.WatchdogCycles = opt.WatchdogCycles
+	}
+	if opt.Tamper {
+		cfg.MaxInsts = tamperMaxInsts
+	}
+	if opt.Mutate != nil {
+		opt.Mutate(&cfg)
+	}
+	ranges := digestRanges(p, cfg.StackB)
+	od := oracle.StateDigest(ranges...)
+	res.OracleDigest = hex.EncodeToString(od[:])
+
+	m, err := sim.NewMachine(cfg, p)
+	if err != nil {
+		res.Verdict = VerdictError
+		res.Divergence = "machine: " + err.Error()
+		return res
+	}
+	if opt.Tamper {
+		// One bit flipped in the encrypted text line holding the entry
+		// point: the first instruction fetched is guaranteed tainted.
+		m.Memory.XorRange(p.Entry, []byte{0x40})
+	}
+	simRes, runErr := m.Run()
+	res.Reason = simRes.Reason.String()
+	res.Cycles = simRes.Cycles
+	res.Insts = simRes.Insts
+	sd := m.ArchDigest(ranges...)
+	res.SimDigest = hex.EncodeToString(sd[:])
+
+	if opt.Tamper {
+		return checkTamper(res, m, simRes)
+	}
+	if runErr != nil && simRes.Reason == sim.StopModelError {
+		res.Verdict = VerdictError
+		res.Divergence = "model error: " + runErr.Error()
+		return res
+	}
+	if d := compare(oracle, oStop, m, simRes, ranges); d != "" {
+		res.Verdict = VerdictDivergence
+		res.Divergence = d
+		return res
+	}
+	res.Verdict = VerdictOK
+	return res
+}
+
+// checkTamper asserts the metamorphic containment invariants of a tampered
+// run: gated policies never commit tampered-but-unverified state.
+func checkTamper(res Result, m *sim.Machine, simRes sim.Result) Result {
+	k := res.Policy.Knobs()
+	if !k.Authenticate {
+		// Baseline: nothing verifies, so nothing can be asserted beyond
+		// determinism. The tamper executing unnoticed is the vulnerability
+		// the paper measures, not a bug in the model.
+		res.Verdict = VerdictUndetected
+		return res
+	}
+	// Every authenticating policy must at least flag the tampered line: the
+	// entry line is always fetched, always enqueued, always verified.
+	if m.Ctrl.Fault() == nil {
+		res.Verdict = VerdictDivergence
+		res.Divergence = "tampered entry line was fetched but never flagged by verification"
+		return res
+	}
+	if k.GateIssue || k.GateCommit {
+		// Containment gates: the tainted entry instruction may not issue
+		// (then-issue) or retire (then-commit) before its line verifies, and
+		// its verification fails — so the run must end in a security fault
+		// with zero instructions committed.
+		if simRes.Reason != sim.StopSecurityFault {
+			res.Verdict = VerdictDivergence
+			res.Divergence = fmt.Sprintf("issue/commit-gated policy stopped with %v, want security-fault", simRes.Reason)
+			return res
+		}
+		if simRes.Insts != 0 {
+			res.Verdict = VerdictDivergence
+			res.Divergence = fmt.Sprintf("issue/commit-gated policy committed %d tainted instructions before the fault", simRes.Insts)
+			return res
+		}
+		res.Verdict = VerdictContained
+		return res
+	}
+	// Weaker points (authen-only, write/fetch gates): detection is
+	// guaranteed, containment is not — execution may run ahead and even
+	// halt before the exception fires. That gap is the paper's Table 2.
+	if simRes.Reason == sim.StopSecurityFault {
+		res.Verdict = VerdictContained
+		return res
+	}
+	res.Verdict = VerdictDetected
+	return res
+}
+
+// compare diffs the architectural outcome of the two runs and returns a
+// description of the first difference ("" if equivalent).
+func compare(oracle *interp.Machine, oStop interp.StopReason, m *sim.Machine, simRes sim.Result, ranges []interp.MemRange) string {
+	switch oStop {
+	case interp.StopHalt:
+		if simRes.Reason != sim.StopHalt {
+			return fmt.Sprintf("core stopped with %v, oracle halted", simRes.Reason)
+		}
+		if simRes.Insts != oracle.Insts {
+			return fmt.Sprintf("committed %d insts, oracle executed %d", simRes.Insts, oracle.Insts)
+		}
+	case interp.StopFault:
+		// Precise exceptions: the committed state at the fault must match
+		// the oracle's state before the faulting instruction. Instruction
+		// counts differ by convention (the oracle counts the faulting
+		// instruction; the pipeline never commits it), so they are not
+		// compared here.
+		if simRes.Reason != sim.StopArchFault {
+			kind, addr, _ := oracle.Fault()
+			return fmt.Sprintf("core stopped with %v, oracle faulted (%s at %#x)", simRes.Reason, kind, addr)
+		}
+	}
+	for r := uint8(0); r < isa.NumIntRegs; r++ {
+		if got, want := m.Core.Reg(r), oracle.Regs[r]; got != want {
+			return fmt.Sprintf("r%d = %#x, oracle %#x", r, got, want)
+		}
+	}
+	for r := uint8(0); r < isa.NumFPRegs; r++ {
+		if got, want := m.Core.FReg(r), oracle.FRegs[r]; got != want {
+			return fmt.Sprintf("f%d = %#x, oracle %#x", r, got, want)
+		}
+	}
+	outs := m.Core.OutLog()
+	if len(outs) != len(oracle.Outs) {
+		return fmt.Sprintf("%d OUTs, oracle %d", len(outs), len(oracle.Outs))
+	}
+	for i := range outs {
+		if outs[i].Port != oracle.Outs[i].Port || outs[i].Val != oracle.Outs[i].Val {
+			return fmt.Sprintf("out[%d] = (%#x,%#x), oracle (%#x,%#x)",
+				i, outs[i].Port, outs[i].Val, oracle.Outs[i].Port, oracle.Outs[i].Val)
+		}
+	}
+	for _, rg := range ranges {
+		for off := uint64(0); off < rg.Len; off += 8 {
+			n := 8
+			if rg.Len-off < 8 {
+				n = int(rg.Len - off)
+			}
+			got := m.Shadow.ReadUint(rg.Start+off, n)
+			want := oracle.Mem.ReadUint(rg.Start+off, n)
+			if got != want {
+				return fmt.Sprintf("mem[%#x] = %#x, oracle %#x", rg.Start+off, got, want)
+			}
+		}
+	}
+	return ""
+}

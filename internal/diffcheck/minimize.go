@@ -1,0 +1,76 @@
+package diffcheck
+
+import (
+	"strings"
+
+	"authpoint/internal/asm"
+)
+
+// Minimize shrinks src to a locally minimal program for which keep still
+// reports true (keep is typically "Check still reports this divergence").
+// Only instruction lines are removal candidates — labels stay so branch
+// targets survive, directives stay so the data image survives, and HALT
+// lines stay so shrink candidates keep terminating. Removal is
+// delta-debugging style: exponentially shrinking chunks first, then a
+// single-line pass to a fixpoint. The result is deterministic for a
+// deterministic keep.
+func Minimize(src string, keep func(string) bool) string {
+	if !keep(src) {
+		return src
+	}
+	lines := strings.Split(src, "\n")
+	for chunk := len(lines) / 2; chunk >= 1; chunk /= 2 {
+		for {
+			next, shrunk := removePass(lines, chunk, keep)
+			if !shrunk {
+				break
+			}
+			lines = next
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// removePass tries removing each aligned chunk of candidate lines once,
+// left to right, keeping the first removal that still reproduces. It
+// reports whether anything was removed.
+func removePass(lines []string, chunk int, keep func(string) bool) ([]string, bool) {
+	cand := candidates(lines)
+	for start := 0; start < len(cand); start += chunk {
+		end := start + chunk
+		if end > len(cand) {
+			end = len(cand)
+		}
+		drop := map[int]bool{}
+		for _, li := range cand[start:end] {
+			drop[li] = true
+		}
+		trial := make([]string, 0, len(lines)-len(drop))
+		for i, ln := range lines {
+			if !drop[i] {
+				trial = append(trial, ln)
+			}
+		}
+		if keep(strings.Join(trial, "\n")) {
+			return trial, true
+		}
+	}
+	return lines, false
+}
+
+// candidates returns the indexes of removable lines: instructions other
+// than HALT.
+func candidates(lines []string) []int {
+	var out []int
+	for i, ln := range lines {
+		if asm.ClassifyLine(ln) != asm.LineInst {
+			continue
+		}
+		f := strings.Fields(ln)
+		if len(f) > 0 && strings.EqualFold(f[len(f)-1], "halt") {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}

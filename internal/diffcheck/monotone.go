@@ -1,0 +1,92 @@
+package diffcheck
+
+import (
+	"fmt"
+
+	"authpoint/internal/policy"
+)
+
+// MonotoneViolation is one broken timing invariant: More subsumes Less
+// (same program, strictly more gates), yet ran in fewer cycles.
+type MonotoneViolation struct {
+	Less, More             policy.ControlPoint
+	LessCycles, MoreCycles uint64
+}
+
+func (v MonotoneViolation) String() string {
+	return fmt.Sprintf("%v ran %d cycles but %v (more gates) ran %d",
+		v.Less, v.LessCycles, v.More, v.MoreCycles)
+}
+
+// MonotoneComparable reports whether cycle counts of two normalized policies
+// are ordered by the metamorphic timing invariant: More must subsume Less
+// and the two may differ only in the stall gates (issue, fetch). Those gates
+// purely add waits on the critical path, so removing them can never cost
+// cycles. The other knobs change memory-system behaviour in both directions
+// and are excluded from the comparison:
+//
+//   - obfuscation permutes the address map, so cache and DRAM locality — and
+//     with it total cycles — move arbitrarily;
+//   - write- and commit-gating reorder store-buffer and ROB drains, which
+//     perturbs DRAM row-buffer and bus scheduling. Measured over the full
+//     lattice, adding a drain gate speeds up a material fraction of programs
+//     (it can even beat the baseline), so drain-gate cycle counts are not
+//     pairwise comparable.
+func MonotoneComparable(less, more policy.ControlPoint) bool {
+	if !more.Subsumes(less) {
+		return false
+	}
+	lk, mk := less.Knobs(), more.Knobs()
+	return lk.StoreWaitAuth == mk.StoreWaitAuth &&
+		lk.GateCommit == mk.GateCommit &&
+		lk.Remap == mk.Remap
+}
+
+// CheckMonotone runs one untampered program under every given point plus
+// the baseline and asserts the metamorphic timing invariant: removing stall
+// gates never costs cycles. For every ordered pair with
+// MonotoneComparable(q, p), cycles(p) >= cycles(q) must hold.
+//
+// Every individual run must also be architecturally equivalent to the
+// oracle; such divergences are returned through the Result slice.
+func CheckMonotone(src string, points []policy.ControlPoint, opt Options) (results []Result, violations []MonotoneViolation) {
+	opt.Tamper = false
+	pts := make([]policy.ControlPoint, 0, len(points)+1)
+	pts = append(pts, policy.Baseline)
+	seen := map[policy.ControlPoint]bool{policy.Baseline: true}
+	for _, p := range points {
+		p = p.Normalize()
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	cycles := make(map[policy.ControlPoint]uint64, len(pts))
+	for _, p := range pts {
+		o := opt
+		o.Policy = p
+		res := Check(src, o)
+		results = append(results, res)
+		if res.Verdict == VerdictOK {
+			cycles[p] = res.Cycles
+		}
+	}
+	for _, more := range pts {
+		mc, ok := cycles[more]
+		if !ok {
+			continue
+		}
+		for _, less := range pts {
+			lc, ok := cycles[less]
+			if !ok || less == more {
+				continue
+			}
+			if MonotoneComparable(less, more) && lc > mc {
+				violations = append(violations, MonotoneViolation{
+					Less: less, More: more, LessCycles: lc, MoreCycles: mc,
+				})
+			}
+		}
+	}
+	return results, violations
+}

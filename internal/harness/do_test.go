@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsEveryIndex(t *testing.T) {
+	r := &Runner{Parallelism: 4}
+	var hits [50]int32
+	err := r.Do(context.Background(), len(hits), func(ctx context.Context, i int) error {
+		atomic.AddInt32(&hits[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+// The returned error is deterministically the lowest-index failure, no
+// matter which worker errors first.
+func TestDoLowestErrorWins(t *testing.T) {
+	r := &Runner{Parallelism: 4}
+	err := r.Do(context.Background(), 32, func(ctx context.Context, i int) error {
+		return fmt.Errorf("fail %d", i)
+	})
+	if err == nil || err.Error() != "fail 0" {
+		t.Fatalf("err = %v, want fail 0", err)
+	}
+}
+
+func TestDoFailFastSkipsRemaining(t *testing.T) {
+	r := &Runner{Parallelism: 2}
+	var ran int32
+	boom := errors.New("boom")
+	err := r.Do(context.Background(), 100_000, func(ctx context.Context, i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := atomic.LoadInt32(&ran); n >= 100_000 {
+		t.Fatalf("error did not stop the feed: all %d indexes ran", n)
+	}
+}
+
+func TestDoParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &Runner{Parallelism: 2}
+	err := r.Do(ctx, 10, func(ctx context.Context, i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -226,6 +226,20 @@ func OpByName(name string) (Op, bool) {
 	return op, ok
 }
 
+// OpsOfClass returns the defined ops of the given class in opcode order.
+// The slice is freshly allocated; callers may filter or reorder it.
+// Program generators draw mnemonic pools from this so new ops are exercised
+// the moment they are defined.
+func OpsOfClass(c Class) []Op {
+	var out []Op
+	for op := Op(0); int(op) < NumOps; op++ {
+		if op.Valid() && opTable[op].class == c {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
 var opByName = func() map[string]Op {
 	m := make(map[string]Op, NumOps)
 	for op := Op(0); int(op) < NumOps; op++ {

@@ -1,0 +1,34 @@
+package isa
+
+import "testing"
+
+func TestOpsOfClass(t *testing.T) {
+	for _, c := range []Class{ClassALU, ClassMul, ClassLoad, ClassStore, ClassBranch} {
+		ops := OpsOfClass(c)
+		if len(ops) == 0 {
+			t.Errorf("class %v has no ops", c)
+		}
+		for i, op := range ops {
+			if !op.Valid() {
+				t.Errorf("class %v: invalid op %v", c, op)
+			}
+			if op.Class() != c {
+				t.Errorf("op %v has class %v, listed under %v", op, op.Class(), c)
+			}
+			if i > 0 && ops[i-1] >= op {
+				t.Errorf("class %v not in opcode order: %v before %v", c, ops[i-1], op)
+			}
+		}
+	}
+	// Spot-check membership: the generator's ALU pool must contain the
+	// basics it was hand-written with before being table-driven.
+	names := map[string]bool{}
+	for _, op := range OpsOfClass(ClassALU) {
+		names[op.String()] = true
+	}
+	for _, want := range []string{"add", "sub", "xor", "sll", "slt"} {
+		if !names[want] {
+			t.Errorf("ClassALU missing %q", want)
+		}
+	}
+}

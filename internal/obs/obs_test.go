@@ -127,6 +127,47 @@ func TestTraceJSONExportAndValidate(t *testing.T) {
 	}
 }
 
+// Regression: span events whose recorded completion precedes their start
+// (auth request whose completion was stamped earlier, bus transaction
+// recorded conservatively) must export a zero duration — not wrap the
+// uint64 subtraction into an ~1.8e19 "duration" that corrupts the timeline.
+func TestTraceSpanUnderflowClamped(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Emit(Event{Cycle: 100, Kind: EvAuthRequest, Addr: 0x40, A: 1, B: 60})
+	tr.Emit(Event{Cycle: 120, Kind: EvBusTxn, Track: TrackBus, Addr: 0x40, A: 0, B: 90})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("trace with underflowing spans does not validate: %v\n%s", err, buf.String())
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Dur  uint64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	spans := 0
+	for _, e := range f.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		spans++
+		if e.Dur != 0 {
+			t.Errorf("%s span exported dur %d, want 0 (end precedes start)", e.Name, e.Dur)
+		}
+	}
+	if spans != 2 {
+		t.Fatalf("exported %d spans, want 2", spans)
+	}
+}
+
 func TestValidateTraceJSONRejects(t *testing.T) {
 	cases := map[string]string{
 		"garbage":       "{",

@@ -87,6 +87,17 @@ var busKindNames = [...]string{"read", "write", "read-meta", "write-meta"}
 // interleave across reasons.
 const stallTidBase = 100
 
+// spanDur is the duration of a [start, end] span, clamped to 0 when the
+// recorded end precedes the start. Completion cycles are stamped ahead of
+// time; a completion at or before the start cycle must not wrap the uint64
+// subtraction into an ~1.8e19 "duration" that corrupts the timeline.
+func spanDur(start, end uint64) uint64 {
+	if end > start {
+		return end - start
+	}
+	return 0
+}
+
 // export converts one simulator event into zero or more trace events.
 func export(e Event) []traceEvent {
 	tid := int(e.Track)
@@ -106,7 +117,7 @@ func export(e Event) []traceEvent {
 			Tid: stallTidBase + int(e.A)}}
 	case EvAuthRequest:
 		// The verification span: enqueue → completion.
-		return []traceEvent{{Name: "auth-verify", Ph: "X", Ts: e.Cycle, Dur: e.B - e.Cycle,
+		return []traceEvent{{Name: "auth-verify", Ph: "X", Ts: e.Cycle, Dur: spanDur(e.Cycle, e.B),
 			Tid: int(TrackAuthQueue), Args: map[string]any{"idx": e.A, "line": hexAddr}}}
 	case EvAuthComplete:
 		out := []traceEvent{{Name: "auth-done", Ph: "i", Ts: e.Cycle, Tid: int(TrackAuthQueue),
@@ -137,7 +148,7 @@ func export(e Event) []traceEvent {
 		if e.A < uint64(len(busKindNames)) {
 			name = "bus-" + busKindNames[e.A]
 		}
-		return []traceEvent{{Name: name, Ph: "X", Ts: e.Cycle, Dur: e.B - e.Cycle,
+		return []traceEvent{{Name: name, Ph: "X", Ts: e.Cycle, Dur: spanDur(e.Cycle, e.B),
 			Tid: int(TrackBus), Args: map[string]any{"addr": hexAddr}}}
 	case EvCacheHit, EvCacheMiss:
 		name := "hit"

@@ -99,6 +99,16 @@ func (p ControlPoint) Normalize() ControlPoint {
 // IsBaseline reports whether the point is the decrypt-only baseline.
 func (p ControlPoint) IsBaseline() bool { return p.Normalize() == Baseline }
 
+// Subsumes reports the lattice partial order: p's gate set contains o's, so
+// o is reachable from p by removing gates. Every point subsumes the
+// baseline, and every point subsumes itself. Differential checks use this to
+// state metamorphic timing invariants (a point never runs faster than the
+// points it subsumes).
+func (p ControlPoint) Subsumes(o ControlPoint) bool {
+	p = p.Normalize()
+	return Compose(p, o.Normalize()) == p
+}
+
 // dimension is one composable axis of the lattice.
 type dimension struct {
 	name  string

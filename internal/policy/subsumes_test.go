@@ -1,0 +1,40 @@
+package policy
+
+import "testing"
+
+func TestSubsumes(t *testing.T) {
+	issueCommit := Compose(ThenIssue, ThenCommit)
+	cases := []struct {
+		p, o ControlPoint
+		want bool
+	}{
+		{Baseline, Baseline, true}, // reflexive
+		{ThenIssue, ThenIssue, true},
+		{ThenIssue, Baseline, true}, // baseline is the bottom
+		{Baseline, ThenIssue, false},
+		{issueCommit, ThenIssue, true},
+		{issueCommit, ThenCommit, true},
+		{ThenIssue, issueCommit, false}, // strict order, not symmetric
+		{ThenIssue, ThenCommit, false},  // incomparable gates
+		{CommitPlusFetch, ThenFetch, true},
+		{CommitPlusFetch, ThenWrite, false},
+		{CommitPlusObfuscation, ThenCommit, true},
+		{ThenCommit, CommitPlusObfuscation, false}, // obfuscation is a dimension too
+		// Subsumes normalizes: a gate without Authenticate acquires it.
+		{ControlPoint{GateIssue: true}, AuthOnly, true},
+	}
+	for _, c := range cases {
+		if got := c.p.Subsumes(c.o); got != c.want {
+			t.Errorf("%v.Subsumes(%v) = %v, want %v", c.p, c.o, got, c.want)
+		}
+	}
+	// Subsumption is exactly "Compose adds nothing new" over the lattice.
+	for _, p := range FullLattice() {
+		for _, o := range FullLattice() {
+			want := Compose(p, o) == p.Normalize()
+			if got := p.Subsumes(o); got != want {
+				t.Errorf("%v.Subsumes(%v) = %v, disagrees with Compose", p, o, got)
+			}
+		}
+	}
+}

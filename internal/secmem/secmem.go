@@ -213,6 +213,10 @@ type Controller struct {
 
 	fault *Fault
 
+	// modelErr records the first internal inconsistency (malformed gate
+	// dependency); see Err.
+	modelErr error
+
 	// updateFree is the tree-update unit's occupancy horizon (write-back
 	// path recomputation; does not gate verifications).
 	updateFree uint64
@@ -781,15 +785,28 @@ func (c *Controller) LastRequestAt(now uint64) uint64 {
 
 // DoneAt returns the completion cycle and verdict of request idx (1-based).
 // idx 0 (no dependency) reports done at cycle 0.
+//
+// An out-of-range idx is a model inconsistency (a gate dependency on a
+// request that was never enqueued). It does not panic: the first occurrence
+// is recorded as a sticky error — surfaced by sim.Machine.Run as a failed
+// run — and the call reports done-at-0 so the caller's gating logic does not
+// deadlock while the error propagates.
 func (c *Controller) DoneAt(idx uint64) (cycle uint64, ok bool) {
 	if idx == 0 {
 		return 0, true
 	}
 	if idx > uint64(len(c.doneCycle)) {
-		panic(fmt.Sprintf("secmem: DoneAt(%d) beyond LastRequest %d", idx, len(c.doneCycle)))
+		if c.modelErr == nil {
+			c.modelErr = fmt.Errorf("secmem: DoneAt(%d) beyond LastRequest %d", idx, len(c.doneCycle))
+		}
+		return 0, false
 	}
 	return c.doneCycle[idx-1], c.okFlag[idx-1]
 }
+
+// Err returns the first internal model inconsistency this controller
+// observed (nil if none). Sticky: later inconsistencies do not overwrite it.
+func (c *Controller) Err() error { return c.modelErr }
 
 // Fault returns the first verification failure, if any.
 func (c *Controller) Fault() *Fault { return c.fault }

@@ -2,6 +2,7 @@ package secmem
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -313,12 +314,24 @@ func TestDoneAtBounds(t *testing.T) {
 	if cyc, ok := r.ctrl.DoneAt(0); cyc != 0 || !ok {
 		t.Error("DoneAt(0)")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("DoneAt past LastRequest should panic")
-		}
-	}()
-	r.ctrl.DoneAt(1)
+	if err := r.ctrl.Err(); err != nil {
+		t.Fatalf("fresh controller reports model error: %v", err)
+	}
+	// Past LastRequest: a model inconsistency, but not a process-killing
+	// panic — the call reports not-done and records a sticky error for
+	// sim.Machine.Run to surface as a failed run.
+	if cyc, ok := r.ctrl.DoneAt(1); cyc != 0 || ok {
+		t.Errorf("DoneAt(1) = (%d, %v), want (0, false)", cyc, ok)
+	}
+	err := r.ctrl.Err()
+	if err == nil || !strings.Contains(err.Error(), "DoneAt(1)") {
+		t.Fatalf("out-of-range DoneAt not recorded: %v", err)
+	}
+	// Sticky: the first inconsistency wins.
+	r.ctrl.DoneAt(9)
+	if got := r.ctrl.Err(); got != err {
+		t.Fatalf("later inconsistency overwrote the first: %v", got)
+	}
 }
 
 func TestTreeModeVerifies(t *testing.T) {

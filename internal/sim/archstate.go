@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"authpoint/internal/interp"
+	"authpoint/internal/isa"
+)
+
+// IntRegs returns a snapshot of the architectural integer register file.
+func (m *Machine) IntRegs() []uint64 {
+	out := make([]uint64, isa.NumIntRegs)
+	for r := range out {
+		out[r] = m.Core.Reg(uint8(r))
+	}
+	return out
+}
+
+// FPRegs returns a snapshot of the architectural FP register file (float64
+// bit patterns).
+func (m *Machine) FPRegs() []uint64 {
+	out := make([]uint64, isa.NumFPRegs)
+	for r := range out {
+		out[r] = m.Core.FReg(uint8(r))
+	}
+	return out
+}
+
+// ArchDigest hashes the machine's committed architectural state — register
+// files, OUT log, and the given memory windows of the plaintext shadow —
+// with the same encoding as interp.Machine.StateDigest, so the timed
+// simulator and the in-order oracle produce comparable digests. This is the
+// compare hook of the differential fuzzer (internal/diffcheck).
+func (m *Machine) ArchDigest(ranges ...interp.MemRange) [32]byte {
+	log := m.Core.OutLog()
+	outs := make([]interp.OutEvent, len(log))
+	for i, o := range log {
+		outs[i] = interp.OutEvent{Port: o.Port, Val: o.Val}
+	}
+	return interp.DigestArchState(m.IntRegs(), m.FPRegs(), outs, m.Shadow, ranges)
+}

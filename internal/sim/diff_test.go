@@ -1,212 +1,24 @@
-package sim
+// Differential tests for the timed machine, built on internal/diffcheck —
+// the reusable promotion of the generator and comparator that used to live
+// here. External test package: diffcheck imports sim, so these tests must
+// sit outside the sim package to avoid an import cycle.
+package sim_test
 
 import (
 	"fmt"
-	"math/rand"
-	"strings"
 	"testing"
 
-	"authpoint/internal/asm"
-	"authpoint/internal/interp"
-	"authpoint/internal/isa"
+	"authpoint/internal/diffcheck"
+	"authpoint/internal/policy"
+	"authpoint/internal/sim"
 )
 
-// progGen emits random-but-terminating programs that exercise the whole
-// ISA: ALU chains, multiplies/divides, aligned loads/stores through a
-// scratch window, bounded loops, forward branches, FP arithmetic, and OUT.
-//
-// Register conventions keep generation simple: r12 = scratch base,
-// r13 = offset mask, r9 = loop counter; r1..r8, r10, r11 are fair game.
-type progGen struct {
-	rng    *rand.Rand
-	b      strings.Builder
-	labelN int
-}
-
-const scratchBytes = 2048
-
-func (g *progGen) emit(format string, args ...any) {
-	fmt.Fprintf(&g.b, format+"\n", args...)
-}
-
-func (g *progGen) reg() int { return []int{1, 2, 3, 4, 5, 6, 7, 8, 10, 11}[g.rng.Intn(10)] }
-
-func (g *progGen) freg() int { return g.rng.Intn(6) + 1 }
-
-// randomOp emits one instruction (or a short fixed idiom).
-func (g *progGen) randomOp() {
-	switch g.rng.Intn(12) {
-	case 0:
-		g.emit("	addi r%d, r%d, %d", g.reg(), g.reg(), g.rng.Intn(2000)-1000)
-	case 1:
-		ops := []string{"add", "sub", "xor", "and", "or", "slt", "sltu"}
-		g.emit("	%s r%d, r%d, r%d", ops[g.rng.Intn(len(ops))], g.reg(), g.reg(), g.reg())
-	case 2:
-		ops := []string{"sll", "srl", "sra"}
-		g.emit("	%s r%d, r%d, r%d", ops[g.rng.Intn(len(ops))], g.reg(), g.reg(), g.reg())
-	case 3:
-		ops := []string{"slli", "srli", "srai"}
-		g.emit("	%s r%d, r%d, %d", ops[g.rng.Intn(len(ops))], g.reg(), g.reg(), g.rng.Intn(63))
-	case 4:
-		ops := []string{"mul", "div", "rem"}
-		g.emit("	%s r%d, r%d, r%d", ops[g.rng.Intn(len(ops))], g.reg(), g.reg(), g.reg())
-	case 5: // aligned load through the scratch window
-		a, d := g.reg(), g.reg()
-		g.emit("	and  r%d, r%d, r13", a, g.reg())
-		g.emit("	add  r%d, r%d, r12", a, a)
-		g.emit("	ld   r%d, 0(r%d)", d, a)
-	case 6: // aligned store
-		a := g.reg()
-		g.emit("	and  r%d, r%d, r13", a, g.reg())
-		g.emit("	add  r%d, r%d, r12", a, a)
-		g.emit("	sd   r%d, 0(r%d)", g.reg(), a)
-	case 7: // sub-word memory round trip
-		a := g.reg()
-		d := g.reg()
-		for d == a { // the loads must not clobber their own address register
-			d = g.reg()
-		}
-		g.emit("	and  r%d, r%d, r13", a, g.reg())
-		g.emit("	add  r%d, r%d, r12", a, a)
-		g.emit("	sw   r%d, 0(r%d)", g.reg(), a)
-		g.emit("	lw   r%d, 0(r%d)", d, a)
-		g.emit("	lbu  r%d, 0(r%d)", d, a)
-	case 8: // FP block (values flow int -> fp -> int, bit-exact both sides)
-		f1, f2 := g.freg(), g.freg()
-		g.emit("	fcvtif f%d, r%d", f1, g.reg())
-		ops := []string{"fadd", "fsub", "fmul", "fdiv"}
-		g.emit("	%s f%d, f%d, f%d", ops[g.rng.Intn(len(ops))], f2, f1, f2)
-		g.emit("	fcvtfi r%d, f%d", g.reg(), f2)
-	case 9:
-		g.emit("	out r%d, %d", g.reg(), g.rng.Intn(256))
-	case 10: // forward branch over a couple of ops
-		l := g.label()
-		ops := []string{"beq", "bne", "blt", "bge", "bltu", "bgeu"}
-		g.emit("	%s r%d, r%d, %s", ops[g.rng.Intn(len(ops))], g.reg(), g.reg(), l)
-		g.emit("	addi r%d, r%d, 1", g.reg(), g.reg())
-		g.emit("	xor  r%d, r%d, r%d", g.reg(), g.reg(), g.reg())
-		g.emit("%s:", l)
-	case 11: // call/ret later; keep a LUI constant build here
-		g.emit("	lui  r%d, %d", g.reg(), g.rng.Intn(1<<16))
-	}
-}
-
-func (g *progGen) label() string {
-	g.labelN++
-	return fmt.Sprintf("l%d", g.labelN)
-}
-
-// generate builds one full program.
-func (g *progGen) generate() string {
-	g.emit("_start:")
-	g.emit("	la r12, buf")
-	g.emit("	li r13, %d", scratchBytes-8) // 8-aligned offsets inside scratch
-	// Seed registers deterministically.
-	for r := 1; r <= 11; r++ {
-		if r == 9 {
-			continue
-		}
-		g.emit("	li r%d, %d", r, g.rng.Int63n(1<<40))
-	}
-	blocks := g.rng.Intn(6) + 3
-	for b := 0; b < blocks; b++ {
-		if g.rng.Intn(3) == 0 { // bounded loop
-			l := g.label()
-			g.emit("	li r9, %d", g.rng.Intn(5)+2)
-			g.emit("%s:", l)
-			for i := 0; i < g.rng.Intn(6)+2; i++ {
-				g.randomOp()
-			}
-			g.emit("	addi r9, r9, -1")
-			g.emit("	bne  r9, r0, %s", l)
-		} else {
-			for i := 0; i < g.rng.Intn(10)+3; i++ {
-				g.randomOp()
-			}
-		}
-	}
-	g.emit("	halt")
-	g.emit(".data")
-	g.emit("buf: .space %d", scratchBytes)
-	return g.b.String()
-}
-
-// newDiffGen builds a generator for one seed.
-func newDiffGen(seed int64) *progGen {
-	return &progGen{rng: rand.New(rand.NewSource(seed))}
-}
-
-// runDiff runs one random program on both machines and compares every piece
-// of architectural state.
-func runDiff(t *testing.T, seed int64, scheme Scheme) {
+func checkSeed(t *testing.T, seed int64, opt diffcheck.Options) {
 	t.Helper()
-	g := newDiffGen(seed)
-	runDiffSrc(t, seed, g.generate(), func(c *Config) { c.Scheme = scheme })
-}
-
-// runDiffSrc is runDiff over explicit source and config mutation.
-func runDiffSrc(t *testing.T, seed int64, src string, mutate func(*Config)) {
-	t.Helper()
-	p, err := asm.Assemble(src)
-	if err != nil {
-		t.Fatalf("seed %d: assemble: %v\n%s", seed, err, src)
-	}
-
-	oracle := interp.New(p)
-	or := oracle.Run(2_000_000)
-	if or != interp.StopHalt {
-		t.Fatalf("seed %d: oracle stopped with %v (%v)", seed, or, oracle)
-	}
-
-	cfg := DefaultConfig()
-	cfg.Scheme = SchemeThenCommit
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	m, err := NewMachine(cfg, p)
-	if err != nil {
-		t.Fatalf("seed %d: %v", seed, err)
-	}
-	res, err := m.Run()
-	if err != nil {
-		t.Fatalf("seed %d: run: %v", seed, err)
-	}
-	if res.Reason != StopHalt {
-		t.Fatalf("seed %d: core stopped with %v", seed, res.Reason)
-	}
-	if res.Insts != oracle.Insts {
-		t.Errorf("seed %d: committed %d insts, oracle executed %d", seed, res.Insts, oracle.Insts)
-	}
-	for r := uint8(0); r < isa.NumIntRegs; r++ {
-		if m.Core.Reg(r) != oracle.Regs[r] {
-			t.Errorf("seed %d: r%d = %#x, oracle %#x", seed, r, m.Core.Reg(r), oracle.Regs[r])
-		}
-	}
-	for r := uint8(0); r < isa.NumFPRegs; r++ {
-		if m.Core.FReg(r) != oracle.FRegs[r] {
-			t.Errorf("seed %d: f%d = %#x, oracle %#x", seed, r, m.Core.FReg(r), oracle.FRegs[r])
-		}
-	}
-	outs := m.Core.OutLog()
-	if len(outs) != len(oracle.Outs) {
-		t.Fatalf("seed %d: %d OUTs, oracle %d", seed, len(outs), len(oracle.Outs))
-	}
-	for i := range outs {
-		if outs[i].Port != oracle.Outs[i].Port || outs[i].Val != oracle.Outs[i].Val {
-			t.Errorf("seed %d: out[%d] = (%#x,%#x), oracle (%#x,%#x)",
-				seed, i, outs[i].Port, outs[i].Val, oracle.Outs[i].Port, oracle.Outs[i].Val)
-		}
-	}
-	base := p.DataBase
-	for off := uint64(0); off < scratchBytes; off += 8 {
-		got := m.Shadow.ReadUint(base+off, 8)
-		want := oracle.Mem.ReadUint(base+off, 8)
-		if got != want {
-			t.Errorf("seed %d: mem[%#x] = %#x, oracle %#x", seed, base+off, got, want)
-		}
-	}
-	if t.Failed() {
-		t.Logf("program:\n%s", src)
+	res, src := diffcheck.CheckSeed(seed, opt)
+	if res.Verdict != diffcheck.VerdictOK {
+		t.Errorf("seed %d under %v: %s: %s\nprogram:\n%s",
+			seed, res.Policy, res.Verdict, res.Divergence, src)
 	}
 }
 
@@ -222,23 +34,40 @@ func TestDifferentialVsOracle(t *testing.T) {
 	for seed := int64(1); seed <= int64(n); seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			runDiff(t, seed, SchemeThenCommit)
+			checkSeed(t, seed, diffcheck.Options{Policy: policy.ThenCommit})
 		})
 	}
 }
 
-// The same programs must be architecture-identical under every scheme:
-// authentication control points change timing, never semantics.
+// The same programs must be architecture-identical under every control
+// point: authentication gates change timing, never semantics.
 func TestDifferentialAcrossSchemes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long")
 	}
-	for _, scheme := range []Scheme{SchemeBaseline, SchemeThenIssue, SchemeThenWrite, SchemeCommitPlusFetch, SchemeCommitPlusObfuscation} {
-		scheme := scheme
-		t.Run(scheme.String(), func(t *testing.T) {
+	points := []policy.ControlPoint{
+		policy.Baseline,
+		policy.ThenIssue,
+		policy.ThenWrite,
+		policy.CommitPlusFetch,
+		policy.CommitPlusObfuscation,
+	}
+	for _, pt := range points {
+		pt := pt
+		t.Run(pt.String(), func(t *testing.T) {
 			for seed := int64(100); seed < 105; seed++ {
-				runDiff(t, seed, scheme)
+				checkSeed(t, seed, diffcheck.Options{Policy: pt})
 			}
+		})
+	}
+}
+
+// Functional correctness with the next-line prefetcher on: prefetch changes
+// miss timing only, never architectural state.
+func TestDifferentialWithPrefetch(t *testing.T) {
+	for seed := int64(200); seed < 206; seed++ {
+		checkSeed(t, seed, diffcheck.Options{
+			Mutate: func(c *sim.Config) { c.Mem.NextLinePrefetch = true },
 		})
 	}
 }

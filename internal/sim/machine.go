@@ -210,6 +210,7 @@ const (
 	StopSecurityFault // integrity verification failed
 	StopArchFault     // precise architectural exception
 	StopWatchdog
+	StopModelError // internal model inconsistency (e.g. malformed gate dependency)
 )
 
 func (r StopReason) String() string {
@@ -224,6 +225,8 @@ func (r StopReason) String() string {
 		return "arch-fault"
 	case StopWatchdog:
 		return "watchdog"
+	case StopModelError:
+		return "model-error"
 	}
 	return "?"
 }
@@ -271,6 +274,11 @@ func NewMachine(cfg Config, p *asm.Program) (*Machine, error) {
 }
 
 const stackBase = 0x700000
+
+// StackBase is the base address of the protected stack region. The
+// functional oracle (internal/interp) maps its stack at the same address,
+// so differential state digests can cover the stack window on both sides.
+const StackBase = stackBase
 
 func (m *Machine) stackTop() uint64 { return stackBase + m.Cfg.StackB - 64 }
 
@@ -394,6 +402,12 @@ func (m *Machine) Run() (Result, error) {
 			return m.result(StopSecurityFault), nil
 		}
 		m.Core.Step()
+		// A model inconsistency (e.g. a malformed gate dependency handed to
+		// the controller) fails this run with an error instead of tearing
+		// down the process: one sweep cell dies, the worker pool survives.
+		if err := m.Ctrl.Err(); err != nil {
+			return m.result(StopModelError), err
+		}
 		st := m.Core.Stats()
 		if st.Committed != lastCommit {
 			lastCommit = st.Committed

@@ -1,0 +1,33 @@
+package sim_test
+
+import (
+	"testing"
+
+	"authpoint/internal/asm"
+	"authpoint/internal/sim"
+)
+
+// A secmem model inconsistency (an out-of-range gate dependency) must fail
+// the run with StopModelError instead of panicking the whole process: in a
+// parallel sweep, one malformed cell dies and the rest keep running.
+func TestModelErrorFailsRun(t *testing.T) {
+	p := asm.MustAssemble("_start:\n\tli r1, 1\n\thalt\n")
+	m, err := sim.NewMachine(sim.DefaultConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject the inconsistency a malformed dependency index would cause.
+	if _, ok := m.Ctrl.DoneAt(99); ok {
+		t.Fatal("out-of-range DoneAt reported done")
+	}
+	res, err := m.Run()
+	if err == nil {
+		t.Fatal("model inconsistency did not fail the run")
+	}
+	if res.Reason != sim.StopModelError {
+		t.Fatalf("stop reason %v, want %v", res.Reason, sim.StopModelError)
+	}
+	if res.Reason.String() != "model-error" {
+		t.Fatalf("StopModelError renders as %q", res.Reason.String())
+	}
+}

@@ -59,12 +59,3 @@ func TestNextLinePrefetch(t *testing.T) {
 		t.Errorf("prefetch did not reduce demand misses: %d vs %d", onMisses, offMisses)
 	}
 }
-
-// Functional correctness with prefetch on: differential seeds must pass.
-func TestDifferentialWithPrefetch(t *testing.T) {
-	for seed := int64(200); seed < 206; seed++ {
-		g := newDiffGen(seed)
-		src := g.generate()
-		runDiffSrc(t, seed, src, func(c *Config) { c.Mem.NextLinePrefetch = true })
-	}
-}
