@@ -30,8 +30,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
 	"time"
 
 	"authpoint/internal/diffcheck"
@@ -48,7 +46,8 @@ func main() {
 		seedsFlag = flag.String("seeds", "1:100", "inclusive seed range lo:hi")
 		polFlag   = flag.String("policies", "ci", "policy set: full (31-point lattice), lattice, ci (CI smoke set), or comma-separated names (e.g. baseline,authen-then-commit+fetch)")
 		mode      = flag.String("mode", "pair", "pair (seed i under policies[i mod n]) or cross (every seed under every policy)")
-		tamper    = flag.Bool("tamper", false, "also run every cell with a tampered entry line and check containment invariants")
+		tamper    = flag.Bool("tamper", false, "also run every cell with a tampered line and check containment invariants")
+		tamperAt  = flag.String("tamper-site", "entry", "tamper site: entry (first instruction line) or data (first data-segment line)")
 		monotone  = flag.Bool("monotone", false, "per seed, check cycle monotonicity across the policy set (runs every policy per seed)")
 		minimize  = flag.Bool("minimize", true, "shrink divergent programs to minimal repros before recording")
 		outDir    = flag.String("out", "", "directory to write .repro files for findings (none if empty)")
@@ -66,11 +65,11 @@ func main() {
 		fatalf("unexpected arguments %q (use -repro to replay files)", flag.Args())
 	}
 
-	seeds, err := parseSeeds(*seedsFlag)
+	seeds, err := diffcheck.ParseSeedRange(*seedsFlag)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	pols, err := parsePolicies(*polFlag)
+	pols, err := policy.ParseSet(*polFlag)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -82,7 +81,12 @@ func main() {
 		defer cancel()
 	}
 
-	bad := runSweep(ctx, seeds, pols, *mode, *tamper, *minimize, *outDir, *parallel, *verbose)
+	site := diffcheck.TamperSite(*tamperAt)
+	if site != diffcheck.SiteEntry && site != diffcheck.SiteData {
+		fatalf("tamper-site %q: want entry or data", *tamperAt)
+	}
+
+	bad := runSweep(ctx, seeds, pols, *mode, *tamper, site, *minimize, *outDir, *parallel, *verbose)
 	if *monotone {
 		bad = runMonotone(seeds, pols, *verbose) || bad
 	}
@@ -91,55 +95,18 @@ func main() {
 	}
 }
 
-func parseSeeds(s string) ([]int64, error) {
-	lo, hi, ok := strings.Cut(s, ":")
-	if !ok {
-		return nil, fmt.Errorf("seeds %q: want lo:hi", s)
-	}
-	l, err1 := strconv.ParseInt(strings.TrimSpace(lo), 10, 64)
-	h, err2 := strconv.ParseInt(strings.TrimSpace(hi), 10, 64)
-	if err1 != nil || err2 != nil || h < l {
-		return nil, fmt.Errorf("seeds %q: want lo:hi with hi >= lo", s)
-	}
-	out := make([]int64, 0, h-l+1)
-	for v := l; v <= h; v++ {
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func parsePolicies(s string) ([]policy.ControlPoint, error) {
-	switch s {
-	case "full":
-		return policy.FullLattice(), nil
-	case "lattice", "ci":
-		// The CI smoke set: the 15-point lattice (all singles and pairs),
-		// cheap enough to pair-sweep hundreds of seeds on every push.
-		return policy.Lattice(), nil
-	}
-	var out []policy.ControlPoint
-	for _, name := range strings.Split(s, ",") {
-		p, err := policy.Parse(strings.TrimSpace(name))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
-	}
-	return out, nil
-}
-
-func runSweep(ctx context.Context, seeds []int64, pols []policy.ControlPoint, mode string, tamper, minimize bool, outDir string, parallel int, verbose bool) bool {
+func runSweep(ctx context.Context, seeds []int64, pols []policy.ControlPoint, mode string, tamper bool, site diffcheck.TamperSite, minimize bool, outDir string, parallel int, verbose bool) bool {
 	var cells []diffcheck.Cell
 	switch mode {
 	case "pair":
 		cells = diffcheck.PairCells(seeds, pols, false)
 		if tamper {
-			cells = append(cells, diffcheck.PairCells(seeds, pols, true)...)
+			cells = append(cells, diffcheck.WithSite(diffcheck.PairCells(seeds, pols, true), site)...)
 		}
 	case "cross":
 		cells = diffcheck.CrossCells(seeds, pols, false)
 		if tamper {
-			cells = append(cells, diffcheck.CrossCells(seeds, pols, true)...)
+			cells = append(cells, diffcheck.WithSite(diffcheck.CrossCells(seeds, pols, true), site)...)
 		}
 	default:
 		fatalf("mode %q: want pair or cross", mode)
@@ -188,12 +155,16 @@ func runSweep(ctx context.Context, seeds []int64, pols []policy.ControlPoint, mo
 // replayable .repro under outDir.
 func reportFinding(f diffcheck.Finding, minimize bool, outDir string) {
 	res := f.Result
-	fmt.Printf("authfuzz: FINDING seed %d under %v tamper=%v: %s: %s\n",
-		res.Seed, res.Policy, res.Tamper, res.Verdict, res.Divergence)
+	tag := fmt.Sprint(res.Tamper)
+	if res.Tamper && res.Site != "" {
+		tag = string(res.Site)
+	}
+	fmt.Printf("authfuzz: FINDING seed %d under %v tamper=%s: %s: %s\n",
+		res.Seed, res.Policy, tag, res.Verdict, res.Divergence)
 
 	src := f.Source
 	if minimize && res.Verdict == diffcheck.VerdictDivergence {
-		opt := diffcheck.Options{Policy: res.Policy, Tamper: res.Tamper, WatchdogCycles: 500_000}
+		opt := diffcheck.Options{Policy: res.Policy, Tamper: res.Tamper, TamperSite: res.Site, WatchdogCycles: 500_000}
 		src = diffcheck.Minimize(src, func(s string) bool {
 			return diffcheck.Check(s, opt).Verdict == diffcheck.VerdictDivergence
 		})
@@ -202,7 +173,7 @@ func reportFinding(f diffcheck.Finding, minimize bool, outDir string) {
 		return
 	}
 	// Re-check with default options so the recording replays with defaults.
-	final := diffcheck.Check(src, diffcheck.Options{Policy: res.Policy, Tamper: res.Tamper})
+	final := diffcheck.Check(src, diffcheck.Options{Policy: res.Policy, Tamper: res.Tamper, TamperSite: res.Site})
 	final.Seed = res.Seed
 	r := diffcheck.NewRepro(final, src, "authfuzz finding: "+res.Divergence)
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
@@ -211,6 +182,9 @@ func reportFinding(f diffcheck.Finding, minimize bool, outDir string) {
 	name := fmt.Sprintf("seed%d-%s", res.Seed, res.Policy)
 	if res.Tamper {
 		name += "-tamper"
+		if res.Site == diffcheck.SiteData {
+			name += "-data"
+		}
 	}
 	path := filepath.Join(outDir, name+".repro")
 	if err := r.WriteFile(path); err != nil {

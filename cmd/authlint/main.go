@@ -10,12 +10,18 @@
 //	authlint -workloads            # lint the built-in 18-workload catalog
 //	authlint -kernels              # lint the attack suite's effective programs
 //
-// The exit status is 0 when every linted program is clean, 1 when any
-// finding is reported, and 2 on usage or assembly errors.
+// With -json the report is a versioned envelope (schema "authlint/report/v1")
+// carrying the per-program analysis reports plus roll-up totals (programs,
+// clean count, findings per kind) — stable input for CI gates and dashboards.
+//
+// The exit status contract, which -json consumers can rely on, is:
+//
+//	0  every linted program is clean
+//	1  at least one finding was reported
+//	2  usage, file, or assembly error (no report is emitted)
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -114,31 +120,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	var results []result
-	dirty := false
-	for _, tg := range targets {
-		var rep *analysis.Report
-		var err error
-		if usePolicy {
-			rep, err = analysis.AnalyzeForPolicy(tg.prog, pol, opts)
-		} else {
-			rep, err = analysis.Analyze(tg.prog, opts)
-		}
-		if err != nil {
-			fatalf("%s: %v", tg.name, err)
-		}
-		if !rep.Clean() {
-			dirty = true
-		}
-		results = append(results, result{Name: tg.name, Report: rep})
+	results, dirty, err := lintTargets(targets, opts, usePolicy, pol)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(results); err != nil {
+		contractName := ""
+		if usePolicy {
+			contractName = pol.String()
+		}
+		b, err := buildReport(results, contractName).encode()
+		if err != nil {
 			fatalf("%v", err)
 		}
+		os.Stdout.Write(b)
 	} else {
 		if usePolicy {
 			fmt.Printf("contract: %s\n", pol)

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"authpoint/internal/analysis"
+	"authpoint/internal/policy"
+)
+
+// reportSchema identifies the machine-readable lint report format. Consumers
+// (CI annotations, dashboards) must check it before trusting field layout.
+const reportSchema = "authlint/report/v1"
+
+// jsonReport is the -json envelope: schema tag, the contract policy if one
+// was applied, per-program reports, and roll-up totals so consumers can gate
+// on counts without walking every finding.
+type jsonReport struct {
+	Schema string `json:"schema"`
+	// Policy is the control-point contract findings were filtered under
+	// (empty = raw analysis, no policy filter).
+	Policy   string   `json:"policy,omitempty"`
+	Programs []result `json:"programs"`
+	Totals   totals   `json:"totals"`
+}
+
+// totals aggregates the sweep: program and finding counts, findings per
+// kind, and how many programs came back clean.
+type totals struct {
+	Programs int            `json:"programs"`
+	Clean    int            `json:"clean"`
+	Findings int            `json:"findings"`
+	ByKind   map[string]int `json:"by_kind,omitempty"`
+}
+
+// buildReport assembles the envelope from per-program results.
+func buildReport(results []result, policyName string) *jsonReport {
+	rep := &jsonReport{
+		Schema:   reportSchema,
+		Policy:   policyName,
+		Programs: results,
+	}
+	rep.Totals.Programs = len(results)
+	for _, r := range results {
+		if r.Report.Clean() {
+			rep.Totals.Clean++
+			continue
+		}
+		rep.Totals.Findings += len(r.Report.Findings)
+		for k, n := range r.Report.Counts() {
+			if n == 0 {
+				continue
+			}
+			if rep.Totals.ByKind == nil {
+				rep.Totals.ByKind = map[string]int{}
+			}
+			rep.Totals.ByKind[string(k)] += n
+		}
+	}
+	return rep
+}
+
+// encode renders the envelope as indented JSON with a trailing newline.
+func (r *jsonReport) encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// decodeReport parses and schema-checks an envelope, for consumers and the
+// round-trip test.
+func decodeReport(data []byte) (*jsonReport, error) {
+	var r jsonReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("authlint: report does not decode: %w", err)
+	}
+	if r.Schema != reportSchema {
+		return nil, fmt.Errorf("authlint: report schema %q, want %q", r.Schema, reportSchema)
+	}
+	return &r, nil
+}
+
+// lintTargets runs the analysis over every target and returns the
+// per-program results plus whether any program had findings. Split from main
+// so the JSON pipeline is testable without a process boundary.
+func lintTargets(targets []target, opts analysis.Options, usePolicy bool, pol policy.ControlPoint) ([]result, bool, error) {
+	var results []result
+	dirty := false
+	for _, tg := range targets {
+		var rep *analysis.Report
+		var err error
+		if usePolicy {
+			rep, err = analysis.AnalyzeForPolicy(tg.prog, pol, opts)
+		} else {
+			rep, err = analysis.Analyze(tg.prog, opts)
+		}
+		if err != nil {
+			return nil, false, fmt.Errorf("%s: %v", tg.name, err)
+		}
+		if !rep.Clean() {
+			dirty = true
+		}
+		results = append(results, result{Name: tg.name, Report: rep})
+	}
+	return results, dirty, nil
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"authpoint/internal/analysis"
+	"authpoint/internal/asm"
+	"authpoint/internal/attack"
+	"authpoint/internal/policy"
+)
+
+// kernelTargets builds the attack-kernel lint targets the CLI's -kernels
+// flag produces.
+func kernelTargets(t *testing.T) []target {
+	t.Helper()
+	ks, err := attack.Kernels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var targets []target
+	for _, k := range ks {
+		targets = append(targets, target{name: "kernel/" + k.Name, prog: k.Prog})
+	}
+	return targets
+}
+
+// TestReportRoundTrip pins the -json envelope: schema-tagged, totals
+// consistent with the per-program reports, and decode(encode(x)) stable.
+func TestReportRoundTrip(t *testing.T) {
+	results, dirty, err := lintTargets(kernelTargets(t), analysis.Options{}, false, policy.ControlPoint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dirty {
+		t.Fatal("kernel catalog linted clean; the envelope test exercises nothing")
+	}
+
+	rep := buildReport(results, "authen-then-commit")
+	if rep.Schema != reportSchema {
+		t.Fatalf("schema %q, want %q", rep.Schema, reportSchema)
+	}
+	if rep.Totals.Programs != len(results) {
+		t.Fatalf("totals.programs = %d, want %d", rep.Totals.Programs, len(results))
+	}
+	wantFindings, wantClean := 0, 0
+	for _, r := range results {
+		if r.Report.Clean() {
+			wantClean++
+		} else {
+			wantFindings += len(r.Report.Findings)
+		}
+	}
+	if rep.Totals.Findings != wantFindings || rep.Totals.Clean != wantClean {
+		t.Fatalf("totals findings=%d clean=%d, want %d/%d",
+			rep.Totals.Findings, rep.Totals.Clean, wantFindings, wantClean)
+	}
+	byKindSum := 0
+	for _, n := range rep.Totals.ByKind {
+		byKindSum += n
+	}
+	if byKindSum != wantFindings {
+		t.Fatalf("by_kind sums to %d, want %d", byKindSum, wantFindings)
+	}
+
+	b, err := rep.encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := decodeReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Policy != "authen-then-commit" || !reflect.DeepEqual(dec.Totals, rep.Totals) || len(dec.Programs) != len(rep.Programs) {
+		t.Fatalf("round trip changed the envelope: %+v vs %+v", dec.Totals, rep.Totals)
+	}
+	b2, err := dec.encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatal("encode(decode(x)) is not byte-identical")
+	}
+
+	if _, err := decodeReport([]byte(`{"schema":"authlint/report/v0"}`)); err == nil {
+		t.Fatal("wrong schema decoded without error")
+	}
+	if _, err := decodeReport([]byte(`not json`)); err == nil {
+		t.Fatal("malformed report decoded without error")
+	}
+}
+
+// TestLintTargetsPolicyFilter pins that the policy filter reaches the
+// envelope pipeline: an obfuscating contract drops addr-leak findings from
+// the report (AnalyzeForPolicy lint semantics).
+func TestLintTargetsPolicyFilter(t *testing.T) {
+	src := `
+_start:
+	la   r1, secret
+	ld   r2, 0(r1)
+	ld   r3, 0(r2)
+	halt
+.data
+secret: .word 4096
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []target{{name: "probe.s", prog: p}}
+
+	raw, dirty, err := lintTargets(targets, analysis.Options{}, false, policy.ControlPoint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dirty || buildReport(raw, "").Totals.ByKind[string(analysis.KindAddr)] == 0 {
+		t.Fatal("raw analysis reports no addr-leak for a secret-dependent load")
+	}
+
+	obf, err := policy.Parse("authen-then-commit+obfuscation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, _, err := lintTargets(targets, analysis.Options{}, true, obf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := buildReport(filtered, obf.String()).Totals.ByKind[string(analysis.KindAddr)]; n != 0 {
+		t.Fatalf("obfuscating contract still reports %d addr-leak findings", n)
+	}
+}

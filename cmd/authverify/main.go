@@ -1,0 +1,260 @@
+// Command authverify machine-checks leakage contracts by two-run secret
+// non-interference: for every (seed, policy) cell it derives the static
+// contract of the generated program, runs the program twice on data images
+// that differ only in the secret bytes, and requires the bus-adversary views
+// to differ only where the contract licenses it. It also sweeps the attack
+// kernel catalog the same way, asserting every known bus-observed exploit
+// leak is licensed by its contract.
+//
+// Verdicts per cell:
+//
+//	clean      views identical, contract empty (nothing claimed, nothing seen)
+//	imprecise  views identical, contract non-empty (licensed leak never realized)
+//	licensed   views differ only on licensed channels (the sound case)
+//	unsound    views differ on an unlicensed channel — a FINDING: a dynamic
+//	           leak the static analysis missed
+//	error      the check could not run
+//
+// Usage:
+//
+//	authverify [flags]                 # seed sweep + kernel catalog
+//	authverify -replay file.leak ...   # deterministic replay
+//
+// Examples:
+//
+//	authverify -seeds 1:200 -policies full -out findings/
+//	authverify -seeds 1:50 -policies ci -mode cross -budget 2m
+//	authverify -kernels=false -seeds 1:1000 -parallel 4
+//
+// The exit status is 0 when every cell is clean/imprecise/licensed (every
+// replay matches), 1 when any unsound verdict, kernel pin violation, or
+// replay mismatch is found, and 2 on usage errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"authpoint/internal/contract"
+	"authpoint/internal/diffcheck"
+	"authpoint/internal/policy"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "authverify: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func main() {
+	var (
+		seedsFlag = flag.String("seeds", "1:100", "inclusive seed range lo:hi")
+		polFlag   = flag.String("policies", "full", "policy set: full (31-point lattice), lattice, ci, or comma-separated names")
+		mode      = flag.String("mode", "pair", "pair (seed i under policies[i mod n]) or cross (every seed under every policy)")
+		kernels   = flag.Bool("kernels", true, "also check the attack-kernel catalog across the lattice")
+		minimize  = flag.Bool("minimize", true, "shrink unsound programs to minimal reproducers before recording")
+		outDir    = flag.String("out", "", "directory to write .leak files for findings (none if empty)")
+		replay    = flag.Bool("replay", false, "replay .leak files given as arguments instead of sweeping")
+		parallel  = flag.Int("parallel", 0, "worker pool size (0 = NumCPU)")
+		budget    = flag.Duration("budget", 0, "wall-clock bound for the seed sweep (0 = none); cells not reached are skipped, not failed")
+		verbose   = flag.Bool("v", false, "print one line per cell")
+	)
+	flag.Parse()
+
+	if *replay {
+		os.Exit(replayFiles(flag.Args(), *verbose))
+	}
+	if flag.NArg() > 0 {
+		fatalf("unexpected arguments %q (use -replay to replay files)", flag.Args())
+	}
+
+	seeds, err := diffcheck.ParseSeedRange(*seedsFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pols, err := policy.ParseSet(*polFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	ctx := context.Background()
+	if *budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *budget)
+		defer cancel()
+	}
+
+	bad := runSweep(ctx, seeds, pols, *mode, *minimize, *outDir, *parallel, *verbose)
+	if *kernels {
+		bad = runKernels(*verbose) || bad
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func runSweep(ctx context.Context, seeds []int64, pols []policy.ControlPoint, mode string, minimize bool, outDir string, parallel int, verbose bool) bool {
+	var cells []contract.Cell
+	switch mode {
+	case "pair":
+		cells = contract.PairCells(seeds, pols)
+	case "cross":
+		cells = contract.CrossCells(seeds, pols)
+	default:
+		fatalf("mode %q: want pair or cross", mode)
+	}
+
+	start := time.Now()
+	results, findings, err := contract.Sweep(ctx, cells, contract.Options{}, parallel)
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	counts := map[contract.Verdict]int{}
+	skipped := 0
+	for _, r := range results {
+		if r.Verdict == "" {
+			skipped++
+			continue
+		}
+		counts[r.Verdict]++
+		if verbose {
+			fmt.Printf("seed %-6d %-45v %s\n", r.Seed, r.Policy, r.Verdict)
+		}
+	}
+	fmt.Printf("authverify: %d cells (%d seeds x %d policies, mode %s) in %v\n",
+		len(cells), len(seeds), len(pols), mode, elapsed)
+	fmt.Printf("authverify: verdicts:")
+	for _, v := range []contract.Verdict{contract.VerdictClean, contract.VerdictImprecise,
+		contract.VerdictLicensed, contract.VerdictUnsound, contract.VerdictError} {
+		if counts[v] > 0 {
+			fmt.Printf(" %s=%d", v, counts[v])
+		}
+	}
+	if skipped > 0 {
+		fmt.Printf(" skipped=%d (budget)", skipped)
+	}
+	fmt.Println()
+	if err != nil && err != context.DeadlineExceeded {
+		fmt.Fprintf(os.Stderr, "authverify: sweep: %v\n", err)
+	}
+
+	for _, f := range findings {
+		reportFinding(f, minimize, outDir)
+	}
+	return len(findings) > 0
+}
+
+// reportFinding prints one unsound/error cell, optionally shrinks unsound
+// programs, and records a replayable .leak under outDir.
+func reportFinding(f contract.Finding, minimize bool, outDir string) {
+	res := f.Result
+	fmt.Printf("authverify: FINDING seed %d under %v: %s: %s\n", res.Seed, res.Policy, res.Verdict, res.Diff)
+
+	src := f.Source
+	if minimize && res.Verdict == contract.VerdictUnsound {
+		src = contract.MinimizeUnsound(src, res)
+	}
+	if outDir == "" {
+		return
+	}
+	// Re-check the (possibly shrunk) source with the recorded images so the
+	// .leak file replays byte-identically.
+	final := contract.CheckProgram(src, contract.Options{
+		Policy: res.Policy, Seed: res.Seed, SecretA: res.SecretA, SecretB: res.SecretB,
+	})
+	l := contract.NewLeak(final, src, "authverify finding: "+res.Diff)
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fatalf("%v", err)
+	}
+	path := filepath.Join(outDir, fmt.Sprintf("seed%d-%s.leak", res.Seed, res.Policy))
+	if err := l.WriteFile(path); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("authverify: wrote %s\n", path)
+}
+
+// runKernels checks the attack-kernel catalog across the full lattice: every
+// bus-observed exploit leak must be licensed under non-obfuscating policies,
+// never unsound anywhere, and address-free under obfuscation. This is the
+// CLI edition of the catalog pin the contract package tests enforce.
+func runKernels(verbose bool) bool {
+	cases, err := contract.Catalog()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	bad := false
+	checked := 0
+	start := time.Now()
+	for _, kc := range cases {
+		for _, pt := range kernelPolicies(kc) {
+			res, err := contract.CheckKernel(kc, contract.Options{Policy: pt})
+			if err != nil {
+				bad = true
+				fmt.Printf("authverify: KERNEL %s under %v: %v\n", kc.Name, pt, err)
+				continue
+			}
+			checked++
+			if verbose {
+				fmt.Printf("kernel %-22s %-45v %s\n", kc.Name, pt, res.Verdict)
+			}
+			switch {
+			case res.Verdict == contract.VerdictUnsound || res.Verdict == contract.VerdictError:
+				bad = true
+			case !kc.BusLeak && res.Verdict != contract.VerdictClean:
+				bad = true
+			case kc.BusLeak && !pt.Obfuscate && res.Verdict != contract.VerdictLicensed:
+				bad = true
+			default:
+				continue
+			}
+			fmt.Printf("authverify: KERNEL PIN VIOLATION %s under %v: %s (bus-leak=%v): %s\n",
+				kc.Name, pt, res.Verdict, kc.BusLeak, res.Diff)
+		}
+	}
+	fmt.Printf("authverify: kernel catalog: %d kernels, %d checks in %v\n",
+		len(cases), checked, time.Since(start).Round(time.Millisecond))
+	return bad
+}
+
+// kernelPolicies bounds the lattice slice per kernel: the non-halting victim
+// kernels and the cache-washing state kernel run hundreds of thousands of
+// cycles per check, so they get a representative slice instead of all 31
+// points.
+func kernelPolicies(kc contract.KernelCase) []policy.ControlPoint {
+	if kc.ObserveWatchdog || !kc.BusLeak {
+		return []policy.ControlPoint{
+			policy.Baseline, policy.AuthOnly, policy.ThenCommit,
+			policy.CommitPlusFetch, policy.CommitPlusObfuscation,
+		}
+	}
+	return policy.FullLattice()
+}
+
+// replayFiles replays each .leak byte-identically; any mismatch is a finding
+// (the model drifted from the recording, or the recording is stale).
+func replayFiles(files []string, verbose bool) int {
+	if len(files) == 0 {
+		fatalf("-replay needs at least one file")
+	}
+	code := 0
+	for _, path := range files {
+		l, err := contract.LoadLeak(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		res, err := l.Replay()
+		if err != nil {
+			code = 1
+			fmt.Printf("authverify: REPLAY MISMATCH %s: %v\n", path, err)
+			continue
+		}
+		if verbose {
+			fmt.Printf("%s: %s (%d/%d cycles) replayed byte-identically\n", path, res.Verdict, res.CyclesA, res.CyclesB)
+		} else {
+			fmt.Printf("%s: ok\n", path)
+		}
+	}
+	return code
+}

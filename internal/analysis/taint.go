@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"strings"
 
 	"authpoint/internal/isa"
@@ -39,6 +40,29 @@ func (t Taint) String() string {
 
 // MarshalText renders the taint as its String form in JSON output.
 func (t Taint) MarshalText() ([]byte, error) { return []byte(t.String()), nil }
+
+// UnmarshalText parses the String form back, so emitted reports (authlint
+// -json) decode into the same types they were built from.
+func (t *Taint) UnmarshalText(b []byte) error {
+	s := string(b)
+	if s == "" || s == "clean" {
+		*t = 0
+		return nil
+	}
+	var out Taint
+	for _, part := range strings.Split(s, "+") {
+		switch part {
+		case "secret":
+			out |= TaintSecret
+		case "unverified":
+			out |= TaintUnverified
+		default:
+			return fmt.Errorf("analysis: unknown taint %q", part)
+		}
+	}
+	*t = out
+	return nil
+}
 
 // val is the abstract value of one integer register: a taint plus an
 // optional known constant. Constant tracking exists so address material

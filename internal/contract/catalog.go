@@ -1,0 +1,130 @@
+package contract
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"authpoint/internal/analysis"
+	"authpoint/internal/asm"
+	"authpoint/internal/attack"
+	"authpoint/internal/sim"
+)
+
+// KernelCase is one attack kernel prepared for two-run contract checking:
+// the effective post-tamper program plus the secret-variation recipe (which
+// bytes to flip, how) and the expected observability class.
+type KernelCase struct {
+	// Name and Channel come from the attack catalog ("addr", "ctrl", "io",
+	// "state").
+	Name    string
+	Channel string
+	// Prog is the effective post-tamper program.
+	Prog *asm.Program
+	// Analysis is the base analysis configuration (explicit secret symbols
+	// for kernels whose secret-carrying symbol has an innocent name).
+	Analysis analysis.Options
+	// Regions are the extra mapped windows the run needs (the probe window).
+	Regions []sim.Region
+	// Mask is XORed into the secret word to form the second image. Masks are
+	// chosen so both images stay within the addresses the kernel's fetches
+	// can legally touch (probe window, search range).
+	Mask uint64
+	// BusLeak is the catalog's ground truth: whether varying the secret is
+	// observable on the bus at all. io-port and state-contamination kernels
+	// leak through channels the bus adversary cannot see — their two-run
+	// verdicts must be clean/imprecise, never licensed-by-observation.
+	BusLeak bool
+	// ObserveWatchdog marks kernels built on the non-halting victim: the
+	// adversary view is the bus activity inside a bounded watchdog window,
+	// matching how the attack experiments observe them.
+	ObserveWatchdog bool
+}
+
+// observeCycles is the bounded observation window for non-halting victim
+// kernels, matching the attack experiments' watchdog.
+const observeCycles = 200_000
+
+// Catalog prepares every attack kernel for contract checking.
+func Catalog() ([]KernelCase, error) {
+	kernels, err := attack.Kernels()
+	if err != nil {
+		return nil, err
+	}
+	probe := []sim.Region{{Start: attack.ProbeBase, Size: attack.ProbeSize}}
+	// Per-kernel secret-variation recipe. Masks keep the varied value inside
+	// the kernel's legal fetch targets: pointer-valued secrets stay in the
+	// probe window (flip an offset bit, not a base bit), the binary-search
+	// secret flips a bit the guess discriminates, the disclosing kernel
+	// flips low bits so a different 64-line window is probed.
+	recipes := map[string]struct {
+		mask     uint64
+		symbols  []string
+		busLeak  bool
+		watchdog bool
+	}{
+		"pointer-conversion":   {mask: 0x1000, busLeak: true},
+		"binary-search":        {mask: 0x10000, busLeak: true},
+		"disclosing-kernel":    {mask: 0x15, busLeak: true, watchdog: true},
+		"io-port-disclosure":   {mask: 0xFF, busLeak: false, watchdog: true},
+		"brute-force-page":     {mask: 0x1000, symbols: []string{"ptr"}, busLeak: true},
+		"memory-taint":         {mask: 0xFF, symbols: []string{"input"}, busLeak: false},
+		"passive-control-flow": {mask: 0xFF, busLeak: true},
+	}
+	var out []KernelCase
+	for _, k := range kernels {
+		r, ok := recipes[k.Name]
+		if !ok {
+			return nil, fmt.Errorf("contract: kernel %s has no secret-variation recipe", k.Name)
+		}
+		kc := KernelCase{
+			Name:            k.Name,
+			Channel:         k.Channel,
+			Prog:            k.Prog,
+			Analysis:        analysis.Options{SecretSymbols: r.symbols},
+			Mask:            r.mask,
+			BusLeak:         r.busLeak,
+			ObserveWatchdog: r.watchdog,
+		}
+		if k.NeedsProbe {
+			kc.Regions = probe
+		}
+		out = append(out, kc)
+	}
+	return out, nil
+}
+
+// CheckKernel runs the two-run contract check on one kernel case: image A is
+// the kernel's own secret word, image B is that word with the case's mask
+// XORed in.
+func CheckKernel(kc KernelCase, opt Options) (Result, error) {
+	c, err := Derive(kc.Prog, opt.Policy, kc.Analysis)
+	if err != nil {
+		return Result{}, err
+	}
+	target, ok := patchableRange(kc.Prog, c.SecretRanges)
+	if !ok {
+		return Result{}, fmt.Errorf("contract: kernel %s has no secret range in its data segment", kc.Name)
+	}
+	n := target.End - target.Start
+	if n > 8 {
+		n = 8
+	}
+	a := make([]byte, n)
+	copy(a, kc.Prog.Data[target.Start-kc.Prog.DataBase:])
+	var word [8]byte
+	copy(word[:], a)
+	v := binary.LittleEndian.Uint64(word[:]) ^ kc.Mask
+	binary.LittleEndian.PutUint64(word[:], v)
+	b := append([]byte(nil), word[:n]...)
+
+	opt.Analysis = kc.Analysis
+	opt.Regions = kc.Regions
+	opt.SecretA, opt.SecretB = a, b
+	if kc.ObserveWatchdog {
+		opt.ObserveWatchdog = true
+		if opt.WatchdogCycles == 0 {
+			opt.WatchdogCycles = observeCycles
+		}
+	}
+	return Check(kc.Prog, opt), nil
+}

@@ -1,0 +1,179 @@
+package contract
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"authpoint/internal/diffcheck"
+	"authpoint/internal/policy"
+)
+
+// LeakSchema identifies the recorded two-run finding format.
+const LeakSchema = "authverify/leak/v1"
+
+// Leak is one recorded two-run contract check: everything needed to replay it
+// byte-identically — the exact source, policy, and both secret images — plus
+// the expected outcome. Unsound findings are recorded as Leaks by authverify;
+// corpus entries pin expected verdicts (including "licensed") against model
+// drift.
+type Leak struct {
+	Schema string `json:"schema"`
+	// Note says what this leak records (origin, minimization status).
+	Note string `json:"note,omitempty"`
+	// Seed is the generator seed the source came from (0 = hand-written).
+	Seed   int64  `json:"seed"`
+	Policy string `json:"policy"`
+
+	// Expected outcome: replay must reproduce every field exactly.
+	Verdict  string   `json:"verdict"`
+	Channels []string `json:"channels,omitempty"`
+	Diff     string   `json:"diff,omitempty"`
+	// ContractEntries and AddrVisible summarize the static contract the
+	// dynamic observation was judged against.
+	ContractEntries int    `json:"contract_entries"`
+	AddrVisible     bool   `json:"addr_visible"`
+	CyclesA         uint64 `json:"cycles_a"`
+	CyclesB         uint64 `json:"cycles_b"`
+
+	// SecretA and SecretB are the hex-encoded data images the two runs used.
+	SecretA string `json:"secret_a"`
+	SecretB string `json:"secret_b"`
+
+	Source string `json:"source"`
+}
+
+// NewLeak records a result (produced with default Options beyond policy and
+// images) and its source.
+func NewLeak(res Result, src, note string) *Leak {
+	chans := make([]string, 0, len(res.Channels))
+	for _, ch := range res.Channels {
+		chans = append(chans, string(ch))
+	}
+	if len(chans) == 0 {
+		chans = nil
+	}
+	entries, addrVis := 0, false
+	if res.Contract != nil {
+		entries = len(res.Contract.Entries)
+		addrVis = res.Contract.AddrVisible
+	}
+	return &Leak{
+		Schema:          LeakSchema,
+		Note:            note,
+		Seed:            res.Seed,
+		Policy:          res.Policy.String(),
+		Verdict:         string(res.Verdict),
+		Channels:        chans,
+		Diff:            res.Diff,
+		ContractEntries: entries,
+		AddrVisible:     addrVis,
+		CyclesA:         res.CyclesA,
+		CyclesB:         res.CyclesB,
+		SecretA:         hex.EncodeToString(res.SecretA),
+		SecretB:         hex.EncodeToString(res.SecretB),
+		Source:          src,
+	}
+}
+
+// Encode renders the leak as canonical JSON (fixed field order, two-space
+// indent, trailing newline). Replay compares encodings byte-for-byte.
+func (l *Leak) Encode() []byte {
+	b, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		// Only unmarshalable types reach this; the struct has none.
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// DecodeLeak parses and schema-checks a leak file.
+func DecodeLeak(data []byte) (*Leak, error) {
+	var l Leak
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("contract: leak does not decode: %w", err)
+	}
+	if l.Schema != LeakSchema {
+		return nil, fmt.Errorf("contract: leak schema %q, want %q", l.Schema, LeakSchema)
+	}
+	if l.Source == "" {
+		return nil, fmt.Errorf("contract: leak has no source")
+	}
+	return &l, nil
+}
+
+// LoadLeak reads a leak file from disk.
+func LoadLeak(path string) (*Leak, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeLeak(data)
+}
+
+// WriteFile writes the canonical encoding to path.
+func (l *Leak) WriteFile(path string) error {
+	return os.WriteFile(path, l.Encode(), 0o644)
+}
+
+// Replay re-runs the recorded two-run check with the recorded images and
+// verifies the outcome is byte-identical: re-recording the fresh result must
+// reproduce the original file exactly. It returns the fresh result and an
+// error describing the mismatch, if any.
+func (l *Leak) Replay() (Result, error) {
+	pol, err := policy.Parse(l.Policy)
+	if err != nil {
+		return Result{}, fmt.Errorf("contract: leak policy: %w", err)
+	}
+	a, err1 := hex.DecodeString(l.SecretA)
+	b, err2 := hex.DecodeString(l.SecretB)
+	if err1 != nil || err2 != nil {
+		return Result{}, fmt.Errorf("contract: leak secret images do not decode")
+	}
+	res := CheckProgram(l.Source, Options{Policy: pol, Seed: l.Seed, SecretA: a, SecretB: b})
+	fresh := NewLeak(res, l.Source, l.Note)
+	if !bytes.Equal(fresh.Encode(), l.Encode()) {
+		return res, fmt.Errorf("contract: replay diverged from recording: %s", leakDiff(l, fresh))
+	}
+	return res, nil
+}
+
+// leakDiff names the first differing field between two leaks.
+func leakDiff(want, got *Leak) string {
+	type f struct{ name, want, got string }
+	fields := []f{
+		{"verdict", want.Verdict, got.Verdict},
+		{"diff", want.Diff, got.Diff},
+		{"channels", fmt.Sprint(want.Channels), fmt.Sprint(got.Channels)},
+		{"contract_entries", fmt.Sprint(want.ContractEntries), fmt.Sprint(got.ContractEntries)},
+		{"addr_visible", fmt.Sprint(want.AddrVisible), fmt.Sprint(got.AddrVisible)},
+		{"cycles_a", fmt.Sprint(want.CyclesA), fmt.Sprint(got.CyclesA)},
+		{"cycles_b", fmt.Sprint(want.CyclesB), fmt.Sprint(got.CyclesB)},
+		{"policy", want.Policy, got.Policy},
+	}
+	for _, x := range fields {
+		if x.want != x.got {
+			return fmt.Sprintf("%s = %q, recorded %q", x.name, x.got, x.want)
+		}
+	}
+	return "encodings differ (source or metadata)"
+}
+
+// MinimizeUnsound shrinks the source of an unsound finding to a minimal
+// program that still yields an unsound verdict under the same policy and
+// secret images. The watchdog is lowered so shrink candidates that spin
+// forever fail fast instead of stalling the minimizer.
+func MinimizeUnsound(src string, res Result) string {
+	opt := Options{
+		Policy:         res.Policy,
+		Seed:           res.Seed,
+		SecretA:        res.SecretA,
+		SecretB:        res.SecretB,
+		WatchdogCycles: 500_000,
+	}
+	return diffcheck.Minimize(src, func(s string) bool {
+		return CheckProgram(s, opt).Verdict == VerdictUnsound
+	})
+}

@@ -1,0 +1,89 @@
+package contract
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"authpoint/internal/harness"
+	"authpoint/internal/policy"
+)
+
+// Cell is one unit of verification work: a generated seed checked under one
+// policy.
+type Cell struct {
+	Seed   int64
+	Policy policy.ControlPoint
+}
+
+// PairCells spreads seeds round-robin over the policies: seed i runs under
+// policies[i mod len]. This is the CI smoke shape — every seed checked once,
+// every policy exercised continuously — at 1/len(policies) the cost of the
+// full cross product.
+func PairCells(seeds []int64, pols []policy.ControlPoint) []Cell {
+	out := make([]Cell, len(seeds))
+	for i, s := range seeds {
+		out[i] = Cell{Seed: s, Policy: pols[i%len(pols)]}
+	}
+	return out
+}
+
+// CrossCells is the full cross product: every seed under every policy.
+func CrossCells(seeds []int64, pols []policy.ControlPoint) []Cell {
+	out := make([]Cell, 0, len(seeds)*len(pols))
+	for _, s := range seeds {
+		for _, p := range pols {
+			out = append(out, Cell{Seed: s, Policy: p})
+		}
+	}
+	return out
+}
+
+// Finding is a cell whose verdict is a problem — unsound (the analysis
+// missed a dynamic leak) or error — with the program that provoked it.
+type Finding struct {
+	Result Result
+	Source string
+}
+
+// bad reports whether a verdict is a finding. Licensed and imprecise are
+// expected outcomes of a conservative analysis, not findings.
+func bad(v Verdict) bool { return v == VerdictUnsound || v == VerdictError }
+
+// Sweep checks every cell on the harness worker pool (parallelism <= 0 means
+// NumCPU) and returns per-cell results in cell order plus the findings,
+// sorted by (seed, policy) for determinism. Cells skipped because ctx
+// expired have an empty Verdict; the ctx error is returned so callers can
+// distinguish "clean" from "clean so far, budget exhausted".
+func Sweep(ctx context.Context, cells []Cell, opt Options, parallelism int) ([]Result, []Finding, error) {
+	runner := &harness.Runner{Parallelism: parallelism}
+	results := make([]Result, len(cells))
+	var (
+		mu       sync.Mutex
+		findings []Finding
+	)
+	err := runner.Do(ctx, len(cells), func(ctx context.Context, i int) error {
+		if ctx.Err() != nil {
+			return nil // budget expired while queued: leave the cell empty
+		}
+		c := cells[i]
+		o := opt
+		o.Policy = c.Policy
+		res, src := CheckSeed(c.Seed, o)
+		results[i] = res
+		if bad(res.Verdict) {
+			mu.Lock()
+			findings = append(findings, Finding{Result: res, Source: src})
+			mu.Unlock()
+		}
+		return nil
+	})
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Result, findings[j].Result
+		if a.Seed != b.Seed {
+			return a.Seed < b.Seed
+		}
+		return a.Policy.String() < b.Policy.String()
+	})
+	return results, findings, err
+}

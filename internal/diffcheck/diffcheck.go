@@ -40,6 +40,27 @@ const (
 	VerdictError Verdict = "error"
 )
 
+// TamperSite selects which encrypted line tamper mode flips its one bit in.
+type TamperSite string
+
+// Tamper sites. The site changes what containment can be asserted: the
+// entry line is architecturally fetched and executed by every run, so gated
+// policies must contain it completely; a data line is only fetched if some
+// (possibly wrong-path, later-squashed) memory access touches it, so the
+// invariants are conditional on the line actually reaching the bus.
+const (
+	// SiteEntry: the text line holding the entry point. The default, and
+	// the strongest site: the first instruction fetched is guaranteed
+	// tainted, so issue/commit gates must end in a security fault with zero
+	// instructions committed.
+	SiteEntry TamperSite = "entry"
+	// SiteData: the first line of the data segment. The line is tainted at
+	// rest but reaches the core only if the program (or its wrong path)
+	// loads or stores through it; verification is still required to flag it
+	// the moment it is fetched.
+	SiteData TamperSite = "data"
+)
+
 // Options configures one differential check.
 type Options struct {
 	// Policy is the authentication control point for the timed run. The
@@ -49,10 +70,11 @@ type Options struct {
 	// (prefetcher on, MSHR bounds, ...). Mutations are not recorded in
 	// repro files; corpus entries must not rely on them.
 	Mutate func(*sim.Config)
-	// Tamper flips one bit in the encrypted text image at the entry point
-	// before the run and checks containment invariants instead of
-	// equivalence.
+	// Tamper flips one bit in the encrypted image at TamperSite before the
+	// run and checks containment invariants instead of equivalence.
 	Tamper bool
+	// TamperSite selects the tampered line; empty means SiteEntry.
+	TamperSite TamperSite
 	// MaxOracleInsts bounds the oracle run (0 = DefaultMaxOracleInsts).
 	// Programs that exceed it report VerdictError, not a divergence.
 	MaxOracleInsts uint64
@@ -76,9 +98,12 @@ const tamperMaxInsts = 100_000
 // deterministic functions of (source, policy, tamper): recorded results
 // replay byte-identically.
 type Result struct {
-	Seed    int64 // generator seed, when the source came from Gen (else 0)
-	Policy  policy.ControlPoint
-	Tamper  bool
+	Seed   int64 // generator seed, when the source came from Gen (else 0)
+	Policy policy.ControlPoint
+	Tamper bool
+	// Site is the tampered line's site (SiteEntry when Tamper is set and no
+	// site was given; empty for untampered checks).
+	Site    TamperSite
 	Verdict Verdict
 	// Divergence describes the first difference found, empty otherwise.
 	Divergence string
@@ -97,6 +122,9 @@ type Result struct {
 func (o Options) withDefaults() Options {
 	if o.MaxOracleInsts == 0 {
 		o.MaxOracleInsts = DefaultMaxOracleInsts
+	}
+	if o.Tamper && o.TamperSite == "" {
+		o.TamperSite = SiteEntry
 	}
 	return o
 }
@@ -128,12 +156,17 @@ func CheckSeed(seed int64, opt Options) (Result, string) {
 // instead asserts the policy's containment invariants (see Verdicts).
 func Check(src string, opt Options) Result {
 	opt = opt.withDefaults()
-	res := Result{Policy: opt.Policy.Normalize(), Tamper: opt.Tamper}
+	res := Result{Policy: opt.Policy.Normalize(), Tamper: opt.Tamper, Site: opt.TamperSite}
 
 	p, err := asm.Assemble(src)
 	if err != nil {
 		res.Verdict = VerdictError
 		res.Divergence = "assemble: " + err.Error()
+		return res
+	}
+	if opt.Tamper && opt.TamperSite == SiteData && len(p.Data) == 0 {
+		res.Verdict = VerdictError
+		res.Divergence = "tamper site data: program has no data segment"
 		return res
 	}
 
@@ -155,6 +188,11 @@ func Check(src string, opt Options) Result {
 	}
 	if opt.Tamper {
 		cfg.MaxInsts = tamperMaxInsts
+		// The data-site verdict depends on whether the tampered line ever
+		// reached the bus; keep the adversary trace for that check.
+		if opt.TamperSite == SiteData {
+			cfg.TraceBus = true
+		}
 	}
 	if opt.Mutate != nil {
 		opt.Mutate(&cfg)
@@ -170,9 +208,16 @@ func Check(src string, opt Options) Result {
 		return res
 	}
 	if opt.Tamper {
-		// One bit flipped in the encrypted text line holding the entry
-		// point: the first instruction fetched is guaranteed tainted.
-		m.Memory.XorRange(p.Entry, []byte{0x40})
+		switch opt.TamperSite {
+		case SiteData:
+			// One bit flipped in the encrypted first data line: tainted at
+			// rest, fetched only if the program touches it.
+			m.Memory.XorRange(p.DataBase, []byte{0x40})
+		default:
+			// One bit flipped in the encrypted text line holding the entry
+			// point: the first instruction fetched is guaranteed tainted.
+			m.Memory.XorRange(p.Entry, []byte{0x40})
+		}
 	}
 	simRes, runErr := m.Run()
 	res.Reason = simRes.Reason.String()
@@ -182,6 +227,9 @@ func Check(src string, opt Options) Result {
 	res.SimDigest = hex.EncodeToString(sd[:])
 
 	if opt.Tamper {
+		if opt.TamperSite == SiteData {
+			return checkTamperData(res, m, simRes, p.DataBase&^63)
+		}
 		return checkTamper(res, m, simRes)
 	}
 	if runErr != nil && simRes.Reason == sim.StopModelError {
@@ -237,6 +285,44 @@ func checkTamper(res Result, m *sim.Machine, simRes sim.Result) Result {
 	// Weaker points (authen-only, write/fetch gates): detection is
 	// guaranteed, containment is not — execution may run ahead and even
 	// halt before the exception fires. That gap is the paper's Table 2.
+	if simRes.Reason == sim.StopSecurityFault {
+		res.Verdict = VerdictContained
+		return res
+	}
+	res.Verdict = VerdictDetected
+	return res
+}
+
+// checkTamperData asserts the containment invariants of a run whose first
+// data line was tampered at rest. Unlike the entry line, a data line is not
+// guaranteed to be fetched — the program may never touch it — so the
+// invariants are conditional: the controller computes verification eagerly
+// at fetch, so a fetched tampered line must always be flagged; gated
+// policies contain the failure when it fires before the run ends. The
+// strong zero-commits assertion of the entry site does not carry over: the
+// line may be fetched late in the run, or only by a squashed wrong-path
+// access that no retiring instruction depends on.
+func checkTamperData(res Result, m *sim.Machine, simRes sim.Result, lineAddr uint64) Result {
+	k := res.Policy.Knobs()
+	if !k.Authenticate {
+		// Baseline: nothing verifies; whatever garbage the tampered line
+		// decrypts to is the vulnerability, not a model bug.
+		res.Verdict = VerdictUndetected
+		return res
+	}
+	if m.Ctrl.Fault() == nil {
+		// Eager verification means fetched => flagged; an unflagged run is
+		// only legitimate if the tampered line never reached the bus.
+		for _, a := range m.ReadLineAddrsBefore(sim.StopCycle(simRes)) {
+			if a == lineAddr {
+				res.Verdict = VerdictDivergence
+				res.Divergence = "tampered data line was fetched but never flagged by verification"
+				return res
+			}
+		}
+		res.Verdict = VerdictOK // line never fetched: nothing to assert
+		return res
+	}
 	if simRes.Reason == sim.StopSecurityFault {
 		res.Verdict = VerdictContained
 		return res

@@ -139,37 +139,6 @@ func (g *Gen) label() string {
 	return fmt.Sprintf("l%d", g.labelN)
 }
 
-// Generate builds one full program.
-func (g *Gen) Generate() string {
-	g.emit("_start:")
-	g.emit("	la r12, buf")
-	g.emit("	li r13, %d", ScratchBytes-8) // 8-aligned offsets inside scratch
-	// Seed registers deterministically.
-	for r := 1; r <= 11; r++ {
-		if r == 9 {
-			continue
-		}
-		g.emit("	li r%d, %d", r, g.rng.Int63n(1<<40))
-	}
-	blocks := g.rng.Intn(6) + 3
-	for b := 0; b < blocks; b++ {
-		if g.rng.Intn(3) == 0 { // bounded loop
-			l := g.label()
-			g.emit("	li r9, %d", g.rng.Intn(5)+2)
-			g.emit("%s:", l)
-			for i := 0; i < g.rng.Intn(6)+2; i++ {
-				g.randomOp()
-			}
-			g.emit("	addi r9, r9, -1")
-			g.emit("	bne  r9, r0, %s", l)
-		} else {
-			for i := 0; i < g.rng.Intn(10)+3; i++ {
-				g.randomOp()
-			}
-		}
-	}
-	g.emit("	halt")
-	g.emit(".data")
-	g.emit("buf: .space %d", ScratchBytes)
-	return g.b.String()
-}
+// Generate builds one full program. GenerateSecret (gen_secret.go) is the
+// same body over a scratch window whose head is secret storage.
+func (g *Gen) Generate() string { return g.generate(false) }

@@ -1,0 +1,97 @@
+package diffcheck
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+// SecretBytes is the size of the secret region at the head of the scratch
+// window in secret-mode generated programs (GenerateSecret). Masked offsets
+// cover the whole ScratchBytes window, so roughly SecretBytes/ScratchBytes of
+// the generated memory operations touch secret storage — enough that secret
+// values routinely flow into addresses, branches, and OUT operands.
+const SecretBytes = 256
+
+// secretPairSalt decorrelates the secret-image stream from the program
+// stream, so the same seed never yields secrets that mirror the program's
+// immediate constants.
+const secretPairSalt = 0x5ec2e7_9a17
+
+// GenerateSecret builds one full program like Generate, but with the scratch
+// window split into a secret head and a public tail:
+//
+//	secret: .space SecretBytes      ; two-run checks vary these bytes
+//	buf:    .space ScratchBytes-SecretBytes
+//
+// The scratch base register points at the secret region, so the same masked
+// offsets generated for Generate-style programs now read and write secret
+// storage part of the time. The symbol name "secret" is what the static
+// analysis auto-detects as secret storage, so the contract derived for the
+// program and the images the two-run checker varies agree by construction.
+// Generation stays seed-deterministic: the same seed yields the same source.
+func (g *Gen) GenerateSecret() string { return g.generate(true) }
+
+// Generate builds one full program.
+func (g *Gen) generate(secret bool) string {
+	base := "buf"
+	if secret {
+		base = "secret"
+	}
+	g.emit("_start:")
+	g.emit("	la r12, %s", base)
+	g.emit("	li r13, %d", ScratchBytes-8) // 8-aligned offsets inside scratch
+	// Seed registers deterministically.
+	for r := 1; r <= 11; r++ {
+		if r == 9 {
+			continue
+		}
+		g.emit("	li r%d, %d", r, g.rng.Int63n(1<<40))
+	}
+	blocks := g.rng.Intn(6) + 3
+	for b := 0; b < blocks; b++ {
+		if g.rng.Intn(3) == 0 { // bounded loop
+			l := g.label()
+			g.emit("	li r9, %d", g.rng.Intn(5)+2)
+			g.emit("%s:", l)
+			for i := 0; i < g.rng.Intn(6)+2; i++ {
+				g.randomOp()
+			}
+			g.emit("	addi r9, r9, -1")
+			g.emit("	bne  r9, r0, %s", l)
+		} else {
+			for i := 0; i < g.rng.Intn(10)+3; i++ {
+				g.randomOp()
+			}
+		}
+	}
+	g.emit("	halt")
+	g.emit(".data")
+	if secret {
+		g.emit("secret: .space %d", SecretBytes)
+		g.emit("buf: .space %d", ScratchBytes-SecretBytes)
+	} else {
+		g.emit("buf: .space %d", ScratchBytes)
+	}
+	return g.b.String()
+}
+
+// GenSecretProgram is the one-shot form of GenerateSecret: the secret-mode
+// program for one seed.
+func GenSecretProgram(seed int64) string { return NewGen(seed).GenerateSecret() }
+
+// SecretPair derives the two secret data images for one seed: n random bytes
+// each, deterministic in (seed, n), and guaranteed to differ. The two-run
+// checker runs the same program once with each image patched over its secret
+// ranges; every other byte of the machines is identical, so any observable
+// difference between the runs is caused by the secret.
+func SecretPair(seed int64, n int) (a, b []byte) {
+	rng := rand.New(rand.NewSource(seed ^ secretPairSalt))
+	a = make([]byte, n)
+	b = make([]byte, n)
+	rng.Read(a)
+	rng.Read(b)
+	if bytes.Equal(a, b) && n > 0 {
+		b[0] ^= 1
+	}
+	return a, b
+}

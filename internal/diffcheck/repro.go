@@ -26,6 +26,9 @@ type Repro struct {
 	Seed   int64  `json:"seed"`
 	Policy string `json:"policy"`
 	Tamper bool   `json:"tamper,omitempty"`
+	// TamperSite is the tamper site ("entry" or "data"). Empty means entry,
+	// so pre-existing corpus files decode (and re-encode) unchanged.
+	TamperSite string `json:"tamper_site,omitempty"`
 
 	// Expected outcome: replay must reproduce every field exactly.
 	Verdict      string `json:"verdict"`
@@ -42,12 +45,19 @@ type Repro struct {
 // NewRepro records a result (produced with default Options — mutations are
 // not replayable) and its source as a repro.
 func NewRepro(res Result, src, note string) *Repro {
+	// Entry is the default site; recording it as "" keeps entry-site repro
+	// files (the whole pre-site corpus) byte-identical across replay.
+	site := string(res.Site)
+	if !res.Tamper || res.Site == SiteEntry {
+		site = ""
+	}
 	return &Repro{
 		Schema:       ReproSchema,
 		Note:         note,
 		Seed:         res.Seed,
 		Policy:       res.Policy.String(),
 		Tamper:       res.Tamper,
+		TamperSite:   site,
 		Verdict:      string(res.Verdict),
 		Divergence:   res.Divergence,
 		Reason:       res.Reason,
@@ -109,7 +119,7 @@ func (r *Repro) Replay() (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("diffcheck: repro policy: %w", err)
 	}
-	res := Check(r.Source, Options{Policy: pol, Tamper: r.Tamper})
+	res := Check(r.Source, Options{Policy: pol, Tamper: r.Tamper, TamperSite: TamperSite(r.TamperSite)})
 	res.Seed = r.Seed
 	fresh := NewRepro(res, r.Source, r.Note)
 	if !bytes.Equal(fresh.Encode(), r.Encode()) {
@@ -130,6 +140,7 @@ func reproDiff(want, got *Repro) string {
 		{"oracle_digest", want.OracleDigest, got.OracleDigest},
 		{"sim_digest", want.SimDigest, got.SimDigest},
 		{"policy", want.Policy, got.Policy},
+		{"tamper_site", want.TamperSite, got.TamperSite},
 	}
 	for _, x := range fields {
 		if x.want != x.got {

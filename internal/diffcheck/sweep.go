@@ -2,18 +2,56 @@ package diffcheck
 
 import (
 	"context"
+	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"authpoint/internal/harness"
 	"authpoint/internal/policy"
 )
 
-// Cell is one unit of fuzz work: a seed checked under one policy.
+// ParseSeedRange parses an inclusive "lo:hi" seed-range flag into the
+// explicit seed list — the -seeds grammar shared by the fuzzing and
+// verification CLIs.
+func ParseSeedRange(s string) ([]int64, error) {
+	lo, hi, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("seeds %q: want lo:hi", s)
+	}
+	l, err1 := strconv.ParseInt(strings.TrimSpace(lo), 10, 64)
+	h, err2 := strconv.ParseInt(strings.TrimSpace(hi), 10, 64)
+	if err1 != nil || err2 != nil || h < l {
+		return nil, fmt.Errorf("seeds %q: want lo:hi with hi >= lo", s)
+	}
+	out := make([]int64, 0, h-l+1)
+	for v := l; v <= h; v++ {
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Cell is one unit of fuzz work: a seed checked under one policy. Site
+// selects the tamper site for tamper cells; empty means SiteEntry.
 type Cell struct {
 	Seed   int64
 	Policy policy.ControlPoint
 	Tamper bool
+	Site   TamperSite
+}
+
+// WithSite returns the cells with every tamper cell retargeted to site.
+// Non-tamper cells are unchanged.
+func WithSite(cells []Cell, site TamperSite) []Cell {
+	out := make([]Cell, len(cells))
+	for i, c := range cells {
+		if c.Tamper {
+			c.Site = site
+		}
+		out[i] = c
+	}
+	return out
 }
 
 // PairCells spreads seeds round-robin over the policies: seed i runs under
@@ -70,6 +108,7 @@ func Sweep(ctx context.Context, cells []Cell, opt Options, parallelism int) ([]R
 		o := opt
 		o.Policy = c.Policy
 		o.Tamper = c.Tamper
+		o.TamperSite = c.Site
 		res, src := CheckSeed(c.Seed, o)
 		results[i] = res
 		if bad(res.Verdict) {

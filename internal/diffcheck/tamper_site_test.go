@@ -1,0 +1,86 @@
+package diffcheck
+
+import (
+	"strings"
+	"testing"
+
+	"authpoint/internal/policy"
+)
+
+func TestTamperSiteDefaultsToEntry(t *testing.T) {
+	res, _ := CheckSeed(3, Options{Policy: policy.ThenCommit, Tamper: true})
+	if res.Site != SiteEntry {
+		t.Fatalf("default tamper site = %q, want %q", res.Site, SiteEntry)
+	}
+	explicit, _ := CheckSeed(3, Options{Policy: policy.ThenCommit, Tamper: true, TamperSite: SiteEntry})
+	if explicit.Verdict != res.Verdict || explicit.Reason != res.Reason || explicit.Cycles != res.Cycles {
+		t.Fatalf("explicit entry site diverges from default: %+v vs %+v", explicit, res)
+	}
+}
+
+// TestTamperSiteDataVerdicts sweeps data-site tamper across seeds and the
+// lattice. Unlike the entry line, a data line is not guaranteed to be
+// fetched, so the assertions are class-level: a verifying policy must never
+// yield divergence (fetched-but-unflagged) or undetected, and the baseline
+// is always undetected.
+func TestTamperSiteDataVerdicts(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	sawFlagged := false
+	for _, seed := range seeds {
+		for _, pol := range policy.Lattice() {
+			res, _ := CheckSeed(seed, Options{Policy: pol, Tamper: true, TamperSite: SiteData})
+			if res.Site != SiteData {
+				t.Fatalf("seed %d under %v: site %q, want data", seed, pol, res.Site)
+			}
+			switch {
+			case !pol.Knobs().Authenticate:
+				if res.Verdict != VerdictUndetected {
+					t.Errorf("seed %d under %v (no auth): verdict %s, want undetected", seed, pol, res.Verdict)
+				}
+			default:
+				switch res.Verdict {
+				case VerdictOK: // line never fetched: nothing to assert
+				case VerdictContained, VerdictDetected:
+					sawFlagged = true
+				default:
+					t.Errorf("seed %d under %v: verdict %s (%s)", seed, pol, res.Verdict, res.Divergence)
+				}
+			}
+		}
+	}
+	if !sawFlagged {
+		t.Error("no seed ever fetched its tampered data line; test exercises nothing")
+	}
+}
+
+func TestTamperSiteDataNoDataSegment(t *testing.T) {
+	res := Check("_start:\n\thalt\n", Options{Policy: policy.ThenCommit, Tamper: true, TamperSite: SiteData})
+	if res.Verdict != VerdictError {
+		t.Fatalf("data-site tamper on data-less program: verdict %s, want error", res.Verdict)
+	}
+	if !strings.Contains(res.Divergence, "no data segment") {
+		t.Fatalf("error does not name the cause: %q", res.Divergence)
+	}
+}
+
+func TestTamperSiteReproRoundTrip(t *testing.T) {
+	// Entry-site recordings must keep encoding the site as "" so the
+	// pre-site corpus stays byte-identical under replay.
+	entry, src := CheckSeed(11, Options{Policy: policy.ThenCommit, Tamper: true})
+	if r := NewRepro(entry, src, ""); r.TamperSite != "" {
+		t.Fatalf("entry-site repro records tamper_site %q, want empty", r.TamperSite)
+	}
+
+	res, src := CheckSeed(11, Options{Policy: policy.ThenCommit, Tamper: true, TamperSite: SiteData})
+	r := NewRepro(res, src, "data-site round-trip")
+	if r.TamperSite != string(SiteData) {
+		t.Fatalf("data-site repro records tamper_site %q, want %q", r.TamperSite, SiteData)
+	}
+	dec, err := DecodeRepro(r.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if _, err := dec.Replay(); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+}

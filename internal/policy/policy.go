@@ -355,6 +355,29 @@ func Lattice() []ControlPoint {
 	return out
 }
 
+// ParseSet resolves a policy-set flag value shared by the fuzzing and
+// verification CLIs: "full" is the 31-point FullLattice, "lattice" and "ci"
+// are the 15-point Lattice (the CI smoke set — all singles and pairs, cheap
+// enough to sweep hundreds of seeds on every push), and anything else is a
+// comma-separated list of control-point names fed through Parse.
+func ParseSet(s string) ([]ControlPoint, error) {
+	switch s {
+	case "full":
+		return FullLattice(), nil
+	case "lattice", "ci":
+		return Lattice(), nil
+	}
+	var out []ControlPoint
+	for _, name := range strings.Split(s, ",") {
+		p, err := Parse(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
 // FullLattice returns every non-baseline point of the lattice: all 31
 // non-empty gate subsets, ordered by gate count then canonical name.
 func FullLattice() []ControlPoint {
