@@ -24,13 +24,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"runtime/pprof"
 	"strings"
 	"time"
 
 	"authpoint/internal/experiments"
 	"authpoint/internal/harness"
 	"authpoint/internal/policy"
+	"authpoint/internal/prof"
 	"authpoint/internal/report"
 	"authpoint/internal/sim"
 	"authpoint/internal/workload"
@@ -86,17 +86,11 @@ func main() {
 		p.Workloads = ws
 	}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fatalf("cpuprofile: %v", err)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatalf("cpuprofile: %v", err)
-		}
-		defer pprof.StopCPUProfile()
+	stopProf, err := prof.Start(*cpuprofile)
+	if err != nil {
+		fatalf("%v", err)
 	}
+	defer stopProf()
 
 	if *jsonOut != "" {
 		benchRec = newBenchRecorder(*parallel)
@@ -119,16 +113,8 @@ func main() {
 	}
 	fmt.Printf("\n(total wall time %v, %d workers)\n", time.Since(start).Round(time.Second), *parallel)
 
-	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
-		if err != nil {
-			fatalf("memprofile: %v", err)
-		}
-		defer f.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fatalf("memprofile: %v", err)
-		}
+	if err := prof.WriteHeap(*memprofile); err != nil {
+		fatalf("%v", err)
 	}
 	if benchRec != nil {
 		if err := benchRec.write(*jsonOut); err != nil {

@@ -34,6 +34,7 @@ import (
 
 	"authpoint/internal/diffcheck"
 	"authpoint/internal/policy"
+	"authpoint/internal/prof"
 )
 
 func fatalf(format string, args ...any) {
@@ -55,6 +56,8 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "worker pool size (0 = NumCPU)")
 		budget    = flag.Duration("budget", 0, "wall-clock bound for the sweep (0 = none); cells not reached are skipped, not failed")
 		verbose   = flag.Bool("v", false, "print one line per cell")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file before exit")
 	)
 	flag.Parse()
 
@@ -86,9 +89,21 @@ func main() {
 		fatalf("tamper-site %q: want entry or data", *tamperAt)
 	}
 
+	stopProf, err := prof.Start(*cpuprof)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	bad := runSweep(ctx, seeds, pols, *mode, *tamper, site, *minimize, *outDir, *parallel, *verbose)
 	if *monotone {
 		bad = runMonotone(seeds, pols, *verbose) || bad
+	}
+
+	// main exits through os.Exit, so the profiles must be flushed here
+	// rather than in deferred calls.
+	stopProf()
+	if err := prof.WriteHeap(*memprof); err != nil {
+		fatalf("%v", err)
 	}
 	if bad {
 		os.Exit(1)

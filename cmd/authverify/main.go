@@ -42,6 +42,7 @@ import (
 	"authpoint/internal/contract"
 	"authpoint/internal/diffcheck"
 	"authpoint/internal/policy"
+	"authpoint/internal/prof"
 )
 
 func fatalf(format string, args ...any) {
@@ -61,6 +62,8 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "worker pool size (0 = NumCPU)")
 		budget    = flag.Duration("budget", 0, "wall-clock bound for the seed sweep (0 = none); cells not reached are skipped, not failed")
 		verbose   = flag.Bool("v", false, "print one line per cell")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file before exit")
 	)
 	flag.Parse()
 
@@ -87,9 +90,21 @@ func main() {
 		defer cancel()
 	}
 
+	stopProf, err := prof.Start(*cpuprof)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	bad := runSweep(ctx, seeds, pols, *mode, *minimize, *outDir, *parallel, *verbose)
 	if *kernels {
 		bad = runKernels(*verbose) || bad
+	}
+
+	// main exits through os.Exit, so the profiles must be flushed here
+	// rather than in deferred calls.
+	stopProf()
+	if err := prof.WriteHeap(*memprof); err != nil {
+		fatalf("%v", err)
 	}
 	if bad {
 		os.Exit(1)

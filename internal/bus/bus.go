@@ -145,3 +145,15 @@ func (b *Bus) BusyCycles() uint64 { return b.busy }
 
 // NextFree returns the earliest cycle a new transaction could start.
 func (b *Bus) NextFree() uint64 { return b.nextFree }
+
+// NextEventAt supports the idle-cycle fast-forward: the bus is lazily timed
+// (transactions are fully scheduled at request time), so its only "event"
+// is its occupancy horizon. Completion cycles that matter to the pipeline
+// are already folded into the memory system's ready/done timestamps; the
+// returned bound is defensive. A horizon at or before now imposes no bound.
+func (b *Bus) NextEventAt(now uint64) uint64 {
+	if b.nextFree > now {
+		return b.nextFree
+	}
+	return ^uint64(0)
+}

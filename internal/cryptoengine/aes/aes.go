@@ -2,12 +2,13 @@
 // scratch. It is the cipher used by the secure processor model for memory
 // encryption (counter mode) and for the CBC/CBC-MAC comparison scheme.
 //
-// The implementation is a straightforward byte-oriented realization of FIPS
-// 197: S-box substitution, ShiftRows, MixColumns over GF(2^8), and the key
-// schedule. It favours clarity and auditability over speed; the simulator's
-// timing model charges the latency of a pipelined hardware implementation
-// (the paper's reference: ~80ns for 256-bit Rijndael), not the latency of
-// this software.
+// The field arithmetic (S-box substitution, ShiftRows, MixColumns over
+// GF(2^8), and the key schedule) is realized byte-oriented from FIPS 197 for
+// auditability; the block-processing hot path then runs on T-tables derived
+// from that arithmetic at init, because the simulator invokes the cipher for
+// every external line fetch. The simulator's timing model still charges the
+// latency of a pipelined hardware implementation (the paper's reference:
+// ~80ns for 256-bit Rijndael), not the latency of this software.
 //
 // Correctness is established in tests against FIPS-197 vectors and against
 // crypto/aes from the Go standard library.
@@ -57,6 +58,14 @@ var (
 	// Multiplication tables for the fixed MixColumns coefficients; computed
 	// once from mul so the hot encrypt/decrypt paths are table lookups.
 	mul2, mul3, mul9, mul11, mul13, mul14 [256]byte
+	// T-tables fusing SubBytes, ShiftRows, and MixColumns into four word
+	// lookups per column per round (the standard software realization of
+	// FIPS 197 §5.1). te[i][x] holds the MixColumns product column for a row-i
+	// byte after substitution; td is the inverse-cipher analogue. Generated in
+	// init from sbox/mul, so the byte-oriented reference arithmetic above is
+	// still the single source of truth.
+	te [4][256]uint32
+	td [4][256]uint32
 )
 
 // mul multiplies a and b in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1.
@@ -107,6 +116,18 @@ func init() {
 		mul11[i] = mul(b, 11)
 		mul13[i] = mul(b, 13)
 		mul14[i] = mul(b, 14)
+	}
+	for i := 0; i < 256; i++ {
+		s := sbox[i]
+		te[0][i] = uint32(mul2[s])<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(mul3[s])
+		te[1][i] = uint32(mul3[s])<<24 | uint32(mul2[s])<<16 | uint32(s)<<8 | uint32(s)
+		te[2][i] = uint32(s)<<24 | uint32(mul3[s])<<16 | uint32(mul2[s])<<8 | uint32(s)
+		te[3][i] = uint32(s)<<24 | uint32(s)<<16 | uint32(mul3[s])<<8 | uint32(mul2[s])
+		is := isbox[i]
+		td[0][i] = uint32(mul14[is])<<24 | uint32(mul9[is])<<16 | uint32(mul13[is])<<8 | uint32(mul11[is])
+		td[1][i] = uint32(mul11[is])<<24 | uint32(mul14[is])<<16 | uint32(mul9[is])<<8 | uint32(mul13[is])
+		td[2][i] = uint32(mul13[is])<<24 | uint32(mul11[is])<<16 | uint32(mul14[is])<<8 | uint32(mul9[is])
+		td[3][i] = uint32(mul9[is])<<24 | uint32(mul13[is])<<16 | uint32(mul11[is])<<8 | uint32(mul14[is])
 	}
 }
 
@@ -195,24 +216,6 @@ func (s *state) addRoundKey(rk []uint32) {
 	s[3] ^= rk[3]
 }
 
-// bytesOf unpacks the state into a 4x4 byte matrix b[row][col].
-func (s *state) bytesOf() [4][4]byte {
-	var b [4][4]byte
-	for c := 0; c < 4; c++ {
-		b[0][c] = byte(s[c] >> 24)
-		b[1][c] = byte(s[c] >> 16)
-		b[2][c] = byte(s[c] >> 8)
-		b[3][c] = byte(s[c])
-	}
-	return b
-}
-
-func (s *state) setBytes(b [4][4]byte) {
-	for c := 0; c < 4; c++ {
-		s[c] = uint32(b[0][c])<<24 | uint32(b[1][c])<<16 | uint32(b[2][c])<<8 | uint32(b[3][c])
-	}
-}
-
 // Encrypt encrypts one 16-byte block. dst and src may overlap.
 func (c *Cipher) Encrypt(dst, src []byte) {
 	if len(src) < BlockSize || len(dst) < BlockSize {
@@ -220,36 +223,24 @@ func (c *Cipher) Encrypt(dst, src []byte) {
 	}
 	s := loadState(src)
 	s.addRoundKey(c.enc[0:4])
+	// Each round, column c draws its row-0 byte from column c, row 1 from
+	// c+1, row 2 from c+2, row 3 from c+3 (ShiftRows), and the T-tables fold
+	// in SubBytes and MixColumns.
 	for r := 1; r < c.rounds; r++ {
-		b := s.bytesOf()
-		// SubBytes + ShiftRows.
-		var t [4][4]byte
-		for row := 0; row < 4; row++ {
-			for col := 0; col < 4; col++ {
-				t[row][col] = sbox[b[row][(col+row)%4]]
-			}
-		}
-		// MixColumns.
-		var m [4][4]byte
-		for col := 0; col < 4; col++ {
-			m[0][col] = mul2[t[0][col]] ^ mul3[t[1][col]] ^ t[2][col] ^ t[3][col]
-			m[1][col] = t[0][col] ^ mul2[t[1][col]] ^ mul3[t[2][col]] ^ t[3][col]
-			m[2][col] = t[0][col] ^ t[1][col] ^ mul2[t[2][col]] ^ mul3[t[3][col]]
-			m[3][col] = mul3[t[0][col]] ^ t[1][col] ^ t[2][col] ^ mul2[t[3][col]]
-		}
-		s.setBytes(m)
-		s.addRoundKey(c.enc[4*r : 4*r+4])
+		rk := c.enc[4*r : 4*r+4]
+		s0 := te[0][s[0]>>24] ^ te[1][s[1]>>16&0xff] ^ te[2][s[2]>>8&0xff] ^ te[3][s[3]&0xff] ^ rk[0]
+		s1 := te[0][s[1]>>24] ^ te[1][s[2]>>16&0xff] ^ te[2][s[3]>>8&0xff] ^ te[3][s[0]&0xff] ^ rk[1]
+		s2 := te[0][s[2]>>24] ^ te[1][s[3]>>16&0xff] ^ te[2][s[0]>>8&0xff] ^ te[3][s[1]&0xff] ^ rk[2]
+		s3 := te[0][s[3]>>24] ^ te[1][s[0]>>16&0xff] ^ te[2][s[1]>>8&0xff] ^ te[3][s[2]&0xff] ^ rk[3]
+		s[0], s[1], s[2], s[3] = s0, s1, s2, s3
 	}
-	// Final round: no MixColumns.
-	b := s.bytesOf()
-	var t [4][4]byte
-	for row := 0; row < 4; row++ {
-		for col := 0; col < 4; col++ {
-			t[row][col] = sbox[b[row][(col+row)%4]]
-		}
-	}
-	s.setBytes(t)
-	s.addRoundKey(c.enc[4*c.rounds : 4*c.rounds+4])
+	// Final round: SubBytes + ShiftRows only.
+	rk := c.enc[4*c.rounds : 4*c.rounds+4]
+	s0 := uint32(sbox[s[0]>>24])<<24 | uint32(sbox[s[1]>>16&0xff])<<16 | uint32(sbox[s[2]>>8&0xff])<<8 | uint32(sbox[s[3]&0xff])
+	s1 := uint32(sbox[s[1]>>24])<<24 | uint32(sbox[s[2]>>16&0xff])<<16 | uint32(sbox[s[3]>>8&0xff])<<8 | uint32(sbox[s[0]&0xff])
+	s2 := uint32(sbox[s[2]>>24])<<24 | uint32(sbox[s[3]>>16&0xff])<<16 | uint32(sbox[s[0]>>8&0xff])<<8 | uint32(sbox[s[1]&0xff])
+	s3 := uint32(sbox[s[3]>>24])<<24 | uint32(sbox[s[0]>>16&0xff])<<16 | uint32(sbox[s[1]>>8&0xff])<<8 | uint32(sbox[s[2]&0xff])
+	s[0], s[1], s[2], s[3] = s0^rk[0], s1^rk[1], s2^rk[2], s3^rk[3]
 	s.store(dst)
 }
 
@@ -260,36 +251,24 @@ func (c *Cipher) Decrypt(dst, src []byte) {
 	}
 	s := loadState(src)
 	s.addRoundKey(c.dec[0:4])
+	// Equivalent inverse cipher (pre-transformed round keys): column c draws
+	// its row-1 byte from column c-1, row 2 from c-2, row 3 from c-3
+	// (InvShiftRows), with InvSubBytes and InvMixColumns folded into td.
 	for r := 1; r < c.rounds; r++ {
-		b := s.bytesOf()
-		// InvSubBytes + InvShiftRows.
-		var t [4][4]byte
-		for row := 0; row < 4; row++ {
-			for col := 0; col < 4; col++ {
-				t[row][(col+row)%4] = isbox[b[row][col]]
-			}
-		}
-		// InvMixColumns (equivalent inverse cipher order: applied before
-		// AddRoundKey with pre-transformed round keys).
-		var m [4][4]byte
-		for col := 0; col < 4; col++ {
-			m[0][col] = mul14[t[0][col]] ^ mul11[t[1][col]] ^ mul13[t[2][col]] ^ mul9[t[3][col]]
-			m[1][col] = mul9[t[0][col]] ^ mul14[t[1][col]] ^ mul11[t[2][col]] ^ mul13[t[3][col]]
-			m[2][col] = mul13[t[0][col]] ^ mul9[t[1][col]] ^ mul14[t[2][col]] ^ mul11[t[3][col]]
-			m[3][col] = mul11[t[0][col]] ^ mul13[t[1][col]] ^ mul9[t[2][col]] ^ mul14[t[3][col]]
-		}
-		s.setBytes(m)
-		s.addRoundKey(c.dec[4*r : 4*r+4])
+		rk := c.dec[4*r : 4*r+4]
+		s0 := td[0][s[0]>>24] ^ td[1][s[3]>>16&0xff] ^ td[2][s[2]>>8&0xff] ^ td[3][s[1]&0xff] ^ rk[0]
+		s1 := td[0][s[1]>>24] ^ td[1][s[0]>>16&0xff] ^ td[2][s[3]>>8&0xff] ^ td[3][s[2]&0xff] ^ rk[1]
+		s2 := td[0][s[2]>>24] ^ td[1][s[1]>>16&0xff] ^ td[2][s[0]>>8&0xff] ^ td[3][s[3]&0xff] ^ rk[2]
+		s3 := td[0][s[3]>>24] ^ td[1][s[2]>>16&0xff] ^ td[2][s[1]>>8&0xff] ^ td[3][s[0]&0xff] ^ rk[3]
+		s[0], s[1], s[2], s[3] = s0, s1, s2, s3
 	}
-	b := s.bytesOf()
-	var t [4][4]byte
-	for row := 0; row < 4; row++ {
-		for col := 0; col < 4; col++ {
-			t[row][(col+row)%4] = isbox[b[row][col]]
-		}
-	}
-	s.setBytes(t)
-	s.addRoundKey(c.dec[4*c.rounds : 4*c.rounds+4])
+	// Final round: InvSubBytes + InvShiftRows only.
+	rk := c.dec[4*c.rounds : 4*c.rounds+4]
+	s0 := uint32(isbox[s[0]>>24])<<24 | uint32(isbox[s[3]>>16&0xff])<<16 | uint32(isbox[s[2]>>8&0xff])<<8 | uint32(isbox[s[1]&0xff])
+	s1 := uint32(isbox[s[1]>>24])<<24 | uint32(isbox[s[0]>>16&0xff])<<16 | uint32(isbox[s[3]>>8&0xff])<<8 | uint32(isbox[s[2]&0xff])
+	s2 := uint32(isbox[s[2]>>24])<<24 | uint32(isbox[s[1]>>16&0xff])<<16 | uint32(isbox[s[0]>>8&0xff])<<8 | uint32(isbox[s[3]&0xff])
+	s3 := uint32(isbox[s[3]>>24])<<24 | uint32(isbox[s[2]>>16&0xff])<<16 | uint32(isbox[s[1]>>8&0xff])<<8 | uint32(isbox[s[0]&0xff])
+	s[0], s[1], s[2], s[3] = s0^rk[0], s1^rk[1], s2^rk[2], s3^rk[3]
 	s.store(dst)
 }
 

@@ -83,6 +83,14 @@ func (e *Engine) SetCounter(addr, ctr uint64) { e.counters[addr] = ctr }
 // Pad computes the one-time pad for the line at addr under counter ctr.
 func (e *Engine) Pad(addr, ctr uint64) []byte {
 	pad := make([]byte, e.lineSize)
+	e.padInto(pad, addr, ctr)
+	return pad
+}
+
+// padInto writes the one-time pad for (addr, ctr) into dst, which must be
+// lineSize bytes. Allocation-free: every external line fetch goes through
+// here.
+func (e *Engine) padInto(dst []byte, addr, ctr uint64) {
 	var block [aes.BlockSize]byte
 	for chunk := 0; chunk < e.PadChunks(); chunk++ {
 		// Seed block: address, counter, chunk index. Unique per
@@ -90,30 +98,53 @@ func (e *Engine) Pad(addr, ctr uint64) []byte {
 		// requires.
 		putUint64(block[0:8], addr)
 		putUint64(block[8:16], ctr+uint64(chunk)<<48)
-		e.cipher.Encrypt(pad[chunk*aes.BlockSize:], block[:])
+		e.cipher.Encrypt(dst[chunk*aes.BlockSize:], block[:])
 	}
-	return pad
 }
 
 // EncryptLine encrypts plaintext for the line at addr, bumping its counter.
 // The returned ciphertext has the same length as the engine line size.
 func (e *Engine) EncryptLine(addr uint64, plaintext []byte) ([]byte, error) {
+	out := make([]byte, e.lineSize)
+	if err := e.EncryptLineInto(out, addr, plaintext); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EncryptLineInto is EncryptLine writing the ciphertext into dst (lineSize
+// bytes) without allocating. dst must not alias plaintext.
+func (e *Engine) EncryptLineInto(dst []byte, addr uint64, plaintext []byte) error {
 	if len(plaintext) != e.lineSize {
-		return nil, fmt.Errorf("ctr: plaintext length %d != line size %d", len(plaintext), e.lineSize)
+		return fmt.Errorf("ctr: plaintext length %d != line size %d", len(plaintext), e.lineSize)
 	}
 	e.counters[addr]++
 	e.emit(addr, 0)
-	return xorBytes(e.Pad(addr, e.counters[addr]), plaintext), nil
+	e.padInto(dst, addr, e.counters[addr])
+	xorInto(dst, plaintext)
+	return nil
 }
 
 // DecryptLine decrypts ciphertext for the line at addr using its current
 // counter.
 func (e *Engine) DecryptLine(addr uint64, ciphertext []byte) ([]byte, error) {
+	out := make([]byte, e.lineSize)
+	if err := e.DecryptLineInto(out, addr, ciphertext); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecryptLineInto is DecryptLine writing the plaintext into dst (lineSize
+// bytes) without allocating. dst must not alias ciphertext.
+func (e *Engine) DecryptLineInto(dst []byte, addr uint64, ciphertext []byte) error {
 	if len(ciphertext) != e.lineSize {
-		return nil, fmt.Errorf("ctr: ciphertext length %d != line size %d", len(ciphertext), e.lineSize)
+		return fmt.Errorf("ctr: ciphertext length %d != line size %d", len(ciphertext), e.lineSize)
 	}
 	e.emit(addr, 1)
-	return xorBytes(e.Pad(addr, e.counters[addr]), ciphertext), nil
+	e.padInto(dst, addr, e.counters[addr])
+	xorInto(dst, ciphertext)
+	return nil
 }
 
 // DecryptLineWithCounter decrypts with an explicit counter value. A replayed
@@ -124,15 +155,17 @@ func (e *Engine) DecryptLineWithCounter(addr, ctr uint64, ciphertext []byte) ([]
 	if len(ciphertext) != e.lineSize {
 		return nil, fmt.Errorf("ctr: ciphertext length %d != line size %d", len(ciphertext), e.lineSize)
 	}
-	return xorBytes(e.Pad(addr, ctr), ciphertext), nil
+	out := make([]byte, e.lineSize)
+	e.padInto(out, addr, ctr)
+	xorInto(out, ciphertext)
+	return out, nil
 }
 
-func xorBytes(a, b []byte) []byte {
-	out := make([]byte, len(a))
-	for i := range a {
-		out[i] = a[i] ^ b[i]
+// xorInto XORs b into dst element-wise.
+func xorInto(dst, b []byte) {
+	for i := range dst {
+		dst[i] ^= b[i]
 	}
-	return out
 }
 
 func putUint64(b []byte, v uint64) {

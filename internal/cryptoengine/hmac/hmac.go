@@ -13,7 +13,9 @@ import (
 // Size is the full MAC size in bytes before truncation.
 const Size = sha256.Size
 
-// Mac computes HMAC-SHA256(key, msg).
+// Mac computes HMAC-SHA256(key, msg). It does not allocate: the simulated
+// authentication engine MACs every external line fetch, so this sits on the
+// simulator's hot path.
 func Mac(key, msg []byte) [Size]byte {
 	var k [sha256.BlockSize]byte
 	if len(key) > sha256.BlockSize {
@@ -27,15 +29,17 @@ func Mac(key, msg []byte) [Size]byte {
 		ipad[i] = k[i] ^ 0x36
 		opad[i] = k[i] ^ 0x5c
 	}
-	inner := sha256.New()
-	inner.Write(ipad[:])
-	inner.Write(msg)
-	innerSum := inner.Sum(nil)
-	outer := sha256.New()
-	outer.Write(opad[:])
-	outer.Write(innerSum)
+	var d sha256.Digest
+	d.Reset()
+	d.Write(ipad[:])
+	d.Write(msg)
+	var innerSum [sha256.Size]byte
+	d.SumInto(&innerSum)
+	d.Reset()
+	d.Write(opad[:])
+	d.Write(innerSum[:])
 	var out [Size]byte
-	copy(out[:], outer.Sum(nil))
+	d.SumInto(&out)
 	return out
 }
 
@@ -52,13 +56,13 @@ func Truncated(key, msg []byte, n int) []byte {
 }
 
 // Verify reports whether mac equals the truncated HMAC of msg under key,
-// in constant time.
+// in constant time. Like Mac, it does not allocate.
 func Verify(key, msg, mac []byte) bool {
 	if len(mac) == 0 || len(mac) > Size {
 		return false
 	}
-	want := Truncated(key, msg, len(mac))
-	return subtle.ConstantTimeCompare(want, mac) == 1
+	want := Mac(key, msg)
+	return subtle.ConstantTimeCompare(want[:len(mac)], mac) == 1
 }
 
 // PaddedBlocks reports how many hash-unit invocations authenticating an

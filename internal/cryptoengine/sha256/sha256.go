@@ -7,6 +7,8 @@
 // crypto/sha256 from the Go standard library.
 package sha256
 
+import "math/bits"
+
 // Size is the digest size in bytes.
 const Size = 32
 
@@ -78,6 +80,16 @@ func (d *Digest) Write(p []byte) (int, error) {
 // Sum appends the digest of everything written so far to b and returns the
 // result. The computation can continue afterwards (Sum does not mutate d).
 func (d *Digest) Sum(b []byte) []byte {
+	var out [Size]byte
+	d.SumInto(&out)
+	return append(b, out[:]...)
+}
+
+// SumInto writes the digest of everything written so far into out without
+// allocating. The computation can continue afterwards (it does not mutate
+// d). This is the hot path of the per-line MAC in the simulated
+// authentication engine, which must not allocate per memory fetch.
+func (d *Digest) SumInto(out *[Size]byte) {
 	dd := *d // copy so padding does not disturb the stream
 	var pad [BlockSize + 8]byte
 	pad[0] = 0x80
@@ -91,17 +103,15 @@ func (d *Digest) Sum(b []byte) []byte {
 		tail[len(tail)-1-i] = byte(msgBits >> (8 * i))
 	}
 	dd.Write(tail)
-	var out [Size]byte
 	for i, v := range dd.h {
 		out[4*i] = byte(v >> 24)
 		out[4*i+1] = byte(v >> 16)
 		out[4*i+2] = byte(v >> 8)
 		out[4*i+3] = byte(v)
 	}
-	return append(b, out[:]...)
 }
 
-func rotr(x uint32, n uint) uint32 { return x>>n | x<<(32-n) }
+func rotr(x uint32, n uint) uint32 { return bits.RotateLeft32(x, -int(n)) }
 
 func (d *Digest) block(p []byte) {
 	var w [64]uint32
@@ -135,10 +145,11 @@ func (d *Digest) block(p []byte) {
 
 // Sum256 returns the SHA-256 digest of data.
 func Sum256(data []byte) [Size]byte {
-	d := New()
+	var d Digest
+	d.Reset()
 	d.Write(data)
 	var out [Size]byte
-	copy(out[:], d.Sum(nil))
+	d.SumInto(&out)
 	return out
 }
 

@@ -162,6 +162,18 @@ func (d *DRAM) Access(now uint64, addr uint64, n int) (firstData, done uint64) {
 	return firstData, done
 }
 
+// NextEventAt supports the idle-cycle fast-forward: DRAM is lazily timed
+// (accesses are fully scheduled at request time), so its only "event" is
+// the shared data-bus occupancy horizon. Completion cycles that matter are
+// already folded into the requesters' ready timestamps; the returned bound
+// is defensive. A horizon at or before now imposes no bound.
+func (d *DRAM) NextEventAt(now uint64) uint64 {
+	if d.busFree > now {
+		return d.busFree
+	}
+	return ^uint64(0)
+}
+
 // Stats returns a copy of the counters.
 func (d *DRAM) Stats() Stats { return d.stats }
 

@@ -64,10 +64,16 @@ func (m *Memory) StoreByte(addr uint64, v byte) {
 // Read copies n bytes starting at addr into a fresh slice.
 func (m *Memory) Read(addr uint64, n int) []byte {
 	out := make([]byte, n)
-	for i := 0; i < n; i++ {
-		out[i] = m.LoadByte(addr + uint64(i))
-	}
+	m.ReadInto(out, addr)
 	return out
+}
+
+// ReadInto fills dst with len(dst) bytes starting at addr without
+// allocating (the secure-memory controller's per-fetch path).
+func (m *Memory) ReadInto(dst []byte, addr uint64) {
+	for i := range dst {
+		dst[i] = m.LoadByte(addr + uint64(i))
+	}
 }
 
 // Write stores data starting at addr.

@@ -20,6 +20,7 @@ package pipeline
 
 import (
 	"fmt"
+	"math/bits"
 
 	"authpoint/internal/isa"
 	"authpoint/internal/obs"
@@ -149,17 +150,23 @@ type entry struct {
 
 	fault     FaultKind
 	faultAddr uint64
+
+	// consumers lists dependents registered at their dispatch, packed as
+	// ruuIndex<<1 | srcSlot. Broadcast walks this list instead of scanning
+	// the whole window; records for squashed or reused consumer slots are
+	// filtered by the (valid, srcTag == producer) check at wake time. The
+	// backing array is preserved across slot reuse so steady-state dispatch
+	// does not allocate.
+	consumers []int32
 }
 
 type fetchedInst struct {
 	pc           uint64
-	inst         isa.Inst
+	uop          Uop
 	predNPC      uint64
 	predTaken    bool
-	isCond       bool
 	instAuthIdx  uint64
 	instAuthDone uint64
-	illegal      bool
 }
 
 // Stats counts core events.
@@ -198,12 +205,19 @@ type Core struct {
 	tail  int
 	count int
 
-	lsqCount int
+	lsqCount   int
+	storeCount int // stores in the RUU window (skip disambiguation scans when 0)
 
+	// ifq is a fixed-capacity ring (capacity IFQSize): the steady-state
+	// fetch/dispatch churn must not reallocate.
 	ifq          []fetchedInst
+	ifqHead      int
+	ifqLen       int
 	fetchBlocked uint64 // no fetch before this cycle
 	fetchFaulted bool   // fetch ran into an unmapped page; waits for redirect
 	fetchTag     uint64 // LastRequest at the control transfer steering fetch
+
+	uops *UopCache // pre-decoded static text (nil = decode per fetch)
 
 	nextSeq uint64
 	now     uint64
@@ -212,10 +226,26 @@ type Core struct {
 	inflight     int    // RUU entries in stIssued
 	earliestDone uint64 // lower bound on the next completion cycle
 
+	// Occupancy bitmaps over RUU slots, one bit per slot: which entries are
+	// waiting to issue, issued but not complete, and stores (any state).
+	// Stage scans iterate set bits in ring age order instead of walking the
+	// whole window, so a full 128-entry RUU with three waiting entries costs
+	// three visits, not 128.
+	waitMask  []uint64
+	issueMask []uint64
+	storeMask []uint64
+
 	halted   bool
 	fault    FaultKind
 	faultPC  uint64
 	faultVal uint64
+
+	// progress records whether the last Step changed any machine state
+	// beyond per-cycle stall accounting. A false value licenses the
+	// idle-cycle fast-forward (NextEventAt/SkipTo): every stage's behaviour
+	// is then a pure function of (unchanged state, cycle number) until the
+	// next pending event.
+	progress bool
 
 	outLog []OutEvent
 
@@ -260,12 +290,17 @@ func New(cfg Config, mem MemPort, entryPC uint64) (*Core, error) {
 	if cfg.FetchWidth <= 0 || cfg.IssueWidth <= 0 || cfg.CommitWidth <= 0 {
 		return nil, fmt.Errorf("pipeline: non-positive widths %+v", cfg)
 	}
+	words := (cfg.RUUSize + 63) / 64
 	c := &Core{
-		cfg: cfg,
-		mem: mem,
-		bp:  NewPredictor(cfg.Predictor),
-		pc:  entryPC,
-		ruu: make([]entry, cfg.RUUSize),
+		cfg:       cfg,
+		mem:       mem,
+		bp:        NewPredictor(cfg.Predictor),
+		pc:        entryPC,
+		ruu:       make([]entry, cfg.RUUSize),
+		ifq:       make([]fetchedInst, cfg.IFQSize),
+		waitMask:  make([]uint64, words),
+		issueMask: make([]uint64, words),
+		storeMask: make([]uint64, words),
 	}
 	for i := range c.renameInt {
 		c.renameInt[i] = -1
@@ -300,6 +335,15 @@ func (c *Core) OutLog() []OutEvent { return c.outLog }
 // Stats returns a copy of the counters.
 func (c *Core) Stats() Stats { return c.stats }
 
+// Committed returns the committed-instruction count without copying the
+// whole Stats struct (the Run loop reads it every iteration).
+func (c *Core) Committed() uint64 { return c.stats.Committed }
+
+// SetUopCache attaches a pre-decoded micro-op cache for the static text.
+// nil (the default) decodes every fetched word directly — the reference
+// behaviour the cache is pinned against.
+func (c *Core) SetUopCache(uc *UopCache) { c.uops = uc }
+
 // Predictor exposes the branch predictor (for stats).
 func (c *Core) Predictor() *Predictor { return c.bp }
 
@@ -312,16 +356,64 @@ func (c *Core) ruuOrder(f func(idx int, e *entry) bool) {
 	}
 }
 
+func maskSet(m []uint64, idx int)   { m[idx>>6] |= 1 << (idx & 63) }
+func maskClear(m []uint64, idx int) { m[idx>>6] &^= 1 << (idx & 63) }
+
+// maskOrder visits the set bits of m from RUU head to tail — oldest entry
+// first, honouring the ring wrap. The mask invariant (bits only within the
+// live window [head, head+count)) makes bit order within each segment equal
+// age order.
+func (c *Core) maskOrder(m []uint64, f func(idx int, e *entry) bool) {
+	if c.count == 0 {
+		return
+	}
+	end := c.head + c.count
+	if end <= c.cfg.RUUSize {
+		c.maskSeg(m, c.head, end, f)
+		return
+	}
+	if c.maskSeg(m, c.head, c.cfg.RUUSize, f) {
+		c.maskSeg(m, 0, end-c.cfg.RUUSize, f)
+	}
+}
+
+// maskSeg visits set bits of m with indices in [lo, hi), ascending. It
+// reports whether the caller should continue with the next segment.
+func (c *Core) maskSeg(m []uint64, lo, hi int, f func(idx int, e *entry) bool) bool {
+	w := lo >> 6
+	cur := m[w] &^ (1<<(uint(lo)&63) - 1)
+	for {
+		base := w << 6
+		for cur != 0 {
+			idx := base + bits.TrailingZeros64(cur)
+			if idx >= hi {
+				return true
+			}
+			if !f(idx, &c.ruu[idx]) {
+				return false
+			}
+			cur &= cur - 1
+		}
+		w++
+		if w<<6 >= hi {
+			return true
+		}
+		cur = m[w]
+	}
+}
+
 // Step advances the machine one cycle. Stages run in reverse pipeline order
 // so same-cycle structural hazards resolve like hardware.
 func (c *Core) Step() {
 	if c.halted || c.fault != FaultNone {
 		return
 	}
+	c.progress = false
 	c.stats.Cycles++
 	c.mem.Tick(c.now)
 	c.commit()
 	if c.halted || c.fault != FaultNone {
+		c.progress = true
 		c.now++
 		return
 	}
@@ -334,3 +426,111 @@ func (c *Core) Step() {
 
 // Now returns the current cycle.
 func (c *Core) Now() uint64 { return c.now }
+
+// Progressed reports whether the last Step changed machine state beyond
+// per-cycle stall accounting. Note it covers only the core's own stages;
+// the memory system's Tick reports its progress separately.
+func (c *Core) Progressed() bool { return c.progress }
+
+// neverCycle is the "no pending event" sentinel for NextEventAt.
+const neverCycle = ^uint64(0)
+
+// NextEventAt returns the earliest future cycle at which a pipeline stage
+// could act, assuming no external state changes. It is meaningful only
+// immediately after a Step that reported no progress: the quiet Step proves
+// every stage is blocked, so the blocking conditions' expiry cycles are the
+// only times anything can happen. A return value <= Now() means the core
+// cannot prove idleness (skip nothing); neverCycle means no event is
+// pending (only external bounds — watchdog, security fault — apply).
+//
+// Comparisons are >= c.now, not > c.now: Step increments the clock after
+// running its stages, so NextEventAt sees the cycle the NEXT Step's stages
+// will observe. A deadline equal to c.now means that Step acts — returning
+// c.now makes the machine take it as a normal step (the skip loop requires
+// next > now).
+func (c *Core) NextEventAt() uint64 {
+	if c.halted || c.fault != FaultNone {
+		return c.now
+	}
+	next := neverCycle
+	if c.inflight > 0 {
+		// Issued entries complete at earliestDone. A quiet writeback scan
+		// always leaves it exact and in the future; 0 means "unknown,
+		// recompute next Step" and vetoes skipping.
+		if c.earliestDone <= c.now {
+			return c.now
+		}
+		next = c.earliestDone
+	}
+	if c.count > 0 && c.cfg.GateCommit {
+		if e := &c.ruu[c.head]; e.state == stDone {
+			if gate := max(e.instAuthDone, e.dataAuthDone); gate >= c.now && gate < next {
+				next = gate
+			}
+		}
+	}
+	if c.waiting > 0 && c.cfg.GateIssue {
+		// Operand-ready entries held by authen-then-issue become eligible
+		// when their I-line verification completes.
+		c.maskOrder(c.waitMask, func(idx int, e *entry) bool {
+			for s := 0; s < e.nsrc; s++ {
+				if e.srcTag[s] != -1 {
+					return true
+				}
+			}
+			if e.instAuthDone >= c.now && e.instAuthDone < next {
+				next = e.instAuthDone
+			}
+			return true
+		})
+	}
+	if !c.fetchFaulted && c.ifqLen < c.cfg.IFQSize && c.fetchBlocked >= c.now && c.fetchBlocked < next {
+		next = c.fetchBlocked
+	}
+	return next
+}
+
+// SkipTo advances the clock to cycle t without stepping, crediting the
+// skipped cycles to the per-cycle stall counters exactly as the skipped
+// Steps would have. The caller guarantees the window [Now(), t) is quiet:
+// the previous Step made no progress and t does not exceed any component's
+// NextEventAt, so the blocking conditions observed now hold for the whole
+// window. It returns the number of skipped cycles in which the commit head
+// was a ready store rejected by a full store buffer (0 or t-Now()), which
+// the machine forwards to the store buffer's rejection counter.
+func (c *Core) SkipTo(t uint64) (sbFullCycles uint64) {
+	if t <= c.now {
+		return 0
+	}
+	delta := t - c.now
+	c.stats.Cycles += delta
+	if c.count > 0 {
+		if e := &c.ruu[c.head]; e.state == stDone {
+			if c.cfg.GateCommit && max(e.instAuthDone, e.dataAuthDone) > c.now {
+				c.stats.CommitAuthStall += delta
+			} else if e.fault == FaultNone && e.isStore {
+				// Done, past the gate, not faulting, yet it did not commit
+				// on the quiet Step: the store buffer refused it.
+				c.stats.SBFullStall += delta
+				sbFullCycles = delta
+			}
+		}
+	}
+	if c.waiting > 0 && c.cfg.GateIssue {
+		held := uint64(0)
+		c.maskOrder(c.waitMask, func(idx int, e *entry) bool {
+			for s := 0; s < e.nsrc; s++ {
+				if e.srcTag[s] != -1 {
+					return true
+				}
+			}
+			if e.instAuthDone > c.now {
+				held++
+			}
+			return true
+		})
+		c.stats.IssueAuthStall += held * delta
+	}
+	c.now = t
+	return sbFullCycles
+}

@@ -50,6 +50,8 @@ func (c *Core) commit() {
 		}
 		if e.isStore {
 			if !c.mem.CommitStore(c.now, e.addr, e.srcVal[1], e.memSize, e.authTagIssue) {
+				// A rejected retry is pure stall accounting, not progress:
+				// SkipTo batches these cycles when the whole machine idles.
 				c.stats.SBFullStall++
 				c.stallBegin(obs.StallSBFull)
 				return
@@ -72,6 +74,10 @@ func (c *Core) commit() {
 		if e.isLoad || e.isStore {
 			c.lsqCount--
 		}
+		if e.isStore {
+			c.storeCount--
+			maskClear(c.storeMask, c.head)
+		}
 		if c.CommitHook != nil {
 			c.CommitHook(e.pc, e.inst, e.result)
 		}
@@ -82,6 +88,7 @@ func (c *Core) commit() {
 		c.head = (c.head + 1) % c.cfg.RUUSize
 		c.count--
 		c.stats.Committed++
+		c.progress = true
 		if c.halted {
 			return
 		}
@@ -95,13 +102,12 @@ func (c *Core) writeback() {
 		return
 	}
 	next := ^uint64(0)
-	// Complete in age order so the oldest mispredicted branch wins.
+	// Complete in age order so the oldest mispredicted branch wins. The
+	// issued bitmap visits exactly the in-flight entries: done entries parked
+	// before commit and waiting entries carry no completion events.
 	var redirect *entry
 	var redirectIdx int
-	c.ruuOrder(func(idx int, e *entry) bool {
-		if e.state != stIssued {
-			return true
-		}
+	c.maskOrder(c.issueMask, func(idx int, e *entry) bool {
 		if e.doneCycle > c.now {
 			if e.doneCycle < next {
 				next = e.doneCycle
@@ -110,6 +116,8 @@ func (c *Core) writeback() {
 		}
 		e.state = stDone
 		c.inflight--
+		maskClear(c.issueMask, idx)
+		c.progress = true
 		c.broadcast(idx, e)
 		if e.isCond {
 			c.bp.UpdateCond(e.pc, e.predTaken, e.taken)
@@ -136,25 +144,28 @@ func (c *Core) writeback() {
 		c.fetchBlocked = c.now + 1
 		c.fetchFaulted = false
 		c.fetchTag = c.mem.LastAuthRequest(c.now)
-		c.ifq = c.ifq[:0]
+		c.ifqHead, c.ifqLen = 0, 0
 	}
 }
 
-// broadcast wakes consumers of entry idx. Consumers are always younger than
-// their producer, so the scan starts just past idx.
+// broadcast wakes consumers of entry idx by walking the dependency records
+// registered at dispatch (entry.consumers) instead of scanning the window.
+// A record can be stale — its consumer squashed, or the slot reused by a new
+// instruction — so each wake re-checks that the slot is valid and still
+// names idx as its producer. A reused slot that passes the check is a
+// genuine consumer of this producer (RUU indices are unique while the
+// producer is live), so resolving through a stale record is still correct;
+// a duplicate record then finds srcTag already -1 and is a no-op.
 func (c *Core) broadcast(idx int, e *entry) {
-	for p := (idx + 1) % c.cfg.RUUSize; p != c.tail; p = (p + 1) % c.cfg.RUUSize {
-		w := &c.ruu[p]
-		if !w.valid {
-			continue
-		}
-		for s := 0; s < w.nsrc; s++ {
-			if w.srcTag[s] == idx {
-				w.srcTag[s] = -1
-				w.srcVal[s] = e.result
-			}
+	for _, packed := range e.consumers {
+		w := &c.ruu[packed>>1]
+		s := packed & 1
+		if w.valid && w.srcTag[s] == idx {
+			w.srcTag[s] = -1
+			w.srcVal[s] = e.result
 		}
 	}
+	e.consumers = e.consumers[:0]
 }
 
 // squashAfter removes every entry younger than RUU index idx and rebuilds
@@ -174,12 +185,18 @@ func (c *Core) squashAfter(idx int) {
 			if e.isLoad || e.isStore {
 				c.lsqCount--
 			}
+			if e.isStore {
+				c.storeCount--
+			}
 			switch e.state {
 			case stWaiting:
 				c.waiting--
 			case stIssued:
 				c.inflight--
 			}
+			maskClear(c.waitMask, p)
+			maskClear(c.issueMask, p)
+			maskClear(c.storeMask, p)
 			e.valid = false
 			c.stats.Squashed++
 		}
@@ -214,12 +231,10 @@ func (c *Core) issue() {
 	}
 	issued := 0
 	authHeld := false
-	c.ruuOrder(func(idx int, e *entry) bool {
+	// The waiting bitmap visits exactly the stWaiting entries in age order.
+	c.maskOrder(c.waitMask, func(idx int, e *entry) bool {
 		if issued >= c.cfg.IssueWidth {
 			return false
-		}
-		if e.state != stWaiting {
-			return true
 		}
 		// Early store-address calculation (does not consume an issue slot):
 		// lets younger loads disambiguate sooner.
@@ -244,7 +259,7 @@ func (c *Core) issue() {
 			c.stats.Issued++
 			return true
 		}
-		c.execute(e)
+		c.execute(idx, e)
 		issued++
 		c.stats.Issued++
 		return true
@@ -260,6 +275,7 @@ func (c *Core) computeAddr(e *entry) {
 	e.addr = e.srcVal[0] + uint64(int64(e.inst.Imm))
 	e.addrValid = true
 	e.memSize = e.inst.MemBytes()
+	c.progress = true // a resolved store address can unblock younger loads
 }
 
 // issueLoad attempts to issue a load; reports whether it consumed an issue
@@ -276,33 +292,34 @@ func (c *Core) issueLoad(idx int, e *entry) bool {
 	// covering match, conversely, supersedes an older partial overlap.
 	var forward *entry
 	blocked := false
-	c.ruuOrder(func(p int, older *entry) bool {
-		if p == idx {
-			return false
-		}
-		if !older.isStore {
-			return true
-		}
-		if !older.addrValid {
-			forward = nil
-			blocked = true // conservative: unknown older store address
-			return false
-		}
-		if rangesOverlap(older.addr, older.memSize, e.addr, e.memSize) {
-			if older.addr == e.addr && older.memSize >= e.memSize && older.srcTag[1] == -1 {
-				forward = older // youngest older matching store wins
-				blocked = false
-			} else {
-				forward = nil
-				blocked = true // partial overlap or data not ready
+	if c.storeCount > 0 {
+		// The store bitmap visits stores oldest to youngest; stores younger
+		// than the load (larger sequence number) end the scan.
+		c.maskOrder(c.storeMask, func(p int, older *entry) bool {
+			if older.seq > e.seq {
+				return false
 			}
-		}
-		return true
-	})
+			if !older.addrValid {
+				forward = nil
+				blocked = true // conservative: unknown older store address
+				return false
+			}
+			if rangesOverlap(older.addr, older.memSize, e.addr, e.memSize) {
+				if older.addr == e.addr && older.memSize >= e.memSize && older.srcTag[1] == -1 {
+					forward = older // youngest older matching store wins
+					blocked = false
+				} else {
+					forward = nil
+					blocked = true // partial overlap or data not ready
+				}
+			}
+			return true
+		})
+	}
 	if blocked {
 		return false
 	}
-	c.markIssued(e)
+	c.markIssued(idx, e)
 	if forward != nil {
 		c.stats.Forwards++
 		raw := truncate(forward.srcVal[1], e.memSize)
@@ -313,6 +330,7 @@ func (c *Core) issueLoad(idx int, e *entry) bool {
 		e.fault = FaultMisaligned
 		e.faultAddr = e.addr
 		e.doneCycle = c.now + 2
+		c.noteDone(e.doneCycle)
 		return true
 	}
 	if !c.mem.ValidAddr(e.addr) {
@@ -321,6 +339,7 @@ func (c *Core) issueLoad(idx int, e *entry) bool {
 		e.fault = FaultBadAddr
 		e.faultAddr = e.addr
 		e.doneCycle = c.now + 2
+		c.noteDone(e.doneCycle)
 		return true
 	}
 	if e.inst.Op == isa.OpPREF {
@@ -328,6 +347,7 @@ func (c *Core) issueLoad(idx int, e *entry) bool {
 		c.mem.ReadData(c.now+1, e.addr, e.memSize, e.authTagIssue)
 		e.result = 0
 		e.doneCycle = c.now + 2
+		c.noteDone(e.doneCycle)
 		return true
 	}
 	r := c.mem.ReadData(c.now+1, e.addr, e.memSize, e.authTagIssue)
@@ -344,6 +364,7 @@ func (c *Core) finishLoad(e *entry, raw uint64, ready uint64) {
 		e.result = isa.SignExtendLoad(e.inst.Op, raw)
 	}
 	e.doneCycle = ready
+	c.noteDone(ready)
 }
 
 func truncate(v uint64, size int) uint64 {
@@ -358,22 +379,36 @@ func rangesOverlap(a uint64, an int, b uint64, bn int) bool {
 }
 
 // markIssued transitions an entry out of stWaiting, capturing the
-// LastRequest tag and maintaining the scheduler counts.
-func (c *Core) markIssued(e *entry) {
+// LastRequest tag and maintaining the scheduler counts. Every caller
+// schedules the entry's doneCycle afterwards and folds it into
+// earliestDone via noteDone, keeping the bound exact without a rescan.
+func (c *Core) markIssued(idx int, e *entry) {
 	e.state = stIssued
 	e.authTagIssue = c.mem.LastAuthRequest(c.now)
 	c.waiting--
 	c.inflight++
-	c.earliestDone = 0 // recomputed on the next writeback scan
+	maskClear(c.waitMask, idx)
+	maskSet(c.issueMask, idx)
+	c.progress = true
 	if c.sink != nil {
 		c.sink.Emit(obs.Event{Cycle: c.now, Kind: obs.EvIssue, Track: obs.TrackCore, Addr: e.pc})
 	}
 }
 
+// noteDone lowers earliestDone to a newly scheduled completion cycle. The
+// bound must never exceed the true minimum doneCycle of in-flight entries
+// (writeback skips its scan while now < earliestDone); 0 means "unknown —
+// rescan", and the next writeback scan restores exactness.
+func (c *Core) noteDone(d uint64) {
+	if d < c.earliestDone {
+		c.earliestDone = d
+	}
+}
+
 // execute computes results for non-load instructions at issue and schedules
 // completion.
-func (c *Core) execute(e *entry) {
-	c.markIssued(e)
+func (c *Core) execute(idx int, e *entry) {
+	c.markIssued(idx, e)
 	lat := 1
 	op := e.inst.Op
 	switch op.Class() {
@@ -425,11 +460,11 @@ func (c *Core) execute(e *entry) {
 	case isa.ClassFPU:
 		switch op {
 		case isa.OpFCVTIF:
-			e.result = bits(isa.CvtIntToFP(e.srcVal[0]))
+			e.result = f64bits(isa.CvtIntToFP(e.srcVal[0]))
 		case isa.OpFCVTFI:
 			e.result = isa.CvtFPToInt(f64(e.srcVal[0]))
 		default:
-			e.result = bits(isa.EvalFPU(op, f64(e.srcVal[0]), f64(e.srcVal[1])))
+			e.result = f64bits(isa.EvalFPU(op, f64(e.srcVal[0]), f64(e.srcVal[1])))
 		}
 		lat = c.cfg.FPLat
 		if op == isa.OpFDIV {
@@ -440,145 +475,103 @@ func (c *Core) execute(e *entry) {
 		e.faultAddr = e.pc
 	}
 	e.doneCycle = c.now + uint64(lat)
+	c.noteDone(e.doneCycle)
 }
 
 // ------------------------------------------------------------- dispatch --
 
 func (c *Core) dispatch() {
-	for n := 0; n < c.cfg.IssueWidth && len(c.ifq) > 0; n++ {
+	for n := 0; n < c.cfg.IssueWidth && c.ifqLen > 0; n++ {
 		if c.count >= c.cfg.RUUSize {
 			return
 		}
-		fi := c.ifq[0]
-		isMem := fi.inst.IsMem()
+		fi := &c.ifq[c.ifqHead]
+		isMem := fi.uop.IsMem
 		if isMem && c.lsqCount >= c.cfg.LSQSize {
 			return
 		}
-		c.ifq = c.ifq[1:]
 		idx := c.tail
 		c.tail = (c.tail + 1) % c.cfg.RUUSize
 		c.count++
+		c.progress = true
 		e := &c.ruu[idx]
+		cons := e.consumers[:0] // keep the backing array: dispatch must not allocate
 		*e = entry{
 			valid:        true,
 			seq:          c.nextSeq,
 			pc:           fi.pc,
-			inst:         fi.inst,
+			inst:         fi.uop.Inst,
 			state:        stWaiting,
 			predNPC:      fi.predNPC,
 			predTaken:    fi.predTaken,
 			instAuthIdx:  fi.instAuthIdx,
 			instAuthDone: fi.instAuthDone,
+			consumers:    cons,
 		}
 		c.nextSeq++
-		if fi.illegal {
+		if fi.uop.Illegal {
+			c.ifqHead = (c.ifqHead + 1) % c.cfg.IFQSize
+			c.ifqLen--
 			e.fault = FaultIllegalInst
-			e.faultAddr = fi.pc
+			e.faultAddr = e.pc
 			e.state = stIssued
 			e.doneCycle = c.now + 1
 			c.inflight++
-			c.earliestDone = 0
+			maskSet(c.issueMask, idx)
+			c.noteDone(e.doneCycle)
 			c.stats.Dispatched++
 			if c.sink != nil {
 				c.sink.Emit(obs.Event{Cycle: c.now, Kind: obs.EvDispatch, Track: obs.TrackCore, Addr: e.pc})
 			}
 			continue
 		}
-		c.wireOperands(idx, e)
+		c.wireOperands(idx, e, &fi.uop)
+		c.ifqHead = (c.ifqHead + 1) % c.cfg.IFQSize
+		c.ifqLen--
 		if isMem {
 			c.lsqCount++
+		}
+		if e.isStore {
+			c.storeCount++
+			maskSet(c.storeMask, idx)
 		}
 		if c.sink != nil {
 			c.sink.Emit(obs.Event{Cycle: c.now, Kind: obs.EvDispatch, Track: obs.TrackCore, Addr: e.pc})
 		}
-		if e.nsrc == 0 && !e.isLoad && e.inst.Op.Class() == isa.ClassNop {
+		if e.nsrc == 0 && !e.isLoad && fi.uop.Class == isa.ClassNop {
 			e.state = stIssued
 			e.doneCycle = c.now + 1
 			c.inflight++
-			c.earliestDone = 0
+			maskSet(c.issueMask, idx)
+			c.noteDone(e.doneCycle)
 		} else {
 			c.waiting++
+			maskSet(c.waitMask, idx)
 		}
 		c.stats.Dispatched++
 	}
 }
 
-// wireOperands decodes register sources/destination and renames them.
-func (c *Core) wireOperands(idx int, e *entry) {
-	op := e.inst.Op
-	type src struct {
-		reg uint8
-		fp  bool
-	}
-	var srcs []src
-	switch op.Class() {
-	case isa.ClassALU:
-		if op.HasImm() {
-			srcs = []src{{e.inst.Rs1, false}}
-		} else {
-			srcs = []src{{e.inst.Rs1, false}, {e.inst.Rs2, false}}
-		}
-		c.setDest(e, e.inst.Rd, false)
-	case isa.ClassMul:
-		srcs = []src{{e.inst.Rs1, false}, {e.inst.Rs2, false}}
-		c.setDest(e, e.inst.Rd, false)
-	case isa.ClassLoad:
-		e.isLoad = true
-		srcs = []src{{e.inst.Rs1, false}}
-		if op != isa.OpPREF {
-			c.setDest(e, e.inst.Rd, false)
-		}
-	case isa.ClassFPLoad:
-		e.isLoad = true
-		srcs = []src{{e.inst.Rs1, false}}
-		c.setDest(e, e.inst.Rd, true)
-	case isa.ClassStore:
-		e.isStore = true
-		srcs = []src{{e.inst.Rs1, false}, {e.inst.Rs2, false}}
-	case isa.ClassFPStore:
-		e.isStore = true
-		srcs = []src{{e.inst.Rs1, false}, {e.inst.Rs2, true}}
-	case isa.ClassBranch:
-		e.isCtl = true
-		fp := op == isa.OpFBLT || op == isa.OpFBGE
-		srcs = []src{{e.inst.Rs1, fp}, {e.inst.Rs2, fp}}
-	case isa.ClassJump:
-		e.isCtl = true
-		if op == isa.OpJALR {
-			srcs = []src{{e.inst.Rs1, false}}
-		}
-		c.setDest(e, e.inst.Rd, false)
-	case isa.ClassFPU:
-		switch op {
-		case isa.OpFCVTIF:
-			srcs = []src{{e.inst.Rs1, false}}
-			c.setDest(e, e.inst.Rd, true)
-		case isa.OpFCVTFI:
-			srcs = []src{{e.inst.Rs1, true}}
-			c.setDest(e, e.inst.Rd, false)
-		case isa.OpFNEG:
-			srcs = []src{{e.inst.Rs1, true}}
-			c.setDest(e, e.inst.Rd, true)
-		default:
-			srcs = []src{{e.inst.Rs1, true}, {e.inst.Rs2, true}}
-			c.setDest(e, e.inst.Rd, true)
-		}
-	case isa.ClassOut:
-		srcs = []src{{e.inst.Rs2, false}}
-	}
-	e.nsrc = len(srcs)
-	for i, s := range srcs {
+// wireOperands copies the pre-resolved register sources/destination from the
+// micro-op and renames them against the RUU.
+func (c *Core) wireOperands(idx int, e *entry, u *Uop) {
+	e.isLoad = u.IsLoad
+	e.isStore = u.IsStore
+	e.isCtl = u.IsCtl
+	e.nsrc = int(u.NSrc)
+	for i := 0; i < e.nsrc; i++ {
+		reg, fp := u.SrcReg[i], u.SrcFP[i]
 		tag := -1
-		if s.fp {
-			tag = c.renameFP[s.reg]
-		} else if s.reg != isa.RegZero {
-			tag = c.renameInt[s.reg]
+		if fp {
+			tag = c.renameFP[reg]
+		} else if reg != isa.RegZero {
+			tag = c.renameInt[reg]
 		}
 		if tag == -1 {
-			if s.fp {
-				e.srcVal[i] = c.fregs[s.reg]
+			if fp {
+				e.srcVal[i] = c.fregs[reg]
 			} else {
-				e.srcVal[i] = c.regs[s.reg]
+				e.srcVal[i] = c.regs[reg]
 			}
 			e.srcTag[i] = -1
 		} else if c.ruu[tag].state == stDone {
@@ -586,23 +579,24 @@ func (c *Core) wireOperands(idx int, e *entry) {
 			e.srcTag[i] = -1
 		} else {
 			e.srcTag[i] = tag
+			// Register with the producer so its completion broadcast can wake
+			// this entry without scanning the window.
+			p := &c.ruu[tag]
+			p.consumers = append(p.consumers, int32(idx<<1|i))
 		}
 	}
 	// Destination renaming happens after source lookup so an instruction
 	// reading and writing the same register sees the old producer.
-	if e.hasDest {
-		if e.destFP {
-			c.renameFP[e.destReg] = idx
-		} else if e.destReg != isa.RegZero {
-			c.renameInt[e.destReg] = idx
+	if u.HasDest {
+		e.hasDest = true
+		e.destReg = u.DestReg
+		e.destFP = u.DestFP
+		if u.DestFP {
+			c.renameFP[u.DestReg] = idx
+		} else if u.DestReg != isa.RegZero {
+			c.renameInt[u.DestReg] = idx
 		}
 	}
-}
-
-func (c *Core) setDest(e *entry, reg uint8, fp bool) {
-	e.hasDest = true
-	e.destReg = reg
-	e.destFP = fp
 }
 
 // ---------------------------------------------------------------- fetch --
@@ -612,10 +606,13 @@ func (c *Core) fetch() {
 		return
 	}
 	for n := 0; n < c.cfg.FetchWidth; n++ {
-		if len(c.ifq) >= c.cfg.IFQSize {
+		if c.ifqLen >= c.cfg.IFQSize {
 			return
 		}
 		f := c.mem.FetchInst(c.now, c.pc, c.fetchTag)
+		// Every FetchInst is a timed access with memory-system side effects
+		// (cache fills, auth requests), so any call counts as progress.
+		c.progress = true
 		if f.Fault {
 			// Fetch ran off into an unmapped page (wrong path, or a wild
 			// indirect target). Stall until a redirect rescues us.
@@ -626,19 +623,22 @@ func (c *Core) fetch() {
 			c.fetchBlocked = f.Ready
 			return
 		}
-		inst := isa.Decode(f.Word)
-		fi := fetchedInst{
+		fi := &c.ifq[(c.ifqHead+c.ifqLen)%c.cfg.IFQSize]
+		*fi = fetchedInst{
 			pc:           c.pc,
-			inst:         inst,
 			instAuthIdx:  f.AuthIdx,
 			instAuthDone: f.AuthDone,
-			illegal:      !inst.Op.Valid(),
 		}
+		if cached, ok := c.uops.Lookup(c.pc, f.Word); ok {
+			fi.uop = *cached
+		} else {
+			fi.uop = DecodeUop(f.Word)
+		}
+		inst := fi.uop.Inst
 		npc := c.pc + isa.InstBytes
 		stop := false
-		switch inst.Op.Class() {
+		switch fi.uop.Class {
 		case isa.ClassBranch:
-			fi.isCond = true
 			fi.predTaken = c.bp.PredictCond(c.pc)
 			if fi.predTaken {
 				npc = isa.BranchTarget(c.pc, inst.Imm)
@@ -669,7 +669,7 @@ func (c *Core) fetch() {
 			stop = true
 		}
 		fi.predNPC = npc
-		c.ifq = append(c.ifq, fi)
+		c.ifqLen++
 		c.stats.Fetched++
 		if c.sink != nil {
 			c.sink.Emit(obs.Event{Cycle: c.now, Kind: obs.EvFetch, Track: obs.TrackCore, Addr: fi.pc})
@@ -686,4 +686,4 @@ func (c *Core) fetch() {
 
 func f64(bitsv uint64) float64 { return float64frombits(bitsv) }
 
-func bits(f float64) uint64 { return float64bits(f) }
+func f64bits(f float64) uint64 { return float64bits(f) }

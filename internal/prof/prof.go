@@ -1,0 +1,57 @@
+// Package prof is the shared -cpuprofile/-memprofile wiring for the
+// command-line tools (authbench, authfuzz, authverify). It wraps
+// runtime/pprof so every command exposes the same flags with the same
+// semantics: the CPU profile covers the sweep itself, and the heap profile
+// is snapshotted after a forced GC just before exit.
+//
+// The commands exit through os.Exit, which skips deferred calls, so Start
+// returns an explicit stop function that the caller must invoke before
+// exiting rather than deferring pprof.StopCPUProfile.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into the file at path. An empty path is a
+// no-op. The returned stop function flushes and closes the profile; it is
+// never nil and is safe to call when profiling was not started.
+func Start(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap snapshots the heap profile to the file at path after a forced
+// garbage collection, so the profile reflects live objects rather than
+// garbage awaiting collection. An empty path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}

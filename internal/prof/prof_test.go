@@ -1,0 +1,64 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartEmptyPathIsNoOp(t *testing.T) {
+	stop, err := Start("")
+	if err != nil {
+		t.Fatalf("Start(\"\"): %v", err)
+	}
+	stop() // must be callable
+	stop() // and idempotent
+}
+
+func TestStartWritesProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.prof")
+	stop, err := Start(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Error("CPU profile file is empty")
+	}
+}
+
+func TestStartRejectsBadPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.prof")); err == nil {
+		t.Error("Start with uncreatable path: want error, got nil")
+	}
+}
+
+func TestWriteHeap(t *testing.T) {
+	if err := WriteHeap(""); err != nil {
+		t.Fatalf("WriteHeap(\"\"): %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "heap.prof")
+	if err := WriteHeap(path); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Error("heap profile file is empty")
+	}
+	if err := WriteHeap(filepath.Join(t.TempDir(), "no", "such", "dir", "heap.prof")); err == nil {
+		t.Error("WriteHeap with uncreatable path: want error, got nil")
+	}
+}

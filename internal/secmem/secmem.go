@@ -224,6 +224,17 @@ type Controller struct {
 	sink   obs.Sink
 	obsNow uint64 // cycle of the timed operation in progress (internal clocks)
 
+	// Per-fetch scratch buffers: the controller handles one timed operation
+	// at a time, so the ciphertext, plaintext, MAC-message, and stored-MAC
+	// staging areas are reused across calls to keep the per-miss path
+	// allocation-free. ptBuf backs FetchResult.Data — valid until the next
+	// controller operation, by which time the memory system has copied it
+	// into its plaintext shadow.
+	ctBuf  []byte
+	ptBuf  []byte
+	msgBuf []byte
+	macBuf []byte
+
 	stats Stats
 }
 
@@ -281,6 +292,10 @@ func New(cfg Config, m *mem.Memory, b *bus.Bus, d *dram.DRAM, encKey, macKey []b
 		macKey:  append([]byte(nil), macKey...),
 		macBase: MacBase,
 		leafIdx: map[uint64]int{},
+		ctBuf:   make([]byte, cfg.LineB),
+		ptBuf:   make([]byte, cfg.LineB),
+		msgBuf:  make([]byte, 16+cfg.LineB),
+		macBuf:  make([]byte, cfg.MacB),
 	}
 	c.engineFree = make([]uint64, cfg.MacUnits)
 	if cfg.CtrCacheB > 0 {
@@ -439,8 +454,8 @@ func (c *Controller) loadLinePlain(lineAddr uint64) ([]byte, error) {
 // storeLine encrypts and stores a protected line, refreshing MAC/tree
 // (functional only).
 func (c *Controller) storeLine(lineAddr uint64, plaintext []byte) error {
-	ct, err := c.enc.EncryptLine(lineAddr, plaintext)
-	if err != nil {
+	ct := c.ctBuf
+	if err := c.enc.EncryptLineInto(ct, lineAddr, plaintext); err != nil {
 		return err
 	}
 	c.mem.Write(lineAddr, ct)
@@ -452,21 +467,25 @@ func (c *Controller) storeLine(lineAddr uint64, plaintext []byte) error {
 		_, err := c.tree.SetLeaf(idx, c.authMessage(lineAddr, ct))
 		return err
 	}
-	mac := hmac.Truncated(c.macKey, c.authMessage(lineAddr, ct), c.cfg.MacB)
-	c.mem.Write(c.macAddr(idx), mac)
+	mac := hmac.Mac(c.macKey, c.authMessage(lineAddr, ct))
+	c.mem.Write(c.macAddr(idx), mac[:c.cfg.MacB])
 	return nil
 }
 
 // authMessage is the byte string the MAC covers: line address, current
 // counter (unless the weakened MacCoversCounter=false configuration is
 // selected), and ciphertext. Covering the counter defeats counter-rollback
-// replay; covering the address defeats line relocation.
+// replay; covering the address defeats line relocation. The returned slice
+// is the controller's reusable scratch: valid until the next authMessage
+// call, never retained (tree leaves hash it immediately).
 func (c *Controller) authMessage(lineAddr uint64, ct []byte) []byte {
-	msg := make([]byte, 16+len(ct))
+	msg := c.msgBuf[:16+len(ct)]
+	ctr := c.enc.Counter(lineAddr)
 	for i := 0; i < 8; i++ {
 		msg[i] = byte(lineAddr >> (8 * i))
+		msg[8+i] = 0
 		if c.cfg.MacCoversCounter {
-			msg[8+i] = byte(c.enc.Counter(lineAddr) >> (8 * i))
+			msg[8+i] = byte(ctr >> (8 * i))
 		}
 	}
 	copy(msg[16:], ct)
@@ -484,7 +503,8 @@ func (c *Controller) verifyLine(lineAddr uint64, ct []byte) (ok bool, treeLevels
 	idx := c.leafIdx[lineAddr]
 	msg := c.authMessage(lineAddr, ct)
 	if c.tree == nil {
-		stored := c.mem.Read(c.macAddr(idx), c.cfg.MacB)
+		stored := c.macBuf
+		c.mem.ReadInto(stored, c.macAddr(idx))
 		return hmac.Verify(c.macKey, msg, stored), 0, 0
 	}
 	trusted := func(id mactree.NodeID) bool {
@@ -596,14 +616,14 @@ func (c *Controller) Fetch(now uint64, lineAddr uint64, earliestBusStart uint64)
 		plainReady = max(dataArrive, padReady)
 	}
 
-	ct := c.mem.Read(lineAddr, c.cfg.LineB)
-	pt, err := c.enc.DecryptLine(lineAddr, ct)
-	if err != nil {
+	ct := c.ctBuf
+	c.mem.ReadInto(ct, lineAddr)
+	if err := c.enc.DecryptLineInto(c.ptBuf, lineAddr, ct); err != nil {
 		return FetchResult{}, err
 	}
 
 	res := FetchResult{
-		Data:        pt,
+		Data:        c.ptBuf,
 		AddrVisible: addrDone,
 		DataReady:   dataArrive,
 		PlainReady:  plainReady,
@@ -810,6 +830,22 @@ func (c *Controller) Err() error { return c.modelErr }
 
 // Fault returns the first verification failure, if any.
 func (c *Controller) Fault() *Fault { return c.fault }
+
+// NextEventAt supports the idle-cycle fast-forward. The controller and its
+// crypto engines are lazily timed — every request's verification completion
+// is scheduled at request time and read back through DoneAt, so those
+// horizons are already folded into the consumers' gate timestamps. The one
+// autonomous event is a pending security fault firing when the engine
+// reaches the tampered line; the run loop must not skip past it.
+func (c *Controller) NextEventAt(now uint64) uint64 {
+	if c.fault != nil && c.fault.Cycle > now {
+		return c.fault.Cycle
+	}
+	if c.fault != nil {
+		return now // fault already due: stop skipping, let the loop observe it
+	}
+	return ^uint64(0)
+}
 
 // Stats returns a copy of the counters (remap stats folded in).
 func (c *Controller) Stats() Stats {

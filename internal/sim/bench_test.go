@@ -1,0 +1,92 @@
+package sim_test
+
+import (
+	"runtime"
+	"testing"
+
+	"authpoint/internal/asm"
+	"authpoint/internal/policy"
+	"authpoint/internal/sim"
+	"authpoint/internal/workload"
+)
+
+// benchMachine builds a fresh machine on the first workload kernel with bus
+// tracing off (the long-run configuration benchmarks care about).
+func benchMachine(tb testing.TB, pt policy.ControlPoint, insts uint64, slow bool) *sim.Machine {
+	tb.Helper()
+	w := workload.All()[0]
+	p, err := asm.Assemble(w.Source)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Policy = pt
+	cfg.MaxInsts = insts
+	m, err := sim.NewMachine(cfg, p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m.Bus.SetTracing(false)
+	if slow {
+		m.DisableFastPath()
+	}
+	return m
+}
+
+func benchRun(b *testing.B, pt policy.ControlPoint, slow bool) {
+	const insts = 200_000
+	b.ReportAllocs()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := benchMachine(b, pt, insts, slow)
+		b.StartTimer()
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	if cycles > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(cycles), "host-ns/sim-cycle")
+	}
+}
+
+// BenchmarkRunFast measures the fast-path simulator core end to end.
+func BenchmarkRunFast(b *testing.B) { benchRun(b, policy.ThenCommit, false) }
+
+// BenchmarkRunSlow measures the per-cycle reference loop on the same cell.
+func BenchmarkRunSlow(b *testing.B) { benchRun(b, policy.ThenCommit, true) }
+
+// BenchmarkRunBaselineFast measures the fast path without authentication,
+// where idle windows are shortest and the µop cache dominates.
+func BenchmarkRunBaselineFast(b *testing.B) { benchRun(b, policy.Baseline, false) }
+
+// TestRunSteadyStateAllocs pins the zero-alloc hot loop: once a machine is
+// warm (caches filled, rings and queues at steady occupancy), continuing the
+// run must not allocate per cycle or per instruction. The small budget
+// tolerates stray lazy growth in the secure-memory metadata maps; per-cycle
+// allocation would show up as hundreds of thousands.
+func TestRunSteadyStateAllocs(t *testing.T) {
+	m := benchMachine(t, policy.ThenCommit, 50_000, false)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	m.Cfg.MaxInsts = 250_000
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	if res.Reason != sim.StopMaxInsts {
+		t.Fatalf("run stopped with %v, want max-insts (res %+v)", res.Reason, res)
+	}
+	allocs := after.Mallocs - before.Mallocs
+	t.Logf("steady-state allocs over 200k insts: %d", allocs)
+	if allocs > 1000 {
+		t.Errorf("steady-state Run allocated %d times over 200k instructions; hot loop must be allocation-free", allocs)
+	}
+}

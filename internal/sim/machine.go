@@ -259,6 +259,10 @@ type Machine struct {
 	Space  *mem.AddressSpace
 
 	Prog *asm.Program
+
+	// slowPath forces the reference cycle-by-cycle interpretation (no
+	// idle-cycle fast-forward, no µop cache). See DisableFastPath.
+	slowPath bool
 }
 
 // Keys used for every machine (the secrecy of the experiment does not
@@ -376,8 +380,20 @@ func NewMachineWithRegions(cfg Config, p *asm.Program, extra []Region) (*Machine
 		return nil, err
 	}
 	core.SetReg(isa.RegSP, m.stackTop())
+	core.SetUopCache(pipeline.NewUopCache(p.TextBase, p.TextBytes()))
 	m.Core = core
 	return m, nil
+}
+
+// DisableFastPath forces the reference execution path: cycle-by-cycle
+// stepping with per-fetch decode (no idle-cycle fast-forward, no µop
+// cache). The fast and slow paths are pinned cycle-identical by the
+// differential tests in fastpath_test.go and the diffcheck corpus; this
+// switch exists for those tests and for debugging suspected fast-path
+// divergence.
+func (m *Machine) DisableFastPath() {
+	m.slowPath = true
+	m.Core.SetUopCache(nil)
 }
 
 // SetObserver attaches an event sink to every timed component of the
@@ -392,6 +408,17 @@ func (m *Machine) SetObserver(s obs.Sink) {
 
 // Run executes until HALT, MaxInsts, a security exception, an architectural
 // fault, or the watchdog fires.
+//
+// The loop is event-driven where it can be: per-iteration bookkeeping reads
+// the cheap committed-count accessor instead of copying the whole Stats
+// struct, and after any cycle in which no pipeline stage or store-buffer
+// drain made progress, the clock fast-forwards to the earliest pending
+// event (instruction completion, authentication gate expiry, fetch unblock,
+// store drain) instead of ticking through provably idle cycles. Skipped
+// cycles are credited to the same per-cycle stall counters the stepped path
+// maintains, so results — cycle counts, stall stats, digests — are
+// bit-identical either way (pinned by fastpath_test.go and the diffcheck
+// corpus). DisableFastPath restores the reference cycle-by-cycle loop.
 func (m *Machine) Run() (Result, error) {
 	lastCommit := uint64(0)
 	lastCommitCycle := uint64(0)
@@ -408,9 +435,9 @@ func (m *Machine) Run() (Result, error) {
 		if err := m.Ctrl.Err(); err != nil {
 			return m.result(StopModelError), err
 		}
-		st := m.Core.Stats()
-		if st.Committed != lastCommit {
-			lastCommit = st.Committed
+		committed := m.Core.Committed()
+		if committed != lastCommit {
+			lastCommit = committed
 			lastCommitCycle = m.Core.Now()
 		}
 		if m.Core.Halted() {
@@ -419,11 +446,41 @@ func (m *Machine) Run() (Result, error) {
 		if k, _, _ := m.Core.Faulted(); k != pipeline.FaultNone {
 			return m.result(StopArchFault), nil
 		}
-		if m.Cfg.MaxInsts > 0 && st.Committed >= m.Cfg.MaxInsts {
+		if m.Cfg.MaxInsts > 0 && committed >= m.Cfg.MaxInsts {
 			return m.result(StopMaxInsts), nil
 		}
 		if m.Core.Now()-lastCommitCycle > m.Cfg.WatchdogCycles {
 			return m.result(StopWatchdog), fmt.Errorf("sim: watchdog: no commit for %d cycles (pc=%#x)", m.Cfg.WatchdogCycles, m.Core.PC())
+		}
+		if m.slowPath || m.Core.Progressed() || m.MS.TickProgressed() {
+			continue
+		}
+		// Quiet cycle: every stage and the store buffer are provably blocked
+		// until the earliest pending event. Take the min over all timed
+		// components, bounded so the watchdog Step and a pending security
+		// fault still land on their exact slow-path cycles, and advance the
+		// clock in one jump.
+		now := m.Core.Now()
+		next := m.Core.NextEventAt()
+		if t := m.MS.NextEventAt(now); t < next {
+			next = t
+		}
+		if t := m.Bus.NextEventAt(now); t < next {
+			next = t
+		}
+		if t := m.DRAM.NextEventAt(now); t < next {
+			next = t
+		}
+		if t := m.Ctrl.NextEventAt(now); t < next {
+			next = t
+		}
+		if wd := lastCommitCycle + m.Cfg.WatchdogCycles; wd < next {
+			next = wd
+		}
+		if next > now {
+			if n := m.Core.SkipTo(next); n > 0 {
+				m.MS.AddSkippedRejects(n)
+			}
 		}
 	}
 }

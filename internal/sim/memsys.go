@@ -106,8 +106,20 @@ type MemSystem struct {
 
 	inflight []uint64 // usable-at cycles of outstanding fills (MSHR model)
 
+	// wbBuf stages a victim line's plaintext for WriteBack — reused so
+	// dirty-eviction churn does not allocate.
+	wbBuf []byte
+
+	// sb is a fixed-capacity ring (capacity StoreBufSize): the steady-state
+	// commit/drain churn must not reallocate.
 	sb            []sbEntry
+	sbHead, sbLen int
 	waitStoreAuth bool
+
+	// tickProgress records whether the last Tick changed store-buffer or
+	// hierarchy state (issued a drain access or retired an entry); false
+	// licenses the idle-cycle fast-forward.
+	tickProgress bool
 
 	// Stats.
 	SBFullRejects uint64
@@ -151,7 +163,9 @@ func NewMemSystem(cfg MemConfig, ctrl *secmem.Controller, shadow *mem.Memory, sp
 	return &MemSystem{
 		cfg: cfg, l1i: l1i, l1d: l1d, l2: l2, itlb: itlb, dtlb: dtlb,
 		ctrl: ctrl, shadow: shadow, space: space,
+		wbBuf: make([]byte, cfg.L2LineB),
 		lines: map[uint64]lineInfo{},
+		sb:    make([]sbEntry, cfg.StoreBufSize),
 	}, nil
 }
 
@@ -251,11 +265,7 @@ func (ms *MemSystem) access(now uint64, addr uint64, isWrite, isInst bool, fetch
 	// architecturally newer than the external copy (the write-allocate
 	// fill of a fresh store target races its own drain).
 	ms.shadow.Write(l2Line, res.Data)
-	for _, e := range ms.sb {
-		if e.addr >= l2Line && e.addr < l2Line+uint64(ms.cfg.L2LineB) {
-			ms.shadow.WriteUint(e.addr, e.val, e.size)
-		}
-	}
+	ms.overlaySB(l2Line)
 
 	l, victim := ms.l2.Fill(addr, false)
 	l.Aux = usable
@@ -265,7 +275,8 @@ func (ms *MemSystem) access(now uint64, addr uint64, isWrite, isInst bool, fetch
 	if victim != nil {
 		delete(ms.lines, victim.Addr)
 		if victim.Dirty {
-			if _, err := ms.ctrl.WriteBack(now, victim.Addr, ms.shadow.Read(victim.Addr, ms.cfg.L2LineB)); err != nil {
+			ms.shadow.ReadInto(ms.wbBuf, victim.Addr)
+			if _, err := ms.ctrl.WriteBack(now, victim.Addr, ms.wbBuf); err != nil {
 				return 0, lineInfo{}, err
 			}
 		}
@@ -326,17 +337,14 @@ func (ms *MemSystem) prefetch(now uint64, lineAddr uint64, constraint uint64) {
 		usable = max(usable, res.AuthDone)
 	}
 	ms.shadow.Write(lineAddr, res.Data)
-	for _, e := range ms.sb {
-		if e.addr >= lineAddr && e.addr < lineAddr+uint64(ms.cfg.L2LineB) {
-			ms.shadow.WriteUint(e.addr, e.val, e.size)
-		}
-	}
+	ms.overlaySB(lineAddr)
 	l, victim := ms.l2.Fill(lineAddr, false)
 	l.Aux = usable
 	if victim != nil {
 		delete(ms.lines, victim.Addr)
 		if victim.Dirty {
-			ms.ctrl.WriteBack(now, victim.Addr, ms.shadow.Read(victim.Addr, ms.cfg.L2LineB))
+			ms.shadow.ReadInto(ms.wbBuf, victim.Addr)
+			ms.ctrl.WriteBack(now, victim.Addr, ms.wbBuf)
 		}
 	}
 	ms.lines[lineAddr] = lineInfo{authIdx: res.AuthIdx, authDone: res.AuthDone, usableAt: usable}
@@ -389,15 +397,29 @@ func (ms *MemSystem) ReadData(now uint64, addr uint64, size int, fetchTag uint64
 	}
 }
 
+// overlaySB re-applies committed-but-undrained stores that land in a freshly
+// filled line: the store buffer is architecturally newer than the external
+// copy (the write-allocate fill of a fresh store target races its own drain).
+func (ms *MemSystem) overlaySB(lineAddr uint64) {
+	lineEnd := lineAddr + uint64(ms.cfg.L2LineB)
+	for i := 0; i < ms.sbLen; i++ {
+		e := &ms.sb[(ms.sbHead+i)%ms.cfg.StoreBufSize]
+		if e.addr >= lineAddr && e.addr < lineEnd {
+			ms.shadow.WriteUint(e.addr, e.val, e.size)
+		}
+	}
+}
+
 // CommitStore implements pipeline.MemPort: architectural memory updates
 // immediately; the timed cache write drains from the store buffer.
 func (ms *MemSystem) CommitStore(now uint64, addr uint64, val uint64, size int, authTag uint64) bool {
-	if len(ms.sb) >= ms.cfg.StoreBufSize {
+	if ms.sbLen >= ms.cfg.StoreBufSize {
 		ms.SBFullRejects++
 		return false
 	}
 	ms.shadow.WriteUint(addr, val, size)
-	ms.sb = append(ms.sb, sbEntry{addr: addr, val: val, size: size, authTag: authTag})
+	ms.sb[(ms.sbHead+ms.sbLen)%ms.cfg.StoreBufSize] = sbEntry{addr: addr, val: val, size: size, authTag: authTag}
+	ms.sbLen++
 	return true
 }
 
@@ -408,9 +430,10 @@ func (ms *MemSystem) CommitStore(now uint64, addr uint64, val uint64, size int, 
 // store-miss stream throttles commit through store-buffer backpressure —
 // without this, the core races arbitrarily far ahead of the memory system.
 func (ms *MemSystem) Tick(now uint64) {
+	ms.tickProgress = false
 	drained := 0
-	for len(ms.sb) > 0 && drained < ms.cfg.DrainPerTick {
-		e := &ms.sb[0]
+	for ms.sbLen > 0 && drained < ms.cfg.DrainPerTick {
+		e := &ms.sb[ms.sbHead]
 		if ms.waitStoreAuth {
 			done, _ := ms.ctrl.DoneAt(e.authTag)
 			if now < done {
@@ -426,20 +449,51 @@ func (ms *MemSystem) Tick(now uint64) {
 				ready = now + 1
 			}
 			e.readyAt = ready
+			ms.tickProgress = true
 		}
 		if now < e.readyAt {
 			return
 		}
-		ms.sb = ms.sb[1:]
+		ms.sbHead = (ms.sbHead + 1) % ms.cfg.StoreBufSize
+		ms.sbLen--
 		drained++
+		ms.tickProgress = true
 	}
 }
+
+// TickProgressed reports whether the last Tick changed state. False means
+// the store buffer is idle (or blocked) until the cycle NextEventAt names.
+func (ms *MemSystem) TickProgressed() bool { return ms.tickProgress }
+
+// NextEventAt returns the earliest cycle >= now at which Tick could act,
+// valid only right after a Tick that reported no progress. A value <= now
+// vetoes skipping; neverCycle (when the buffer is empty) imposes no bound.
+func (ms *MemSystem) NextEventAt(now uint64) uint64 {
+	if ms.sbLen == 0 {
+		return ^uint64(0)
+	}
+	e := &ms.sb[ms.sbHead]
+	if ms.waitStoreAuth {
+		if done, _ := ms.ctrl.DoneAt(e.authTag); now < done {
+			return done
+		}
+	}
+	if e.readyAt == 0 || now >= e.readyAt {
+		return now // head could act immediately: cannot skip
+	}
+	return e.readyAt
+}
+
+// AddSkippedRejects credits n cycles of head-of-ROB store retries that the
+// idle-cycle fast-forward skipped: the slow path would have called
+// CommitStore once per cycle against a full buffer.
+func (ms *MemSystem) AddSkippedRejects(n uint64) { ms.SBFullRejects += n }
 
 // SetStoreWaitAuth enables authen-then-write gating in the store buffer.
 func (ms *MemSystem) SetStoreWaitAuth(on bool) { ms.waitStoreAuth = on }
 
 // StoreBufferEmpty reports whether all committed stores have drained.
-func (ms *MemSystem) StoreBufferEmpty() bool { return len(ms.sb) == 0 }
+func (ms *MemSystem) StoreBufferEmpty() bool { return ms.sbLen == 0 }
 
 // ValidAddr implements pipeline.MemPort.
 func (ms *MemSystem) ValidAddr(addr uint64) bool { return ms.space.Valid(addr) }
