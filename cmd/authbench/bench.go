@@ -146,7 +146,7 @@ func runBenchExperiment(rec *benchRecorder, parallelism int) error {
 		names = append(names, w.Name)
 	}
 	leg := func(name string, workers int) (time.Duration, string, error) {
-		r := &harness.Runner{Parallelism: workers}
+		r := &harness.Runner{Parallelism: workers, Ledger: runLedger, Meter: runMeter}
 		if rec != nil {
 			r.OnProgress = rec.observe
 			rec.begin(name)

@@ -33,6 +33,7 @@ import (
 	"authpoint/internal/prof"
 	"authpoint/internal/report"
 	"authpoint/internal/sim"
+	"authpoint/internal/telemetry"
 	"authpoint/internal/workload"
 )
 
@@ -54,6 +55,8 @@ func main() {
 		latticeOut = flag.String("lattice-out", "BENCH_lattice.json", "output path for the lattice experiment record")
 		traceLoad  = flag.String("trace-workload", "mcfx", "workload for the -trace run")
 		traceInsts = flag.Uint64("trace-insts", 60_000, "instruction budget for the -trace run (after workload init)")
+		teleOut    = flag.String("telemetry", "", "stream a JSONL run ledger (one record per sweep cell) to this path")
+		progress   = flag.Bool("progress", false, "print live progress/ETA heartbeats to stderr")
 	)
 	flag.Parse()
 
@@ -95,7 +98,24 @@ func main() {
 	if *jsonOut != "" {
 		benchRec = newBenchRecorder(*parallel)
 	}
-	sweepRunner = &harness.Runner{Parallelism: *parallel, CollectMetrics: *metrics}
+	if *teleOut != "" {
+		l, err := telemetry.Create(*teleOut, telemetry.NewHeader("authbench:"+*exp, *parallel))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runLedger = l
+		defer func() {
+			if err := l.Close(); err != nil {
+				fatalf("telemetry: %v", err)
+			}
+		}()
+	}
+	if *progress {
+		runMeter = telemetry.NewMeter(os.Stderr, "authbench", 0)
+		defer runMeter.Finish()
+	}
+	sweepRunner = &harness.Runner{Parallelism: *parallel, CollectMetrics: *metrics,
+		Ledger: runLedger, Meter: runMeter}
 	collectMetrics = *metrics
 	if benchRec != nil || collectMetrics {
 		sweepRunner.OnProgress = observeProgress
@@ -139,6 +159,12 @@ var (
 	metricsAgg *report.Aggregator
 	// parallelism mirrors the -parallel flag for the bench experiment.
 	parallelism int
+	// runLedger and runMeter are the -telemetry ledger and -progress meter;
+	// nil when the flags are off. The bench experiment's fresh per-leg
+	// runners attach them too, so every cell of every leg lands in one
+	// ledger with campaign-unique sequence numbers.
+	runLedger *telemetry.Ledger
+	runMeter  *telemetry.Meter
 )
 
 // observeProgress fans the shared Runner's progress stream out to the bench

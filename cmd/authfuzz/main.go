@@ -26,6 +26,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,8 +34,11 @@ import (
 	"time"
 
 	"authpoint/internal/diffcheck"
+	"authpoint/internal/obs"
 	"authpoint/internal/policy"
 	"authpoint/internal/prof"
+	"authpoint/internal/report"
+	"authpoint/internal/telemetry"
 )
 
 func fatalf(format string, args ...any) {
@@ -58,6 +62,9 @@ func main() {
 		verbose   = flag.Bool("v", false, "print one line per cell")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile to this file before exit")
+		metrics   = flag.Bool("metrics", false, "attach an observability hub to every timed run; print the merged campaign metrics (and write metrics.json under -out)")
+		teleOut   = flag.String("telemetry", "", "stream a JSONL run ledger (one record per cell) to this path")
+		progress  = flag.Bool("progress", false, "print live progress/ETA heartbeats to stderr")
 	)
 	flag.Parse()
 
@@ -94,7 +101,41 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	bad := runSweep(ctx, seeds, pols, *mode, *tamper, site, *minimize, *outDir, *parallel, *verbose)
+	var so *diffcheck.SweepObs
+	if *metrics || *teleOut != "" || *progress {
+		so = &diffcheck.SweepObs{CollectMetrics: *metrics}
+		if *teleOut != "" {
+			l, err := telemetry.Create(*teleOut, telemetry.NewHeader("authfuzz", *parallel))
+			if err != nil {
+				fatalf("%v", err)
+			}
+			so.Ledger = l
+		}
+		if *progress {
+			so.Meter = telemetry.NewMeter(os.Stderr, "authfuzz", 0)
+		}
+	}
+
+	bad := runSweep(ctx, seeds, pols, *mode, *tamper, site, *minimize, *outDir, *parallel, *verbose, so)
+	if so != nil {
+		if so.Meter != nil {
+			so.Meter.Finish()
+		}
+		if so.Ledger != nil {
+			if err := so.Ledger.Close(); err != nil {
+				fatalf("telemetry: %v", err)
+			}
+		}
+		if snap := so.Metrics(); snap != nil {
+			fmt.Println()
+			report.WriteMetrics(os.Stdout, snap)
+			if *outDir != "" {
+				if err := writeMetricsJSON(*outDir, snap); err != nil {
+					fatalf("%v", err)
+				}
+			}
+		}
+	}
 	if *monotone {
 		bad = runMonotone(seeds, pols, *verbose) || bad
 	}
@@ -110,7 +151,25 @@ func main() {
 	}
 }
 
-func runSweep(ctx context.Context, seeds []int64, pols []policy.ControlPoint, mode string, tamper bool, site diffcheck.TamperSite, minimize bool, outDir string, parallel int, verbose bool) bool {
+// writeMetricsJSON records the merged campaign snapshot next to the .repro
+// findings, so a fuzz campaign's observability outlives the terminal.
+func writeMetricsJSON(outDir string, snap *obs.Snapshot) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, "metrics.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("authfuzz: wrote %s\n", path)
+	return nil
+}
+
+func runSweep(ctx context.Context, seeds []int64, pols []policy.ControlPoint, mode string, tamper bool, site diffcheck.TamperSite, minimize bool, outDir string, parallel int, verbose bool, so *diffcheck.SweepObs) bool {
 	var cells []diffcheck.Cell
 	switch mode {
 	case "pair":
@@ -128,7 +187,7 @@ func runSweep(ctx context.Context, seeds []int64, pols []policy.ControlPoint, mo
 	}
 
 	start := time.Now()
-	results, findings, err := diffcheck.Sweep(ctx, cells, diffcheck.Options{}, parallel)
+	results, findings, err := diffcheck.SweepObserved(ctx, cells, diffcheck.Options{}, parallel, so)
 	elapsed := time.Since(start).Round(time.Millisecond)
 
 	counts := map[diffcheck.Verdict]int{}

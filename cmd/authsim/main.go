@@ -117,6 +117,9 @@ func main() {
 			}
 			hub = obs.NewHub(tr, *metrics)
 			m.SetObserver(hub)
+			if *metrics {
+				m.EnablePerf()
+			}
 		}
 		res, err := m.Run()
 		if err != nil {
@@ -127,7 +130,9 @@ func main() {
 			report.Write(os.Stdout, m, res)
 		}
 		if *metrics {
-			report.WriteMetrics(os.Stdout, hub.Snapshot())
+			snap := hub.Snapshot()
+			m.Perf().AddTo(snap)
+			report.WriteMetrics(os.Stdout, snap)
 		}
 		if *trace != "" {
 			f, err := os.Create(*trace)

@@ -1,0 +1,359 @@
+// Command authstat mines campaign telemetry: the JSONL run ledgers streamed
+// by authbench/authfuzz/authverify (-telemetry) and the checked-in BENCH_*
+// records. It answers the questions the raw artifacts bury: where did the
+// host time go, which cells are slowest, and has the fast path regressed
+// against the recorded baseline.
+//
+// Usage:
+//
+//	authstat summary <ledger.jsonl>              # per-policy host-cost breakdown
+//	authstat validate <ledger.jsonl>             # schema + invariant check (CI)
+//	authstat diff <BENCH_fastpath.json> -against <ledger.jsonl> [-threshold 3]
+//
+// diff compares a fresh bench ledger against the recorded fast-path cost
+// per (workload, policy) cell and fails when any cell slowed by more than
+// the threshold ratio — the CI regression gate over host cost. Ratios are
+// compared, not absolute ns/cycle: absolute cost is hardware-dependent, but
+// a cell that got 3x slower relative to its recorded cost on any host is a
+// regression signal worth a look.
+//
+// The exit status is 0 when clean, 1 on validation failure or a diff over
+// threshold, and 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"authpoint/internal/telemetry"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "authstat: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fatalf("usage: authstat <summary|validate|diff> ...")
+	}
+	switch os.Args[1] {
+	case "summary":
+		cmdSummary(os.Args[2:])
+	case "validate":
+		cmdValidate(os.Args[2:])
+	case "diff":
+		cmdDiff(os.Args[2:])
+	default:
+		fatalf("unknown command %q (want summary, validate, or diff)", os.Args[1])
+	}
+}
+
+// ---------------------------------------------------------------- summary --
+
+// hostBuckets are the per-cell host-cost histogram bounds (upper edges).
+var hostBuckets = []time.Duration{
+	time.Millisecond, 3 * time.Millisecond, 10 * time.Millisecond,
+	30 * time.Millisecond, 100 * time.Millisecond, 300 * time.Millisecond,
+	time.Second, 3 * time.Second, 10 * time.Second,
+}
+
+// polStats aggregates one (kind, policy) group of ledger records.
+type polStats struct {
+	kind, policy string
+	cells        int
+	cached       int
+	errs         int
+	simCycles    uint64
+	hostNs       int64
+	hist         []int // len(hostBuckets)+1, last bucket = overflow
+}
+
+func bucketOf(ns int64) int {
+	for i, b := range hostBuckets {
+		if time.Duration(ns) <= b {
+			return i
+		}
+	}
+	return len(hostBuckets)
+}
+
+func cmdSummary(args []string) {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	topN := fs.Int("top", 10, "how many slowest cells to list")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatalf("usage: authstat summary [-top N] <ledger.jsonl>")
+	}
+	lf, err := telemetry.ReadFile(fs.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	lf.SortBySeq()
+
+	groups := map[[2]string]*polStats{}
+	var totalNs int64
+	var totalCycles uint64
+	for _, r := range lf.Records {
+		key := [2]string{r.Kind, r.Policy}
+		g := groups[key]
+		if g == nil {
+			g = &polStats{kind: r.Kind, policy: r.Policy, hist: make([]int, len(hostBuckets)+1)}
+			groups[key] = g
+		}
+		g.cells++
+		if r.Cached {
+			g.cached++
+		}
+		if r.Err != "" {
+			g.errs++
+		}
+		if !r.Cached {
+			g.simCycles += r.SimCycles
+			g.hostNs += r.HostNs
+			g.hist[bucketOf(r.HostNs)]++
+			totalNs += r.HostNs
+			totalCycles += r.SimCycles
+		}
+	}
+	keys := make([][2]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+
+	fmt.Printf("ledger: campaign %q on %s/%s (%d cpu, %s), %d records\n",
+		lf.Header.Campaign, lf.Header.GOOS, lf.Header.GOARCH,
+		lf.Header.NumCPU, lf.Header.GoVersion, len(lf.Records))
+	fmt.Printf("\n%-8s %-38s %6s %6s %5s %14s %10s %9s\n",
+		"kind", "policy", "cells", "cached", "errs", "sim-cycles", "host", "ns/cycle")
+	for _, k := range keys {
+		g := groups[k]
+		nsPerCycle := 0.0
+		if g.simCycles > 0 {
+			nsPerCycle = float64(g.hostNs) / float64(g.simCycles)
+		}
+		fmt.Printf("%-8s %-38s %6d %6d %5d %14d %10v %9.1f\n",
+			g.kind, g.policy, g.cells, g.cached, g.errs, g.simCycles,
+			time.Duration(g.hostNs).Round(time.Millisecond), nsPerCycle)
+		fmt.Printf("%-8s   host-cost histogram:", "")
+		for i, n := range g.hist {
+			if n == 0 {
+				continue
+			}
+			if i < len(hostBuckets) {
+				fmt.Printf(" <=%v:%d", hostBuckets[i], n)
+			} else {
+				fmt.Printf(" >%v:%d", hostBuckets[len(hostBuckets)-1], n)
+			}
+		}
+		fmt.Println()
+	}
+	nsPerCycle := 0.0
+	if totalCycles > 0 {
+		nsPerCycle = float64(totalNs) / float64(totalCycles)
+	}
+	fmt.Printf("\ntotal (fresh cells): %d sim-cycles in %v host (%.1f ns/cycle)\n",
+		totalCycles, time.Duration(totalNs).Round(time.Millisecond), nsPerCycle)
+
+	slow := make([]telemetry.Record, 0, len(lf.Records))
+	for _, r := range lf.Records {
+		if !r.Cached {
+			slow = append(slow, r)
+		}
+	}
+	sort.SliceStable(slow, func(i, j int) bool { return slow[i].HostNs > slow[j].HostNs })
+	if len(slow) > *topN {
+		slow = slow[:*topN]
+	}
+	fmt.Printf("\nslowest %d cells:\n", len(slow))
+	for _, r := range slow {
+		id := r.Workload
+		if id == "" {
+			id = fmt.Sprintf("seed %d", r.Seed)
+		}
+		fmt.Printf("  %10v  %-8s %-20s %-38s %12d cycles\n",
+			time.Duration(r.HostNs).Round(time.Millisecond), r.Kind, id, r.Policy, r.SimCycles)
+	}
+}
+
+// --------------------------------------------------------------- validate --
+
+func cmdValidate(args []string) {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatalf("usage: authstat validate <ledger.jsonl>")
+	}
+	lf, err := telemetry.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "authstat: %v\n", err)
+		os.Exit(1)
+	}
+	if err := lf.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "authstat: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: valid %s ledger, campaign %q, %d records\n",
+		fs.Arg(0), lf.Header.Schema, lf.Header.Campaign, len(lf.Records))
+}
+
+// ------------------------------------------------------------------- diff --
+
+// fastpathRecord mirrors the slice of BENCH_fastpath.json the diff needs.
+type fastpathRecord struct {
+	Schema      string `json:"schema"`
+	Experiments []struct {
+		Name  string `json:"name"`
+		Cells []struct {
+			Workload string  `json:"workload"`
+			Scheme   string  `json:"scheme"`
+			Before   float64 `json:"host_ns_per_sim_cycle_before"`
+			After    float64 `json:"host_ns_per_sim_cycle_after"`
+		} `json:"cells"`
+	} `json:"experiments"`
+}
+
+// cellCost accumulates cycle-weighted ns/cycle for one (workload, policy).
+type cellCost struct {
+	weightedNs float64 // sum of ns/cycle * cycles
+	cycles     float64
+}
+
+func (c *cellCost) add(nsPerCycle float64, cycles uint64) {
+	c.weightedNs += nsPerCycle * float64(cycles)
+	c.cycles += float64(cycles)
+}
+
+func (c *cellCost) perCycle() float64 {
+	if c.cycles == 0 {
+		return 0
+	}
+	return c.weightedNs / c.cycles
+}
+
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	against := fs.String("against", "", "fresh ledger (JSONL) to compare against the record")
+	threshold := fs.Float64("threshold", 3.0, "fail when any cell's fresh/recorded host-cost ratio exceeds this")
+	// Accept the natural `diff <record> -against <ledger>` order: peel the
+	// leading positional off before flag parsing (which stops at it).
+	record := ""
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		record, args = args[0], args[1:]
+	}
+	fs.Parse(args)
+	if record == "" && fs.NArg() == 1 {
+		record = fs.Arg(0)
+	} else if fs.NArg() != 0 {
+		record = ""
+	}
+	if record == "" || *against == "" {
+		fatalf("usage: authstat diff <BENCH_fastpath.json> -against <ledger.jsonl> [-threshold N]")
+	}
+
+	data, err := os.ReadFile(record)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var rec fastpathRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		fatalf("%s: %v", record, err)
+	}
+	if rec.Schema != "authbench/fastpath/v1" {
+		fatalf("%s: schema %q, want authbench/fastpath/v1", record, rec.Schema)
+	}
+	recorded := map[[2]string]*cellCost{}
+	before := map[[2]string]*cellCost{}
+	for _, e := range rec.Experiments {
+		for _, c := range e.Cells {
+			key := [2]string{c.Workload, c.Scheme}
+			// The record does not carry per-cell cycles; weight equally.
+			if recorded[key] == nil {
+				recorded[key], before[key] = &cellCost{}, &cellCost{}
+			}
+			recorded[key].add(c.After, 1)
+			before[key].add(c.Before, 1)
+		}
+	}
+
+	lf, err := telemetry.ReadFile(*against)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fresh := map[[2]string]*cellCost{}
+	for _, r := range lf.Records {
+		if r.Kind != "bench" || r.Cached || r.Err != "" || r.SimCycles == 0 {
+			continue
+		}
+		key := [2]string{r.Workload, r.Policy}
+		if fresh[key] == nil {
+			fresh[key] = &cellCost{}
+		}
+		fresh[key].add(float64(r.HostNs)/float64(r.SimCycles), r.SimCycles)
+	}
+	if len(fresh) == 0 {
+		fatalf("%s: no fresh bench records (run authbench -experiment bench -telemetry ...)", *against)
+	}
+
+	keys := make([][2]string, 0, len(recorded))
+	for k := range recorded {
+		if fresh[k] != nil {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		fatalf("no (workload, policy) cells in common between record and ledger")
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+
+	fmt.Printf("%-10s %-38s %9s %9s %7s %9s\n",
+		"workload", "policy", "recorded", "fresh", "ratio", "speedup")
+	worst := 0.0
+	worstKey := [2]string{}
+	var sumSpeedup float64
+	for _, k := range keys {
+		rc, fc, bc := recorded[k].perCycle(), fresh[k].perCycle(), before[k].perCycle()
+		ratio := 0.0
+		if rc > 0 {
+			ratio = fc / rc
+		}
+		// The fresh speedup the fast path still delivers over the recorded
+		// per-cycle reference core — the record's headline, recomputed.
+		speedup := 0.0
+		if fc > 0 {
+			speedup = bc / fc
+		}
+		sumSpeedup += speedup
+		mark := ""
+		if ratio > *threshold {
+			mark = "  <-- over threshold"
+		}
+		if ratio > worst {
+			worst, worstKey = ratio, k
+		}
+		fmt.Printf("%-10s %-38s %9.1f %9.1f %7.2f %8.2fx%s\n",
+			k[0], k[1], rc, fc, ratio, speedup, mark)
+	}
+	fmt.Printf("\n%d cells compared; worst fresh/recorded ratio %.2f (%s under %s); mean fresh speedup over reference core %.2fx\n",
+		len(keys), worst, worstKey[0], worstKey[1], sumSpeedup/float64(len(keys)))
+	if worst > *threshold {
+		fmt.Fprintf(os.Stderr, "authstat: REGRESSION: host cost ratio %.2f exceeds threshold %.2f\n", worst, *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: all ratios within threshold %.2f\n", *threshold)
+}

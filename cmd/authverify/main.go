@@ -33,6 +33,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,8 +42,11 @@ import (
 
 	"authpoint/internal/contract"
 	"authpoint/internal/diffcheck"
+	"authpoint/internal/obs"
 	"authpoint/internal/policy"
 	"authpoint/internal/prof"
+	"authpoint/internal/report"
+	"authpoint/internal/telemetry"
 )
 
 func fatalf(format string, args ...any) {
@@ -64,6 +68,9 @@ func main() {
 		verbose   = flag.Bool("v", false, "print one line per cell")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile to this file before exit")
+		metrics   = flag.Bool("metrics", false, "attach an observability hub to every timed run; print the merged campaign metrics (and write metrics.json under -out)")
+		teleOut   = flag.String("telemetry", "", "stream a JSONL run ledger (one record per cell) to this path")
+		progress  = flag.Bool("progress", false, "print live progress/ETA heartbeats to stderr")
 	)
 	flag.Parse()
 
@@ -95,9 +102,43 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	bad := runSweep(ctx, seeds, pols, *mode, *minimize, *outDir, *parallel, *verbose)
+	var so *diffcheck.SweepObs
+	if *metrics || *teleOut != "" || *progress {
+		so = &diffcheck.SweepObs{CollectMetrics: *metrics}
+		if *teleOut != "" {
+			l, err := telemetry.Create(*teleOut, telemetry.NewHeader("authverify", *parallel))
+			if err != nil {
+				fatalf("%v", err)
+			}
+			so.Ledger = l
+		}
+		if *progress {
+			so.Meter = telemetry.NewMeter(os.Stderr, "authverify", 0)
+		}
+	}
+
+	bad := runSweep(ctx, seeds, pols, *mode, *minimize, *outDir, *parallel, *verbose, so)
 	if *kernels {
 		bad = runKernels(*verbose) || bad
+	}
+	if so != nil {
+		if so.Meter != nil {
+			so.Meter.Finish()
+		}
+		if so.Ledger != nil {
+			if err := so.Ledger.Close(); err != nil {
+				fatalf("telemetry: %v", err)
+			}
+		}
+		if snap := so.Metrics(); snap != nil {
+			fmt.Println()
+			report.WriteMetrics(os.Stdout, snap)
+			if *outDir != "" {
+				if err := writeMetricsJSON(*outDir, snap); err != nil {
+					fatalf("%v", err)
+				}
+			}
+		}
 	}
 
 	// main exits through os.Exit, so the profiles must be flushed here
@@ -111,7 +152,25 @@ func main() {
 	}
 }
 
-func runSweep(ctx context.Context, seeds []int64, pols []policy.ControlPoint, mode string, minimize bool, outDir string, parallel int, verbose bool) bool {
+// writeMetricsJSON records the merged campaign snapshot next to the .leak
+// findings, so a verification campaign's observability outlives the terminal.
+func writeMetricsJSON(outDir string, snap *obs.Snapshot) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, "metrics.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("authverify: wrote %s\n", path)
+	return nil
+}
+
+func runSweep(ctx context.Context, seeds []int64, pols []policy.ControlPoint, mode string, minimize bool, outDir string, parallel int, verbose bool, so *diffcheck.SweepObs) bool {
 	var cells []contract.Cell
 	switch mode {
 	case "pair":
@@ -123,7 +182,7 @@ func runSweep(ctx context.Context, seeds []int64, pols []policy.ControlPoint, mo
 	}
 
 	start := time.Now()
-	results, findings, err := contract.Sweep(ctx, cells, contract.Options{}, parallel)
+	results, findings, err := contract.SweepObserved(ctx, cells, contract.Options{}, parallel, so)
 	elapsed := time.Since(start).Round(time.Millisecond)
 
 	counts := map[contract.Verdict]int{}

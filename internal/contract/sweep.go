@@ -4,9 +4,12 @@ import (
 	"context"
 	"sort"
 	"sync"
+	"time"
 
+	"authpoint/internal/diffcheck"
 	"authpoint/internal/harness"
 	"authpoint/internal/policy"
+	"authpoint/internal/telemetry"
 )
 
 // Cell is one unit of verification work: a generated seed checked under one
@@ -56,7 +59,23 @@ func bad(v Verdict) bool { return v == VerdictUnsound || v == VerdictError }
 // expired have an empty Verdict; the ctx error is returned so callers can
 // distinguish "clean" from "clean so far, budget exhausted".
 func Sweep(ctx context.Context, cells []Cell, opt Options, parallelism int) ([]Result, []Finding, error) {
+	return SweepObserved(ctx, cells, opt, parallelism, nil)
+}
+
+// SweepObserved is Sweep with campaign telemetry (the observability hooks
+// are shared with the differential fuzzer: one ledger schema, one meter).
+func SweepObserved(ctx context.Context, cells []Cell, opt Options, parallelism int, so *diffcheck.SweepObs) ([]Result, []Finding, error) {
 	runner := &harness.Runner{Parallelism: parallelism}
+	var seqBase uint64
+	if so != nil {
+		runner.Meter = so.Meter
+		if so.Ledger != nil {
+			seqBase = so.Ledger.ReserveSeq(len(cells))
+		}
+		if so.CollectMetrics {
+			opt.MetricsSink = so.Sink
+		}
+	}
 	results := make([]Result, len(cells))
 	var (
 		mu       sync.Mutex
@@ -69,8 +88,22 @@ func Sweep(ctx context.Context, cells []Cell, opt Options, parallelism int) ([]R
 		c := cells[i]
 		o := opt
 		o.Policy = c.Policy
+		start := time.Now()
 		res, src := CheckSeed(c.Seed, o)
 		results[i] = res
+		if so != nil && so.Ledger != nil {
+			so.Ledger.Emit(telemetry.Record{
+				Seq:     seqBase + uint64(i),
+				Kind:    "verify",
+				Policy:  c.Policy.String(),
+				Seed:    c.Seed,
+				Verdict: string(res.Verdict),
+				// Both runs' cycles: the cell's total simulated work.
+				SimCycles: res.CyclesA + res.CyclesB,
+				HostNs:    time.Since(start).Nanoseconds(),
+				Worker:    telemetry.Worker(ctx),
+			})
+		}
 		if bad(res.Verdict) {
 			mu.Lock()
 			findings = append(findings, Finding{Result: res, Source: src})

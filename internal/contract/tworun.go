@@ -67,6 +67,12 @@ type Options struct {
 	// whatever crossed it by then. The window end is a cycle count, so it
 	// cuts both runs at the same horizon.
 	ObserveWatchdog bool
+	// MetricsSink, if set, receives each timed run's observability snapshot
+	// (two per check — run A and run B). It must be safe for concurrent
+	// use: sweeps call it from every worker. The hub shares the bus
+	// observer slot with the adversary collector through a tee, so the
+	// recorded view is unchanged.
+	MetricsSink func(*obs.Snapshot)
 }
 
 // ViewEvent is one bus transaction as the adversary records it: start cycle,
@@ -120,6 +126,15 @@ func (c *busCollector) Emit(e obs.Event) {
 	if e.Kind == obs.EvBusTxn {
 		c.events = append(c.events, e)
 	}
+}
+
+// teeSink fans one component's events to two sinks, so the adversary's bus
+// collector and a metrics hub can share the single bus observer slot.
+type teeSink struct{ a, b obs.Sink }
+
+func (t teeSink) Emit(e obs.Event) {
+	t.a.Emit(e)
+	t.b.Emit(e)
 }
 
 // CheckSeed generates the secret-mode program for seed and checks it; it
@@ -190,13 +205,13 @@ func Check(prog *asm.Program, opt Options) Result {
 	}
 	obfuscated := res.Policy.Obfuscate
 
-	viewA, err := runView(patched(prog, target, a), cfg, opt.Regions, obfuscated, opt.ObserveWatchdog)
+	viewA, err := runView(patched(prog, target, a), cfg, opt.Regions, obfuscated, opt.ObserveWatchdog, opt.MetricsSink)
 	if err != nil {
 		res.Verdict = VerdictError
 		res.Diff = "run A: " + err.Error()
 		return res
 	}
-	viewB, err := runView(patched(prog, target, b), cfg, opt.Regions, obfuscated, opt.ObserveWatchdog)
+	viewB, err := runView(patched(prog, target, b), cfg, opt.Regions, obfuscated, opt.ObserveWatchdog, opt.MetricsSink)
 	if err != nil {
 		res.Verdict = VerdictError
 		res.Diff = "run B: " + err.Error()
@@ -249,14 +264,29 @@ func patched(p *asm.Program, r analysis.Range, img []byte) *asm.Program {
 // runView executes the program once and returns the adversary's view of the
 // run. Watchdog and model-error stops are check failures, not observations —
 // unless observeWatchdog turns the watchdog into the observation horizon.
-func runView(p *asm.Program, cfg sim.Config, regions []sim.Region, obfuscated, observeWatchdog bool) (View, error) {
+func runView(p *asm.Program, cfg sim.Config, regions []sim.Region, obfuscated, observeWatchdog bool, metricsSink func(*obs.Snapshot)) (View, error) {
 	m, err := sim.NewMachineWithRegions(cfg, p, regions)
 	if err != nil {
 		return View{}, err
 	}
 	col := &busCollector{}
-	m.Bus.SetObserver(col)
+	var hub *obs.Hub
+	if metricsSink != nil {
+		hub = obs.NewHub(nil, true)
+		m.SetObserver(hub)
+		m.EnablePerf()
+		// The bus observer slot is single; tee it so the hub still sees bus
+		// events while the adversary view records exactly what it always did.
+		m.Bus.SetObserver(teeSink{a: col, b: hub})
+	} else {
+		m.Bus.SetObserver(col)
+	}
 	simRes, runErr := m.Run()
+	if hub != nil {
+		snap := hub.Snapshot()
+		m.Perf().AddTo(snap)
+		metricsSink(snap)
+	}
 	if runErr != nil && !(observeWatchdog && simRes.Reason == sim.StopWatchdog) {
 		return View{}, runErr
 	}

@@ -7,6 +7,7 @@ import (
 	"authpoint/internal/asm"
 	"authpoint/internal/interp"
 	"authpoint/internal/isa"
+	"authpoint/internal/obs"
 	"authpoint/internal/policy"
 	"authpoint/internal/sim"
 )
@@ -82,6 +83,12 @@ type Options struct {
 	// simulator default). The minimizer lowers it so non-terminating
 	// shrink candidates fail fast.
 	WatchdogCycles uint64
+	// MetricsSink, if set, receives the timed run's observability snapshot
+	// (hub metrics + fast-path perf counters). It must be safe for
+	// concurrent use: sweeps call it from every worker. Attaching the
+	// observer does not change the Result — the fast path is pinned
+	// cycle-identical with a hub attached — so replay files stay valid.
+	MetricsSink func(*obs.Snapshot)
 }
 
 // DefaultMaxOracleInsts bounds the in-order oracle: generated programs
@@ -219,12 +226,23 @@ func Check(src string, opt Options) Result {
 			m.Memory.XorRange(p.Entry, []byte{0x40})
 		}
 	}
+	var hub *obs.Hub
+	if opt.MetricsSink != nil {
+		hub = obs.NewHub(nil, true)
+		m.SetObserver(hub)
+		m.EnablePerf()
+	}
 	simRes, runErr := m.Run()
 	res.Reason = simRes.Reason.String()
 	res.Cycles = simRes.Cycles
 	res.Insts = simRes.Insts
 	sd := m.ArchDigest(ranges...)
 	res.SimDigest = hex.EncodeToString(sd[:])
+	if hub != nil {
+		snap := hub.Snapshot()
+		m.Perf().AddTo(snap)
+		opt.MetricsSink(snap)
+	}
 
 	if opt.Tamper {
 		if opt.TamperSite == SiteData {

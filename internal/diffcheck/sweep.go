@@ -7,9 +7,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"authpoint/internal/harness"
+	"authpoint/internal/obs"
 	"authpoint/internal/policy"
+	"authpoint/internal/telemetry"
 )
 
 // ParseSeedRange parses an inclusive "lo:hi" seed-range flag into the
@@ -88,13 +91,68 @@ type Finding struct {
 // divergence are expected outcomes, not findings.
 func bad(v Verdict) bool { return v == VerdictDivergence || v == VerdictError }
 
+// SweepObs carries the campaign-level observability hooks of a sweep: the
+// telemetry ledger and progress meter, and an optional merged metrics
+// snapshot across every cell. All fields are optional; the zero value (or a
+// nil *SweepObs) observes nothing.
+type SweepObs struct {
+	// Ledger receives one record per cell, sequence-numbered in cell order.
+	Ledger *telemetry.Ledger
+	// Meter is fed one tick per finished cell.
+	Meter *telemetry.Meter
+	// CollectMetrics attaches an observability hub to every timed run and
+	// merges the per-cell snapshots; Metrics returns the merged result.
+	CollectMetrics bool
+
+	mu     sync.Mutex
+	merged *obs.Snapshot
+}
+
+// Sink folds one cell's snapshot into the campaign aggregate. Safe for
+// concurrent use (diffcheck.Options.MetricsSink requires it).
+func (s *SweepObs) Sink(snap *obs.Snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.merged == nil {
+		s.merged = snap
+		return
+	}
+	// Merge only errors on histogram bucket-bound mismatches, which cannot
+	// happen here: every cell uses the Hub's fixed bucket sets.
+	_ = s.merged.Merge(snap)
+}
+
+// Metrics returns the merged campaign snapshot (nil unless CollectMetrics
+// was set and at least one cell ran).
+func (s *SweepObs) Metrics() *obs.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.merged
+}
+
 // Sweep checks every cell on the harness worker pool (parallelism <= 0
 // means NumCPU) and returns per-cell results in cell order plus the
 // findings, sorted by (seed, policy) for determinism. Cells skipped because
 // ctx expired have an empty Verdict; the ctx error is returned so callers
 // can distinguish "clean" from "clean so far, budget exhausted".
 func Sweep(ctx context.Context, cells []Cell, opt Options, parallelism int) ([]Result, []Finding, error) {
+	return SweepObserved(ctx, cells, opt, parallelism, nil)
+}
+
+// SweepObserved is Sweep with campaign telemetry: per-cell ledger records,
+// live progress, and (optionally) merged observability metrics.
+func SweepObserved(ctx context.Context, cells []Cell, opt Options, parallelism int, so *SweepObs) ([]Result, []Finding, error) {
 	runner := &harness.Runner{Parallelism: parallelism}
+	var seqBase uint64
+	if so != nil {
+		runner.Meter = so.Meter
+		if so.Ledger != nil {
+			seqBase = so.Ledger.ReserveSeq(len(cells))
+		}
+		if so.CollectMetrics {
+			opt.MetricsSink = so.Sink
+		}
+	}
 	results := make([]Result, len(cells))
 	var (
 		mu       sync.Mutex
@@ -109,8 +167,24 @@ func Sweep(ctx context.Context, cells []Cell, opt Options, parallelism int) ([]R
 		o.Policy = c.Policy
 		o.Tamper = c.Tamper
 		o.TamperSite = c.Site
+		start := time.Now()
 		res, src := CheckSeed(c.Seed, o)
 		results[i] = res
+		if so != nil && so.Ledger != nil {
+			so.Ledger.Emit(telemetry.Record{
+				Seq:       seqBase + uint64(i),
+				Kind:      "fuzz",
+				Policy:    c.Policy.String(),
+				Seed:      c.Seed,
+				Tamper:    c.Tamper,
+				Site:      string(res.Site),
+				Verdict:   string(res.Verdict),
+				SimCycles: res.Cycles,
+				Insts:     res.Insts,
+				HostNs:    time.Since(start).Nanoseconds(),
+				Worker:    telemetry.Worker(ctx),
+			})
+		}
 		if bad(res.Verdict) {
 			mu.Lock()
 			findings = append(findings, Finding{Result: res, Source: src})

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"authpoint/internal/telemetry"
 )
 
 // Do runs fn(i) for i in [0, n) on the runner's worker pool, with the same
@@ -20,6 +22,9 @@ func (r *Runner) Do(ctx context.Context, n int, fn func(ctx context.Context, i i
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	if r.Meter != nil {
+		r.Meter.AddTotal(n)
+	}
 	workers := r.workers()
 	if workers > n {
 		workers = n
@@ -37,10 +42,16 @@ func (r *Runner) Do(ctx context.Context, n int, fn func(ctx context.Context, i i
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		// Each worker's context carries its index, so campaign layers can
+		// stamp telemetry records with the worker that ran each unit.
+		wctx := telemetry.WithWorker(ctx, w)
 		go func() {
 			defer wg.Done()
 			for idx := range idxCh {
-				err := fn(ctx, idx)
+				err := fn(wctx, idx)
+				if r.Meter != nil {
+					r.Meter.Tick(1)
+				}
 				if err == nil {
 					continue
 				}

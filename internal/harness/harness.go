@@ -83,9 +83,13 @@ func Measure(spec Spec) (Measurement, error) {
 	// requested) attaches here for the same reason.
 	m.MS.ResetCacheStats()
 	var hub *obs.Hub
+	var perf *obs.Perf
 	if spec.Metrics {
 		hub = obs.NewHub(nil, true)
 		m.SetObserver(hub)
+		// Perf counters start here too, so fastpath.* counters cover the
+		// measured window only, like every other metric.
+		perf = m.EnablePerf()
 	}
 
 	m.Cfg.MaxInsts = spec.WarmupInsts + spec.MeasureInsts
@@ -110,6 +114,7 @@ func Measure(spec Spec) (Measurement, error) {
 	}
 	if hub != nil {
 		out.Metrics = hub.Snapshot()
+		perf.AddTo(out.Metrics)
 	}
 	return out, nil
 }

@@ -11,6 +11,7 @@ import (
 	"authpoint/internal/asm"
 	"authpoint/internal/policy"
 	"authpoint/internal/sim"
+	"authpoint/internal/telemetry"
 	"authpoint/internal/workload"
 )
 
@@ -61,6 +62,14 @@ type Runner struct {
 	// cells share one snapshot; use Outcome.Cached to avoid aggregating it
 	// twice.
 	CollectMetrics bool
+
+	// Ledger, if set, receives one telemetry record per finished RunAll
+	// cell. Sequence numbers are reserved in input order before dispatch,
+	// so a parallel ledger re-sorted by seq matches a serial one.
+	Ledger *telemetry.Ledger
+	// Meter, if set, is fed live progress (one tick per finished cell,
+	// across both RunAll and Do).
+	Meter *telemetry.Meter
 
 	// baselines memoizes decrypt-only baseline measurements keyed on
 	// (workload, config with the control point forced to baseline, windows),
@@ -132,6 +141,16 @@ func (r *Runner) RunAll(ctx context.Context, specs []Spec) ([]Outcome, error) {
 		n = 1
 	}
 
+	// Reserve the whole batch's sequence numbers up front so seq follows
+	// input order deterministically, independent of worker interleaving.
+	var seqBase uint64
+	if r.Ledger != nil {
+		seqBase = r.Ledger.ReserveSeq(len(specs))
+	}
+	if r.Meter != nil {
+		r.Meter.AddTotal(len(specs))
+	}
+
 	var (
 		mu          sync.Mutex
 		done        int
@@ -142,11 +161,18 @@ func (r *Runner) RunAll(ctx context.Context, specs []Spec) ([]Outcome, error) {
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
+		worker := i
 		go func() {
 			defer wg.Done()
 			for idx := range idxCh {
 				o := r.runOne(ctx, specs[idx])
 				o.Index = idx
+				if r.Ledger != nil {
+					r.Ledger.Emit(benchRecord(seqBase+uint64(idx), worker, o))
+				}
+				if r.Meter != nil {
+					r.Meter.Tick(1)
+				}
 				mu.Lock()
 				out[idx] = o
 				done++
@@ -189,6 +215,25 @@ feed:
 		return out, firstErr
 	}
 	return out, ctx.Err()
+}
+
+// benchRecord flattens one RunAll outcome into a ledger record.
+func benchRecord(seq uint64, worker int, o Outcome) telemetry.Record {
+	rec := telemetry.Record{
+		Seq:       seq,
+		Kind:      "bench",
+		Workload:  o.Spec.Workload.Name,
+		Policy:    o.Spec.Config.ControlPoint().String(),
+		SimCycles: o.Measurement.Cycles,
+		Insts:     o.Measurement.Insts,
+		HostNs:    o.Wall.Nanoseconds(),
+		Worker:    worker,
+		Cached:    o.Cached,
+	}
+	if o.Err != nil {
+		rec.Err = o.Err.Error()
+	}
+	return rec
 }
 
 // runOne executes one cell, routing decrypt-only baseline cells through the

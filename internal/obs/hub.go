@@ -19,6 +19,9 @@ const (
 	MetricAuthLatency   = "auth.latency"         // enqueue→complete, cycles
 	MetricAuthGap       = "auth.gap"             // decrypt-ready→auth-done, cycles
 	MetricAuthOccupancy = "auth.queue_occupancy" // queue depth at each enqueue
+	MetricSkipLen       = "fastforward.skip_len" // cycles per fast-forward jump
+	MetricSkips         = "fastforward.skips"    // fast-forward jumps taken
+	MetricSkippedCycles = "fastforward.skipped_cycles"
 )
 
 // Hub is the standard Sink: it fans events into an optional ring Tracer and
@@ -33,11 +36,15 @@ type Hub struct {
 	authLat *Histogram
 	authGap *Histogram
 	authOcc *Histogram
+	skipLen *Histogram
 
 	// outstanding holds the completion cycles of enqueued-but-unfinished
 	// auth requests. The queue completes strictly in order, so a FIFO
-	// suffices.
+	// suffices; outHead indexes the logical front so draining never
+	// reslices (the backing array is compacted in place and reused — the
+	// steady-state hot loop must not allocate even with a hub attached).
 	outstanding []uint64
+	outHead     int
 
 	stallBegin  [NumStallReasons]uint64
 	stallOpen   [NumStallReasons]bool
@@ -47,6 +54,9 @@ type Hub struct {
 	kindCounters [numKinds]*Counter
 	cacheHits    [numTracks]*Counter
 	cacheMisses  [numTracks]*Counter
+
+	skippedCycles *Counter
+	skipBound     [NumSkipBounds]*Counter
 
 	lastCycle uint64
 }
@@ -74,6 +84,12 @@ func NewHub(tracer *Tracer, metrics bool) *Hub {
 		h.kindCounters[EvWriteBack] = h.reg.Counter("sec.writebacks")
 		h.kindCounters[EvBusTxn] = h.reg.Counter("bus.txns")
 		h.kindCounters[EvCryptOp] = h.reg.Counter("crypto.ops")
+		h.kindCounters[EvSkip] = h.reg.Counter(MetricSkips)
+		h.skippedCycles = h.reg.Counter(MetricSkippedCycles)
+		h.skipLen = h.reg.Histogram(MetricSkipLen, CycleBuckets)
+		for b := SkipBound(0); b < NumSkipBounds; b++ {
+			h.skipBound[b] = h.reg.Counter("fastforward.bound." + b.String() + ".cycles")
+		}
 	}
 	return h
 }
@@ -102,12 +118,21 @@ func (h *Hub) Emit(e Event) {
 	switch e.Kind {
 	case EvAuthRequest:
 		// Occupancy at enqueue: drop the requests already done by now.
-		q := h.outstanding
-		for len(q) > 0 && q[0] <= e.Cycle {
-			q = q[1:]
+		for h.outHead < len(h.outstanding) && h.outstanding[h.outHead] <= e.Cycle {
+			h.outHead++
 		}
-		h.outstanding = append(q, e.B)
-		h.authOcc.Observe(uint64(len(h.outstanding)))
+		if h.outHead == len(h.outstanding) {
+			h.outstanding = h.outstanding[:0]
+			h.outHead = 0
+		} else if h.outHead > cap(h.outstanding)/2 {
+			// Compact in place so the backing array is reused instead of
+			// growing without bound as the head advances.
+			n := copy(h.outstanding, h.outstanding[h.outHead:])
+			h.outstanding = h.outstanding[:n]
+			h.outHead = 0
+		}
+		h.outstanding = append(h.outstanding, e.B)
+		h.authOcc.Observe(uint64(len(h.outstanding) - h.outHead))
 	case EvAuthComplete:
 		h.authLat.Observe(e.Cycle - e.A)
 		gap := uint64(0)
@@ -128,6 +153,12 @@ func (h *Hub) Emit(e Event) {
 		}
 	case EvFetchGateWait:
 		h.reg.Counter("sec.fetch_gate_wait_cycles").Add(e.A)
+	case EvSkip:
+		h.skippedCycles.Add(e.A)
+		h.skipLen.Observe(e.A)
+		if b := SkipBound(e.B); b < NumSkipBounds {
+			h.skipBound[b].Add(e.A)
+		}
 	case EvCacheHit, EvCacheMiss:
 		hits, misses := h.cacheHits[e.Track], h.cacheMisses[e.Track]
 		if hits == nil {

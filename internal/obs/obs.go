@@ -72,6 +72,12 @@ const (
 	// A = 0 encrypt / 1 decrypt, B = AES pad chunks.
 	EvCryptOp
 
+	// EvSkip: the fast path fast-forwarded the clock over a provably idle
+	// window. Cycle = jump start, A = cycles skipped, B = SkipBound (which
+	// component's NextEventAt bounded the jump). Emitted only on the fast
+	// path; the reference loop ticks through the same cycles one by one.
+	EvSkip
+
 	numKinds
 )
 
@@ -113,6 +119,8 @@ func (k Kind) String() string {
 		return "cache-miss"
 	case EvCryptOp:
 		return "crypt-op"
+	case EvSkip:
+		return "fast-forward"
 	}
 	return "?"
 }
@@ -159,6 +167,7 @@ const (
 	TrackCtrCache
 	TrackTreeCache
 	TrackCrypto
+	TrackFastForward // fast-path skip spans and the skipped-cycles counter
 	numTracks
 )
 
@@ -186,6 +195,8 @@ func (t Track) String() string {
 		return "tree-cache"
 	case TrackCrypto:
 		return "crypto"
+	case TrackFastForward:
+		return "fast-forward"
 	}
 	return "?"
 }

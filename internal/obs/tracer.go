@@ -164,6 +164,12 @@ func export(e Event) []traceEvent {
 		}
 		return []traceEvent{{Name: name, Ph: "i", Ts: e.Cycle, Tid: int(TrackCrypto),
 			Args: map[string]any{"line": hexAddr}}}
+	case EvSkip:
+		// One complete ("X") span per fast-forward jump, on its own lane, so
+		// the idle windows the fast path elides are visible in the timeline.
+		return []traceEvent{{Name: "fast-forward", Ph: "X", Ts: e.Cycle, Dur: e.A,
+			Tid:  int(TrackFastForward),
+			Args: map[string]any{"cycles": e.A, "bound": SkipBound(e.B).String()}}}
 	}
 	return nil
 }
@@ -184,8 +190,18 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		out = append(out, traceEvent{Name: "thread_name", Ph: "M", Tid: stallTidBase + int(r),
 			Args: map[string]any{"name": "stall:" + r.String()}})
 	}
+	// The skipped-cycles counter track accumulates across the retained
+	// events (export itself is stateless): each EvSkip adds a "C" sample of
+	// the running total, rendered as a staircase in the viewer.
+	var skipped uint64
 	for _, e := range t.Events() {
 		out = append(out, export(e)...)
+		if e.Kind == EvSkip {
+			skipped += e.A
+			out = append(out, traceEvent{Name: "skipped-cycles", Ph: "C", Ts: e.Cycle,
+				Pid: 0, Tid: int(TrackFastForward),
+				Args: map[string]any{"cycles": skipped}})
+		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
 	enc := json.NewEncoder(w)

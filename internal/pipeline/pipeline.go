@@ -257,12 +257,22 @@ type Core struct {
 	sink        obs.Sink
 	stallActive [obs.NumStallReasons]bool
 
+	// perf is the fast-path perf-counter block (nil = counting off; every
+	// increment site is guarded by a nil check, like sink emission).
+	perf *obs.Perf
+
 	stats Stats
 }
 
 // SetObserver attaches an event sink. A nil sink (the default) keeps every
 // emission site on the untaken-branch fast path.
 func (c *Core) SetObserver(s obs.Sink) { c.sink = s }
+
+// SetPerf attaches a fast-path perf-counter block. nil (the default) keeps
+// every counting site on the untaken-branch fast path. Counting never
+// perturbs simulated timing: the counters observe the fast-path machinery,
+// they are not part of it.
+func (c *Core) SetPerf(p *obs.Perf) { c.perf = p }
 
 // stallBegin opens a stall interval for reason r (idempotent while open).
 func (c *Core) stallBegin(r obs.StallReason) {
@@ -504,6 +514,10 @@ func (c *Core) SkipTo(t uint64) (sbFullCycles uint64) {
 	}
 	delta := t - c.now
 	c.stats.Cycles += delta
+	if c.perf != nil {
+		c.perf.SkipCalls++
+		c.perf.SkipCycles += delta
+	}
 	if c.count > 0 {
 		if e := &c.ruu[c.head]; e.state == stDone {
 			if c.cfg.GateCommit && max(e.instAuthDone, e.dataAuthDone) > c.now {

@@ -101,6 +101,14 @@ func (c *Core) writeback() {
 	if c.inflight == 0 || c.now < c.earliestDone {
 		return
 	}
+	if c.perf != nil {
+		c.perf.WritebackScans++
+		if c.earliestDone == 0 {
+			// 0 = "unknown, recompute": the first scan, or the scan after a
+			// squash invalidated the watermark.
+			c.perf.WatermarkRescans++
+		}
+	}
 	next := ^uint64(0)
 	// Complete in age order so the oldest mispredicted branch wins. The
 	// issued bitmap visits exactly the in-flight entries: done entries parked
@@ -157,13 +165,21 @@ func (c *Core) writeback() {
 // producer is live), so resolving through a stale record is still correct;
 // a duplicate record then finds srcTag already -1 and is a no-op.
 func (c *Core) broadcast(idx int, e *entry) {
+	var woken uint64
 	for _, packed := range e.consumers {
 		w := &c.ruu[packed>>1]
 		s := packed & 1
 		if w.valid && w.srcTag[s] == idx {
 			w.srcTag[s] = -1
 			w.srcVal[s] = e.result
+			woken++
 		}
+	}
+	if c.perf != nil {
+		c.perf.Broadcasts++
+		c.perf.ConsumerVisits += uint64(len(e.consumers))
+		c.perf.Wakes += woken
+		c.perf.StaleWakes += uint64(len(e.consumers)) - woken
 	}
 	e.consumers = e.consumers[:0]
 }
@@ -293,9 +309,11 @@ func (c *Core) issueLoad(idx int, e *entry) bool {
 	var forward *entry
 	blocked := false
 	if c.storeCount > 0 {
+		var visits uint64
 		// The store bitmap visits stores oldest to youngest; stores younger
 		// than the load (larger sequence number) end the scan.
 		c.maskOrder(c.storeMask, func(p int, older *entry) bool {
+			visits++
 			if older.seq > e.seq {
 				return false
 			}
@@ -315,6 +333,12 @@ func (c *Core) issueLoad(idx int, e *entry) bool {
 			}
 			return true
 		})
+		if c.perf != nil {
+			c.perf.DisambScans++
+			c.perf.DisambVisits += visits
+		}
+	} else if c.perf != nil {
+		c.perf.DisambShortCircuits++
 	}
 	if blocked {
 		return false
@@ -631,8 +655,18 @@ func (c *Core) fetch() {
 		}
 		if cached, ok := c.uops.Lookup(c.pc, f.Word); ok {
 			fi.uop = *cached
+			if c.perf != nil {
+				c.perf.UopHits++
+			}
 		} else {
 			fi.uop = DecodeUop(f.Word)
+			if c.perf != nil {
+				if c.uops != nil {
+					c.perf.UopMisses++
+				} else {
+					c.perf.UopNoCache++
+				}
+			}
 		}
 		inst := fi.uop.Inst
 		npc := c.pc + isa.InstBytes

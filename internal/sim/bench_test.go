@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"authpoint/internal/asm"
+	"authpoint/internal/obs"
 	"authpoint/internal/policy"
 	"authpoint/internal/sim"
 	"authpoint/internal/workload"
@@ -67,8 +68,21 @@ func BenchmarkRunBaselineFast(b *testing.B) { benchRun(b, policy.Baseline, false
 // run must not allocate per cycle or per instruction. The small budget
 // tolerates stray lazy growth in the secure-memory metadata maps; per-cycle
 // allocation would show up as hundreds of thousands.
-func TestRunSteadyStateAllocs(t *testing.T) {
+func TestRunSteadyStateAllocs(t *testing.T) { steadyStateAllocs(t, false) }
+
+// TestRunSteadyStateAllocsObserved is the same pin with the observability
+// surface attached — metrics hub on every component plus the fast-path perf
+// counters. Counting is plain field increments and the hub's outstanding-auth
+// FIFO reuses its backing array, so observing a warm machine must stay
+// allocation-free too.
+func TestRunSteadyStateAllocsObserved(t *testing.T) { steadyStateAllocs(t, true) }
+
+func steadyStateAllocs(t *testing.T, observed bool) {
 	m := benchMachine(t, policy.ThenCommit, 50_000, false)
+	if observed {
+		m.SetObserver(obs.NewHub(nil, true))
+		m.EnablePerf()
+	}
 	if _, err := m.Run(); err != nil {
 		t.Fatal(err)
 	}

@@ -263,6 +263,12 @@ type Machine struct {
 	// slowPath forces the reference cycle-by-cycle interpretation (no
 	// idle-cycle fast-forward, no µop cache). See DisableFastPath.
 	slowPath bool
+
+	// sink is the observer attached via SetObserver, retained so Run can
+	// emit machine-level events (EvSkip fast-forward spans).
+	sink obs.Sink
+	// perf is the fast-path perf-counter block (nil = counting off).
+	perf *obs.Perf
 }
 
 // Keys used for every machine (the secrecy of the experiment does not
@@ -400,11 +406,27 @@ func (m *Machine) DisableFastPath() {
 // machine. Call after NewMachine (program-load crypto is untimed and
 // unobserved) and before Run. A nil sink detaches nothing — attach once.
 func (m *Machine) SetObserver(s obs.Sink) {
+	m.sink = s
 	m.Core.SetObserver(s)
 	m.MS.SetObserver(s, m.Core.Now)
 	m.Ctrl.SetObserver(s)
 	m.Bus.SetObserver(s)
 }
+
+// EnablePerf attaches (and returns) the machine's fast-path perf-counter
+// block. Counting observes the fast-path machinery without perturbing
+// simulated timing; nothing is counted until this is called. Idempotent —
+// repeated calls return the same block.
+func (m *Machine) EnablePerf() *obs.Perf {
+	if m.perf == nil {
+		m.perf = &obs.Perf{}
+		m.Core.SetPerf(m.perf)
+	}
+	return m.perf
+}
+
+// Perf returns the perf-counter block, nil unless EnablePerf was called.
+func (m *Machine) Perf() *obs.Perf { return m.perf }
 
 // Run executes until HALT, MaxInsts, a security exception, an architectural
 // fault, or the watchdog fires.
@@ -460,24 +482,34 @@ func (m *Machine) Run() (Result, error) {
 		// components, bounded so the watchdog Step and a pending security
 		// fault still land on their exact slow-path cycles, and advance the
 		// clock in one jump.
+		// The strict < folds mean first-wins on ties, so the bound
+		// attribution below is deterministic across runs.
 		now := m.Core.Now()
 		next := m.Core.NextEventAt()
+		bound := obs.BoundCore
 		if t := m.MS.NextEventAt(now); t < next {
-			next = t
+			next, bound = t, obs.BoundMemsys
 		}
 		if t := m.Bus.NextEventAt(now); t < next {
-			next = t
+			next, bound = t, obs.BoundBus
 		}
 		if t := m.DRAM.NextEventAt(now); t < next {
-			next = t
+			next, bound = t, obs.BoundDram
 		}
 		if t := m.Ctrl.NextEventAt(now); t < next {
-			next = t
+			next, bound = t, obs.BoundSecmem
 		}
 		if wd := lastCommitCycle + m.Cfg.WatchdogCycles; wd < next {
-			next = wd
+			next, bound = wd, obs.BoundWatchdog
 		}
 		if next > now {
+			if m.perf != nil {
+				m.perf.SkipBoundCycles[bound] += next - now
+			}
+			if m.sink != nil {
+				m.sink.Emit(obs.Event{Cycle: now, Kind: obs.EvSkip,
+					Track: obs.TrackFastForward, A: next - now, B: uint64(bound)})
+			}
 			if n := m.Core.SkipTo(next); n > 0 {
 				m.MS.AddSkippedRejects(n)
 			}

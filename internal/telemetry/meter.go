@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Meter prints live campaign progress (done/total, rate, ETA) to a writer —
+// stderr in the CLIs, so heartbeats never corrupt JSON on stdout. Safe for
+// concurrent use. Output is throttled to one line per interval; Finish
+// always prints a final summary line. A nil *Meter is a no-op, mirroring the
+// nil-Sink discipline in internal/obs.
+type Meter struct {
+	mu       sync.Mutex
+	w        io.Writer
+	label    string
+	total    int
+	done     int
+	start    time.Time
+	last     time.Time
+	interval time.Duration
+}
+
+// NewMeter builds a meter writing to w. total may be 0 (unknown); AddTotal
+// can raise it as phases are discovered.
+func NewMeter(w io.Writer, label string, total int) *Meter {
+	now := time.Now()
+	return &Meter{w: w, label: label, total: total, start: now, interval: 2 * time.Second}
+}
+
+// AddTotal adds n units of expected work (multi-phase campaigns discover
+// their size incrementally).
+func (m *Meter) AddTotal(n int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.total += n
+	m.mu.Unlock()
+}
+
+// Tick records n completed units and prints a heartbeat if the throttle
+// interval has elapsed.
+func (m *Meter) Tick(n int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.done += n
+	now := time.Now()
+	if now.Sub(m.last) < m.interval {
+		return
+	}
+	m.last = now
+	m.line(now, false)
+}
+
+// Finish prints the final summary line.
+func (m *Meter) Finish() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.line(time.Now(), true)
+}
+
+// line prints one progress line; callers hold mu.
+func (m *Meter) line(now time.Time, final bool) {
+	elapsed := now.Sub(m.start)
+	rate := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		rate = float64(m.done) / s
+	}
+	switch {
+	case final:
+		fmt.Fprintf(m.w, "%s: %d done in %s (%.1f/s)\n",
+			m.label, m.done, elapsed.Round(time.Millisecond), rate)
+	case m.total > 0 && rate > 0:
+		remaining := float64(m.total-m.done) / rate
+		fmt.Fprintf(m.w, "%s: %d/%d (%.1f/s, eta %s)\n",
+			m.label, m.done, m.total, rate,
+			(time.Duration(remaining * float64(time.Second))).Round(time.Second))
+	default:
+		fmt.Fprintf(m.w, "%s: %d done (%.1f/s)\n", m.label, m.done, rate)
+	}
+}
