@@ -52,7 +52,7 @@ func main() {
 		polFlag   = flag.String("policies", "ci", "policy set: full (31-point lattice), lattice, ci (CI smoke set), or comma-separated names (e.g. baseline,authen-then-commit+fetch)")
 		mode      = flag.String("mode", "pair", "pair (seed i under policies[i mod n]) or cross (every seed under every policy)")
 		tamper    = flag.Bool("tamper", false, "also run every cell with a tampered line and check containment invariants")
-		tamperAt  = flag.String("tamper-site", "entry", "tamper site: entry (first instruction line) or data (first data-segment line)")
+		tamperAt  = flag.String("tamper-site", "entry", "tamper site: entry (first instruction line), data (first data-segment line), mac (stored line MAC), ctr (write counter), or tree (integrity-tree leaf)")
 		monotone  = flag.Bool("monotone", false, "per seed, check cycle monotonicity across the policy set (runs every policy per seed)")
 		minimize  = flag.Bool("minimize", true, "shrink divergent programs to minimal repros before recording")
 		outDir    = flag.String("out", "", "directory to write .repro files for findings (none if empty)")
@@ -92,8 +92,15 @@ func main() {
 	}
 
 	site := diffcheck.TamperSite(*tamperAt)
-	if site != diffcheck.SiteEntry && site != diffcheck.SiteData {
-		fatalf("tamper-site %q: want entry or data", *tamperAt)
+	valid := false
+	for _, s := range diffcheck.Sites() {
+		if site == s {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		fatalf("tamper-site %q: want one of %v", *tamperAt, diffcheck.Sites())
 	}
 
 	stopProf, err := prof.Start(*cpuprof)

@@ -73,6 +73,16 @@ type polStats struct {
 	hist         []int // len(hostBuckets)+1, last bucket = overflow
 }
 
+// siteStats aggregates tampering cells by tamper site: which verdicts each
+// site produced and what it cost to check.
+type siteStats struct {
+	site      string
+	cells     int
+	verdicts  map[string]int
+	simCycles uint64
+	hostNs    int64
+}
+
 func bucketOf(ns int64) int {
 	for i, b := range hostBuckets {
 		if time.Duration(ns) <= b {
@@ -158,6 +168,51 @@ func cmdSummary(args []string) {
 		}
 		fmt.Println()
 	}
+	// Per-tamper-site breakdown: tampering campaigns record the site on each
+	// cell, so verdicts and host cost can be attributed per site (entry,
+	// data, mac, ctr, tree).
+	sites := map[string]*siteStats{}
+	for _, r := range lf.Records {
+		if r.Site == "" {
+			continue
+		}
+		s := sites[r.Site]
+		if s == nil {
+			s = &siteStats{site: r.Site, verdicts: make(map[string]int)}
+			sites[r.Site] = s
+		}
+		s.cells++
+		if r.Verdict != "" {
+			s.verdicts[r.Verdict]++
+		}
+		if !r.Cached {
+			s.simCycles += r.SimCycles
+			s.hostNs += r.HostNs
+		}
+	}
+	if len(sites) > 0 {
+		siteKeys := make([]string, 0, len(sites))
+		for k := range sites {
+			siteKeys = append(siteKeys, k)
+		}
+		sort.Strings(siteKeys)
+		fmt.Printf("\n%-8s %6s %14s %10s  %s\n", "site", "cells", "sim-cycles", "host", "verdicts")
+		for _, k := range siteKeys {
+			s := sites[k]
+			vs := make([]string, 0, len(s.verdicts))
+			for v := range s.verdicts {
+				vs = append(vs, v)
+			}
+			sort.Strings(vs)
+			fmt.Printf("%-8s %6d %14d %10v ", s.site, s.cells, s.simCycles,
+				time.Duration(s.hostNs).Round(time.Millisecond))
+			for _, v := range vs {
+				fmt.Printf(" %s=%d", v, s.verdicts[v])
+			}
+			fmt.Println()
+		}
+	}
+
 	nsPerCycle := 0.0
 	if totalCycles > 0 {
 		nsPerCycle = float64(totalNs) / float64(totalCycles)

@@ -57,7 +57,7 @@ func fatalf(format string, args ...any) {
 func main() {
 	var (
 		seedsFlag = flag.String("seeds", "1:100", "inclusive seed range lo:hi")
-		polFlag   = flag.String("policies", "full", "policy set: full (31-point lattice), lattice, ci, or comma-separated names")
+		polFlag   = flag.String("policies", "full", "policy set: full (95-point lattice), lattice, ci, pac, or comma-separated names")
 		mode      = flag.String("mode", "pair", "pair (seed i under policies[i mod n]) or cross (every seed under every policy)")
 		kernels   = flag.Bool("kernels", true, "also check the attack-kernel catalog across the lattice")
 		minimize  = flag.Bool("minimize", true, "shrink unsound programs to minimal reproducers before recording")
@@ -276,15 +276,19 @@ func runKernels(verbose bool) bool {
 			switch {
 			case res.Verdict == contract.VerdictUnsound || res.Verdict == contract.VerdictError:
 				bad = true
-			case !kc.BusLeak && res.Verdict != contract.VerdictClean:
+			case !kc.BusLeak && kc.BusLeakUnder == nil && res.Verdict != contract.VerdictClean:
 				bad = true
-			case kc.BusLeak && !pt.Obfuscate && res.Verdict != contract.VerdictLicensed:
+			case kc.BusLeakUnder != nil && !kc.LeaksUnder(pt) && res.Verdict != contract.VerdictImprecise:
+				// Policy closes the bus channel but the contract still
+				// licenses it (taint flows through auth in every mode).
+				bad = true
+			case kc.LeaksUnder(pt) && !pt.Obfuscate && res.Verdict != contract.VerdictLicensed:
 				bad = true
 			default:
 				continue
 			}
 			fmt.Printf("authverify: KERNEL PIN VIOLATION %s under %v: %s (bus-leak=%v): %s\n",
-				kc.Name, pt, res.Verdict, kc.BusLeak, res.Diff)
+				kc.Name, pt, res.Verdict, kc.LeaksUnder(pt), res.Diff)
 		}
 	}
 	fmt.Printf("authverify: kernel catalog: %d kernels, %d checks in %v\n",
@@ -294,7 +298,7 @@ func runKernels(verbose bool) bool {
 
 // kernelPolicies bounds the lattice slice per kernel: the non-halting victim
 // kernels and the cache-washing state kernel run hundreds of thousands of
-// cycles per check, so they get a representative slice instead of all 31
+// cycles per check, so they get a representative slice instead of all 95
 // points.
 func kernelPolicies(kc contract.KernelCase) []policy.ControlPoint {
 	if kc.ObserveWatchdog || !kc.BusLeak {

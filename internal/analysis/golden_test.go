@@ -101,6 +101,12 @@ func TestAttackKernelsGolden(t *testing.T) {
 		"brute-force-page":     {addr: 1},
 		"memory-taint":         {}, // state channel: only visible with StateChecks
 		"passive-control-flow": {ctrl: 8},
+		// PAC kernels: without the secret annotation the loaded pointer is
+		// plain unverified taint, and auth is deliberately not a sanitizer —
+		// the dereference stays flagged through the (possibly forged) auth.
+		"pac-pointer-substitution": {addr: 1},
+		"pac-auth-use-race":        {addr: 1},
+		"pac-signing-gadget":       {addr: 1},
 	}
 	ks, err := attack.Kernels()
 	if err != nil {

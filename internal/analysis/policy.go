@@ -20,6 +20,13 @@ import (
 // address stream reveals, so they leave the contract unchanged; obfuscation
 // closes observation channels after the fact and is handled by
 // AnalyzeForPolicy.
+//
+// The pointer-authentication dimensions (pac/fpac) also leave the contract
+// unchanged: they constrain which *pointers* dereference successfully, not
+// what a successful dereference reveals. The taint transfer for sign/auth/
+// strip (see transfer's ClassPAC arm) deliberately propagates rather than
+// sanitizes, so a secret-derived pointer that survives authentication still
+// produces the addr-leak finding that licenses its bus traffic.
 func OptionsForPolicy(pt policy.ControlPoint, base Options) Options {
 	pt = pt.Normalize()
 	if pt.GateIssue {

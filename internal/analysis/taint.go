@@ -4,8 +4,13 @@ import (
 	"fmt"
 	"strings"
 
+	"authpoint/internal/cryptoengine/pacmac"
 	"authpoint/internal/isa"
 )
+
+// pacAddrMask mirrors the pointer-word layout of the keyed MAC unit: strip
+// clears everything above the address bits.
+const pacAddrMask = pacmac.AddrMask
 
 // Taint is a bitset of information-flow facts about a value.
 type Taint uint8
@@ -193,6 +198,27 @@ func (a *analyzer) transfer(s *state, idx int) {
 			s.fps[inst.Rd] = s.fps[inst.Rs1]
 		default:
 			s.fps[inst.Rd] = s.fps[inst.Rs1] | s.fps[inst.Rs2]
+		}
+	case isa.ClassPAC:
+		// Pointer authentication transforms the pointer's representation but
+		// not its provenance: the result inherits the pointer's taint (and the
+		// modifier's, for sign/auth — a secret modifier makes the tag secret-
+		// dependent). Auth is deliberately NOT a taint sanitizer: a correctly
+		// signed pointer to secret-derived data still leaks its address when
+		// dereferenced, so the conservative flow keeps the contract sound
+		// under every PAC mode.
+		if inst.Op == isa.OpSTRIP {
+			rs1 := s.reg(inst.Rs1)
+			out := val{t: rs1.t}
+			if rs1.known {
+				out.known, out.c = true, rs1.c&pacAddrMask
+			}
+			s.setReg(inst.Rd, out)
+		} else {
+			// Sign inserts a MAC (value unknowable to the analysis); auth may
+			// strip, poison, or fault depending on the machine's mode, so the
+			// result value is unknown either way.
+			s.setReg(inst.Rd, val{t: s.reg(inst.Rs1).t | s.reg(inst.Rs2).t})
 		}
 	}
 	// Branch/Out/Halt/Nop write no register.

@@ -887,6 +887,31 @@ func (a *assembler) emitOp(op isa.Op, ops []string) error {
 			return a.errf("port: %v", err)
 		}
 		return a.emit(isa.Inst{Op: isa.OpOUT, Rs2: rs2, Imm: int32(v)})
+	case isa.ClassPAC:
+		nops := 3 // sign/auth: rd, pointer, modifier
+		if op == isa.OpSTRIP {
+			nops = 2
+		}
+		if len(ops) != nops {
+			return a.errf("%v takes %d operands", op, nops)
+		}
+		rd, err := parseReg(ops[0], false)
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		rs1, err := parseReg(ops[1], false)
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		inst := isa.Inst{Op: op, Rd: rd, Rs1: rs1}
+		if nops == 3 {
+			rs2, err := parseReg(ops[2], false)
+			if err != nil {
+				return a.errf("%v", err)
+			}
+			inst.Rs2 = rs2
+		}
+		return a.emit(inst)
 	}
 	return a.errf("unhandled op %v", op)
 }

@@ -277,5 +277,11 @@ func Kernels() ([]Kernel, error) {
 		return nil, err
 	}
 
+	pac, err := pacKernels()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, pac...)
+
 	return out, nil
 }

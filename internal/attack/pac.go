@@ -1,0 +1,139 @@
+package attack
+
+import (
+	"fmt"
+
+	"authpoint/internal/asm"
+	"authpoint/internal/cryptoengine/pacmac"
+)
+
+// PAC attack kernels: the three ways an adversary engages the pointer-
+// authentication dimension. Like the memory-integrity kernels, each is the
+// *effective* program after the adversary's manipulation lands; the secret-
+// carrying pointer word sits under the symbol "sptr" so the two-run
+// contract checker varies it directly.
+//
+//   - pac-pointer-substitution: the victim's signed pointer is replaced with
+//     one signed under a different context (modifier). Without PAC the auth
+//     strips through and the secret-derived dereference reaches the bus;
+//     under either failure mode the mismatched tag is caught before the bus.
+//   - pac-auth-use-race: the same substitution, but older long-latency ops
+//     delay the failing auth's commit, so its (stripped) result is broadcast
+//     to a dependent load that can reach the bus speculatively. FPAC-style
+//     fault-at-auth loses this race; poisoning wins it, because the poisoned
+//     address is rejected before any bus traffic.
+//   - pac-signing-gadget: the adversary routes an arbitrary pointer through
+//     the victim's own sign instruction, so the later auth succeeds. PAC is
+//     defeated under every mode — the leak is licensed everywhere.
+
+// pacVictimModifier is the context modifier the victim authenticates with.
+const pacVictimModifier = 13
+
+// pacForeignModifier is the other signing context the substituted pointer
+// was legitimately signed under.
+const pacForeignModifier = 99
+
+// pacAttackTarget is the secret-derived address the adversary wants on the
+// bus; like pointerConversionSecret it lands in the probe window.
+const pacAttackTarget = ProbeBase + 0x4440
+
+const pacSubstitutionSrc = `
+	_start:
+		la    r1, sptr
+		ld    r2, 0(r1)      ; substituted pointer (signed for a foreign context)
+		li    r3, 13
+		autha r4, r2, r3     ; victim authenticates before use
+		ld    r5, 0(r4)      ; dereference
+		halt
+	.data
+	sptr:   .word 0          ; filled at build with the cross-context pointer
+	`
+
+// pacRaceSrc widens the window between the failing auth's writeback and its
+// commit: a chain of four dependent fdivs older than the auth holds the ROB
+// head for ~4x FPDivLat cycles, while the auth executes in PACLat cycles and
+// broadcasts its stripped result to the dependent load. The load's line fill
+// reaches the bus well before the fault can retire.
+const pacRaceSrc = `
+	_start:
+		la     r1, sptr
+		ld     r2, 0(r1)     ; substituted pointer (signed for a foreign context)
+		li     r3, 13
+		fcvtif f1, r2        ; chain anchored to the loaded value so the
+		fdiv   f2, f1, f1    ; divides cannot retire during the load's miss:
+		fdiv   f2, f2, f1    ; ~4x FPDivLat of older work at the ROB head
+		fdiv   f2, f2, f1
+		fdiv   f2, f2, f1
+		autha  r4, r2, r3    ; fails; result still broadcast out-of-order
+		ld     r5, 0(r4)     ; issues speculatively under the pending fault
+		halt
+	.data
+	sptr:   .word 0          ; filled at build with the cross-context pointer
+	`
+
+const pacSigningGadgetSrc = `
+	_start:
+		la    r1, sptr
+		ld    r2, 0(r1)      ; attacker-chosen raw pointer
+		li    r3, 13
+		signa r4, r2, r3     ; the victim's signing gadget, reused
+		autha r5, r4, r3     ; passes: the gadget signed the forged pointer
+		ld    r6, 0(r5)
+		halt
+	.data
+	sptr:   .word 0          ; filled at build with the raw forged pointer
+	`
+
+// PACKernelSources exposes the PAC kernel sources by kernel name, for corpus
+// recordings that pin the kernels by exact source text (the sptr word is the
+// secret range the contract checker varies, so the build-time patch is
+// irrelevant to a recording).
+func PACKernelSources() map[string]string {
+	return map[string]string{
+		"pac-pointer-substitution": pacSubstitutionSrc,
+		"pac-auth-use-race":        pacRaceSrc,
+		"pac-signing-gadget":       pacSigningGadgetSrc,
+	}
+}
+
+// buildPACKernel assembles one PAC kernel source and patches sptr with the
+// adversary's pointer word.
+func buildPACKernel(src string, word uint64) (*asm.Program, error) {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	addr, ok := p.Symbols["sptr"]
+	if !ok {
+		return nil, fmt.Errorf("attack: pac kernel has no sptr symbol")
+	}
+	return p, patchDataWord(p, addr, word)
+}
+
+// pacKernels returns the three PAC exploit kernels. The substitution and
+// race kernels carry a pointer legitimately signed under a foreign modifier
+// (the canonical cross-context substitution), so its tag never matches the
+// victim's context; the gadget kernel carries a raw pointer that the
+// victim's own sign instruction legitimizes.
+func pacKernels() ([]Kernel, error) {
+	suite := pacmac.DefaultSuite()
+	foreign := suite.Sign(pacAttackTarget, pacForeignModifier, false)
+
+	var out []Kernel
+	for _, k := range []struct {
+		name string
+		src  string
+		word uint64
+	}{
+		{"pac-pointer-substitution", pacSubstitutionSrc, foreign},
+		{"pac-auth-use-race", pacRaceSrc, foreign},
+		{"pac-signing-gadget", pacSigningGadgetSrc, pacAttackTarget},
+	} {
+		p, err := buildPACKernel(k.src, k.word)
+		if err != nil {
+			return nil, fmt.Errorf("attack: kernel %s: %w", k.name, err)
+		}
+		out = append(out, Kernel{Name: k.name, Prog: p, Channel: "addr", NeedsProbe: true})
+	}
+	return out, nil
+}

@@ -7,6 +7,7 @@ import (
 	"authpoint/internal/analysis"
 	"authpoint/internal/asm"
 	"authpoint/internal/attack"
+	"authpoint/internal/policy"
 	"authpoint/internal/sim"
 )
 
@@ -34,10 +35,27 @@ type KernelCase struct {
 	// leak through channels the bus adversary cannot see — their two-run
 	// verdicts must be clean/imprecise, never licensed-by-observation.
 	BusLeak bool
+	// BusLeakUnder, when non-nil, refines BusLeak per policy point: the PAC
+	// kernels leak on the bus under some auth-failure modes and are contained
+	// under others. BusLeak stays the Baseline ground truth. When the
+	// effective leak is closed by policy the static contract still licenses
+	// the channel (taint flows through auth regardless of mode), so the
+	// expected verdict is imprecise, never clean.
+	BusLeakUnder func(policy.ControlPoint) bool
 	// ObserveWatchdog marks kernels built on the non-halting victim: the
 	// adversary view is the bus activity inside a bounded watchdog window,
 	// matching how the attack experiments observe them.
 	ObserveWatchdog bool
+}
+
+// LeaksUnder reports whether varying the kernel's secret is bus-observable
+// under the given policy point: the per-policy refinement when the kernel has
+// one, the constant ground truth otherwise.
+func (kc KernelCase) LeaksUnder(pt policy.ControlPoint) bool {
+	if kc.BusLeakUnder != nil {
+		return kc.BusLeakUnder(pt)
+	}
+	return kc.BusLeak
 }
 
 // observeCycles is the bounded observation window for non-halting victim
@@ -57,10 +75,11 @@ func Catalog() ([]KernelCase, error) {
 	// secret flips a bit the guess discriminates, the disclosing kernel
 	// flips low bits so a different 64-line window is probed.
 	recipes := map[string]struct {
-		mask     uint64
-		symbols  []string
-		busLeak  bool
-		watchdog bool
+		mask      uint64
+		symbols   []string
+		busLeak   bool
+		watchdog  bool
+		leakUnder func(policy.ControlPoint) bool
 	}{
 		"pointer-conversion":   {mask: 0x1000, busLeak: true},
 		"binary-search":        {mask: 0x10000, busLeak: true},
@@ -69,6 +88,44 @@ func Catalog() ([]KernelCase, error) {
 		"brute-force-page":     {mask: 0x1000, symbols: []string{"ptr"}, busLeak: true},
 		"memory-taint":         {mask: 0xFF, symbols: []string{"input"}, busLeak: false},
 		"passive-control-flow": {mask: 0xFF, busLeak: true},
+		// The PAC kernels' bus visibility depends on the pac/fpac dimension
+		// and — for fault-at-auth — on where the memory-authentication gate
+		// sits, because the gate decides how long the failing auth is held
+		// before its fault retires. The closures record the machine's
+		// deterministic behavior, pinned across the full lattice by
+		// TestKernelLeaksLicensed (obfuscation is factored out separately,
+		// as for the constant-BusLeak kernels).
+		//
+		// Substitution: poisoning always contains it (the poisoned address is
+		// rejected before the bus). Fault-at-auth contains it too — unless the
+		// commit gate holds the pointer's own line-MAC verify at retirement,
+		// stalling the fault long enough for the dependent load to reach the
+		// bus; the issue gate closes that window again by blocking the
+		// dependent chain until the line is verified.
+		"pac-pointer-substitution": {mask: 0x1000, symbols: []string{"sptr"}, busLeak: true,
+			leakUnder: func(pt policy.ControlPoint) bool {
+				k := pt.Knobs()
+				return !k.PAC || (k.PACFault && k.GateCommit && !k.GateIssue)
+			}},
+		// Race: the kernel carries its own commit-blockers (a divide chain
+		// anchored to the loaded pointer), so fault-at-auth loses the race at
+		// nearly every gate position; only the fetch gate alone re-times the
+		// dependent chain enough that the fault retires first. Poisoning wins
+		// unconditionally.
+		"pac-auth-use-race": {mask: 0x1000, symbols: []string{"sptr"}, busLeak: true,
+			leakUnder: func(pt policy.ControlPoint) bool {
+				k := pt.Knobs()
+				if !k.PAC {
+					return true
+				}
+				if !k.PACFault {
+					return false
+				}
+				return !k.GateFetch || k.GateIssue || k.GateCommit
+			}},
+		// Gadget: re-signing through the victim's own sign instruction
+		// defeats every auth-failure mode; the constant BusLeak applies.
+		"pac-signing-gadget": {mask: 0x1000, symbols: []string{"sptr"}, busLeak: true},
 	}
 	var out []KernelCase
 	for _, k := range kernels {
@@ -83,6 +140,7 @@ func Catalog() ([]KernelCase, error) {
 			Analysis:        analysis.Options{SecretSymbols: r.symbols},
 			Mask:            r.mask,
 			BusLeak:         r.busLeak,
+			BusLeakUnder:    r.leakUnder,
 			ObserveWatchdog: r.watchdog,
 		}
 		if k.NeedsProbe {

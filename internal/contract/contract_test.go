@@ -14,7 +14,7 @@ import (
 // TestSubsumesImpliesContainment pins the lattice theorem: for every pair of
 // control points with p.Subsumes(q), the contract under p is contained in
 // the contract under q — strengthening the policy never licenses new
-// observables. Checked across the full 31-point lattice on generated
+// observables. Checked across the full 95-point lattice on generated
 // programs and on every attack kernel.
 func TestSubsumesImpliesContainment(t *testing.T) {
 	full := policy.FullLattice()
@@ -123,6 +123,12 @@ func TestGoldenKernelContracts(t *testing.T) {
 		"brute-force-page":     "addr-leak=1",
 		"memory-taint":         "empty",
 		"passive-control-flow": "ctrl-leak=8",
+		// The PAC kernels: taint flows through auth regardless of mode, so
+		// the forged-pointer dereference is an address leak under every
+		// policy — only the dynamic observability varies (BusLeakUnder).
+		"pac-pointer-substitution": "addr-leak=1",
+		"pac-auth-use-race":        "addr-leak=1",
+		"pac-signing-gadget":       "addr-leak=1",
 	}
 	cases, err := Catalog()
 	if err != nil {

@@ -7,8 +7,11 @@ import (
 	"fmt"
 	"os"
 
+	"authpoint/internal/analysis"
+	"authpoint/internal/attack"
 	"authpoint/internal/diffcheck"
 	"authpoint/internal/policy"
+	"authpoint/internal/sim"
 )
 
 // LeakSchema identifies the recorded two-run finding format.
@@ -41,6 +44,13 @@ type Leak struct {
 	// SecretA and SecretB are the hex-encoded data images the two runs used.
 	SecretA string `json:"secret_a"`
 	SecretB string `json:"secret_b"`
+
+	// Probe marks recordings that need the adversary's probe window mapped
+	// (the attack-kernel corpus entries); SecretSymbols carries the explicit
+	// secret symbols their analysis uses. Both are empty for generated
+	// programs, so pre-existing recordings encode unchanged.
+	Probe         bool     `json:"probe,omitempty"`
+	SecretSymbols []string `json:"secret_symbols,omitempty"`
 
 	Source string `json:"source"`
 }
@@ -132,8 +142,17 @@ func (l *Leak) Replay() (Result, error) {
 	if err1 != nil || err2 != nil {
 		return Result{}, fmt.Errorf("contract: leak secret images do not decode")
 	}
-	res := CheckProgram(l.Source, Options{Policy: pol, Seed: l.Seed, SecretA: a, SecretB: b})
+	opt := Options{
+		Policy: pol, Seed: l.Seed, SecretA: a, SecretB: b,
+		Analysis: analysis.Options{SecretSymbols: l.SecretSymbols},
+	}
+	if l.Probe {
+		opt.Regions = []sim.Region{{Start: attack.ProbeBase, Size: attack.ProbeSize}}
+	}
+	res := CheckProgram(l.Source, opt)
 	fresh := NewLeak(res, l.Source, l.Note)
+	fresh.Probe = l.Probe
+	fresh.SecretSymbols = l.SecretSymbols
 	if !bytes.Equal(fresh.Encode(), l.Encode()) {
 		return res, fmt.Errorf("contract: replay diverged from recording: %s", leakDiff(l, fresh))
 	}

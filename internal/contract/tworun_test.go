@@ -10,7 +10,7 @@ import (
 )
 
 // kernelPolicies picks the policy set a kernel is swept over: the full
-// 31-point lattice for fast kernels, a representative slice for the ones
+// 95-point lattice for fast kernels, a representative slice for the ones
 // that run hundreds of thousands of cycles per check.
 func kernelPolicies(kc KernelCase) []policy.ControlPoint {
 	if kc.ObserveWatchdog || kc.Name == "memory-taint" {
@@ -28,7 +28,11 @@ func kernelPolicies(kc KernelCase) []policy.ControlPoint {
 // obfuscating policies the verdict must never be unsound (timing stays
 // licensed), and the address channel must be gone from both the contract and
 // the observation. Kernels whose leak channel the bus adversary cannot see
-// (I/O ports, state contamination) must come back clean everywhere.
+// (I/O ports, state contamination) must come back clean everywhere. Kernels
+// whose bus leak is policy-dependent (the PAC kernels) must be exactly
+// imprecise where the policy closes the channel: the static contract still
+// licenses the address channel (taint flows through auth in every mode), but
+// the machine shows no difference.
 func TestKernelLeaksLicensed(t *testing.T) {
 	cases, err := Catalog()
 	if err != nil {
@@ -46,10 +50,15 @@ func TestKernelLeaksLicensed(t *testing.T) {
 				continue
 			}
 			switch {
-			case !kc.BusLeak:
+			case !kc.BusLeak && kc.BusLeakUnder == nil:
 				if res.Verdict != VerdictClean {
 					t.Errorf("%s under %v: verdict %s, want clean (leak channel %q is not bus-visible)",
 						kc.Name, pt, res.Verdict, kc.Channel)
+				}
+			case !kc.LeaksUnder(pt):
+				if res.Verdict != VerdictImprecise {
+					t.Errorf("%s under %v: verdict %s, want imprecise (policy closes the bus channel, contract still licenses it)",
+						kc.Name, pt, res.Verdict)
 				}
 			case !pt.Obfuscate:
 				if res.Verdict != VerdictLicensed {
@@ -138,11 +147,11 @@ func TestCheckErrors(t *testing.T) {
 }
 
 func TestLeakRoundTrip(t *testing.T) {
-	// Seed 3 is a licensed leak under baseline (secret-dependent scratch
+	// Seed 9 is a licensed leak under baseline (secret-dependent scratch
 	// address) — a stable recording target.
-	res, src := CheckSeed(3, Options{Policy: policy.Baseline})
+	res, src := CheckSeed(9, Options{Policy: policy.Baseline})
 	if res.Verdict != VerdictLicensed {
-		t.Fatalf("seed 3 under baseline: verdict %s, want licensed", res.Verdict)
+		t.Fatalf("seed 9 under baseline: verdict %s, want licensed", res.Verdict)
 	}
 	l := NewLeak(res, src, "round-trip test")
 	dec, err := DecodeLeak(l.Encode())
@@ -153,7 +162,7 @@ func TestLeakRoundTrip(t *testing.T) {
 		t.Fatalf("replay: %v", err)
 	}
 
-	path := filepath.Join(t.TempDir(), "seed3.leak")
+	path := filepath.Join(t.TempDir(), "seed9.leak")
 	if err := l.WriteFile(path); err != nil {
 		t.Fatal(err)
 	}

@@ -56,6 +56,7 @@ type corpusEntry struct {
 	src    string
 	pol    policy.ControlPoint
 	tamper bool
+	site   TamperSite // empty = entry
 }
 
 func (e corpusEntry) source() string {
@@ -119,6 +120,53 @@ var corpusEntries = []corpusEntry{
 		pol:    policy.ThenFetch,
 		tamper: true,
 	},
+	{
+		file: "pac-authfail-baseline.repro",
+		note: "forged pointer under the PAC-off baseline: auth strips through and the substituted dereference succeeds — the vulnerability the pac dimension closes",
+		src:  pacFailSrc,
+	},
+	{
+		file: "pac-authfail-poison.repro",
+		note: "forged pointer under authen-then-pac: the poisoned pointer faults at translation of the dependent load",
+		src:  pacFailSrc,
+		pol:  policy.ThenPAC,
+	},
+	{
+		file: "pac-authfail-fpac.repro",
+		note: "forged pointer under authen-then-fpac: the auth instruction itself faults at commit",
+		src:  pacFailSrc,
+		pol:  policy.ThenFPAC,
+	},
+	{
+		file: "seed9-pac-full.repro",
+		note: "generated program (with sign/auth/strip idioms) under commit+fetch+fpac",
+		seed: 9,
+		pol:  policy.Compose(policy.CommitPlusFetch, policy.ThenFPAC),
+	},
+	{
+		file:   "tamper-mac-then-issue.repro",
+		note:   "tampered stored MAC of the entry line under then-issue: contained with zero commits, data untouched",
+		seed:   3,
+		pol:    policy.ThenIssue,
+		tamper: true,
+		site:   SiteMac,
+	},
+	{
+		file:   "tamper-ctr-then-commit.repro",
+		note:   "rolled write counter of the entry line under then-commit: garbage decrypt, contained with zero commits",
+		seed:   3,
+		pol:    policy.ThenCommit,
+		tamper: true,
+		site:   SiteCtr,
+	},
+	{
+		file:   "tamper-tree-then-fetch.repro",
+		note:   "tampered tree leaf digest of the entry line under then-fetch: flagged while execution runs ahead",
+		seed:   3,
+		pol:    policy.ThenFetch,
+		tamper: true,
+		site:   SiteTree,
+	},
 }
 
 func TestCorpusUpToDate(t *testing.T) {
@@ -129,7 +177,7 @@ func TestCorpusUpToDate(t *testing.T) {
 	}
 	for _, e := range corpusEntries {
 		src := e.source()
-		res := Check(src, Options{Policy: e.pol, Tamper: e.tamper})
+		res := Check(src, Options{Policy: e.pol, Tamper: e.tamper, TamperSite: e.site})
 		if res.Verdict == VerdictDivergence || res.Verdict == VerdictError {
 			t.Fatalf("%s: %s: %s", e.file, res.Verdict, res.Divergence)
 		}

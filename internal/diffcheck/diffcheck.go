@@ -5,6 +5,8 @@ import (
 	"fmt"
 
 	"authpoint/internal/asm"
+	"authpoint/internal/cryptoengine/mactree"
+	"authpoint/internal/cryptoengine/pacmac"
 	"authpoint/internal/interp"
 	"authpoint/internal/isa"
 	"authpoint/internal/obs"
@@ -60,7 +62,28 @@ const (
 	// loads or stores through it; verification is still required to flag it
 	// the moment it is fetched.
 	SiteData TamperSite = "data"
+	// SiteMac: the stored flat MAC of the entry line, leaving data and
+	// counter intact. The plaintext decrypts correctly, so under the baseline
+	// the run is architecturally identical to the untampered one — the
+	// invariant asserts full oracle equivalence. Any authenticating policy
+	// must flag the line (entry is always fetched and verified).
+	SiteMac TamperSite = "mac"
+	// SiteCtr: the entry line's write counter rolled forward by one
+	// (counter-replay adversary). Decryption pads with the wrong counter so
+	// the fetched instructions are garbage, like SiteEntry; with the default
+	// MacCoversCounter the MAC message changes too, so verification fails.
+	SiteCtr TamperSite = "ctr"
+	// SiteTree: the entry line's leaf digest in the MAC tree (the check
+	// forces the tree integrity scheme on). Data and counter are intact, so
+	// the invariants mirror SiteMac; level-0 digests are never implicitly
+	// trusted, so a fetched entry line must always be flagged.
+	SiteTree TamperSite = "tree"
 )
+
+// Sites lists every tamper site, in .repro-schema order.
+func Sites() []TamperSite {
+	return []TamperSite{SiteEntry, SiteData, SiteMac, SiteCtr, SiteTree}
+}
 
 // Options configures one differential check.
 type Options struct {
@@ -179,8 +202,10 @@ func Check(src string, opt Options) Result {
 
 	// Oracle leg. Tamper runs still record the untampered reference digest:
 	// it is the state the machine would have to "commit" for a containment
-	// break to go unnoticed.
+	// break to go unnoticed. The oracle's pointer-authentication mode must
+	// match the timed machine's: auth-failure behaviour is architectural.
 	oracle := interp.New(p)
+	oracle.PACMode = pacModeFor(res.Policy)
 	oStop := oracle.Run(opt.MaxOracleInsts)
 	if oStop == interp.StopMaxInsts {
 		res.Verdict = VerdictError
@@ -200,6 +225,11 @@ func Check(src string, opt Options) Result {
 		if opt.TamperSite == SiteData {
 			cfg.TraceBus = true
 		}
+		// The tree site attacks the tree's node storage, so the tree
+		// integrity scheme must be on regardless of the base config.
+		if opt.TamperSite == SiteTree {
+			cfg.Sec.UseTree = true
+		}
 	}
 	if opt.Mutate != nil {
 		opt.Mutate(&cfg)
@@ -215,11 +245,37 @@ func Check(src string, opt Options) Result {
 		return res
 	}
 	if opt.Tamper {
+		entryLine := p.Entry &^ 63
 		switch opt.TamperSite {
 		case SiteData:
 			// One bit flipped in the encrypted first data line: tainted at
 			// rest, fetched only if the program touches it.
 			m.Memory.XorRange(p.DataBase, []byte{0x40})
+		case SiteMac:
+			// One bit flipped in the stored MAC of the entry line; the data
+			// and its counter stay intact.
+			macAddr, ok := m.Ctrl.MacAddrOf(entryLine)
+			if !ok {
+				res.Verdict = VerdictError
+				res.Divergence = "tamper site mac: entry line has no flat MAC (tree mode?)"
+				return res
+			}
+			m.Ctrl.Memory().XorRange(macAddr, []byte{0x40})
+		case SiteCtr:
+			// Counter replay: roll the entry line's write counter forward so
+			// decryption uses the wrong pad.
+			e := m.Ctrl.Encryptor()
+			e.SetCounter(entryLine, e.Counter(entryLine)+1)
+		case SiteTree:
+			// One bit flipped in the entry line's leaf digest node inside the
+			// MAC tree's (untrusted) node storage.
+			idx, ok := m.Ctrl.LeafIndex(entryLine)
+			if !ok {
+				res.Verdict = VerdictError
+				res.Divergence = "tamper site tree: entry line is not a protected leaf"
+				return res
+			}
+			m.Ctrl.Tree().TamperNode(mactree.NodeID{Level: 0, Index: idx}, []byte{0x40})
 		default:
 			// One bit flipped in the encrypted text line holding the entry
 			// point: the first instruction fetched is guaranteed tainted.
@@ -245,10 +301,14 @@ func Check(src string, opt Options) Result {
 	}
 
 	if opt.Tamper {
-		if opt.TamperSite == SiteData {
+		switch opt.TamperSite {
+		case SiteData:
 			return checkTamperData(res, m, simRes, p.DataBase&^63)
+		case SiteMac, SiteTree:
+			return checkTamperMeta(res, m, simRes, oracle, oStop, ranges)
+		default: // entry, ctr: the fetched instruction stream is garbage
+			return checkTamper(res, m, simRes)
 		}
-		return checkTamper(res, m, simRes)
 	}
 	if runErr != nil && simRes.Reason == sim.StopModelError {
 		res.Verdict = VerdictError
@@ -261,6 +321,66 @@ func Check(src string, opt Options) Result {
 		return res
 	}
 	res.Verdict = VerdictOK
+	return res
+}
+
+// pacModeFor maps policy knobs to the architectural auth-failure mode, the
+// same mapping the simulator's applyPolicy uses.
+func pacModeFor(pt policy.ControlPoint) pacmac.Mode {
+	k := pt.Knobs()
+	switch {
+	case k.PACFault:
+		return pacmac.ModeFaultAuth
+	case k.PAC:
+		return pacmac.ModePoison
+	default:
+		return pacmac.ModeOff
+	}
+}
+
+// checkTamperMeta asserts the invariants of a run whose integrity metadata
+// (stored MAC or tree node) was tampered while the data and counter stayed
+// intact. The fetched plaintext is bit-identical to the untampered image, so
+// under the baseline the run must be architecturally equivalent to the
+// oracle; any authenticating policy must flag the entry line the moment it
+// verifies, and issue/commit gates must contain it with zero commits.
+func checkTamperMeta(res Result, m *sim.Machine, simRes sim.Result, oracle *interp.Machine, oStop interp.StopReason, ranges []interp.MemRange) Result {
+	k := res.Policy.Knobs()
+	if !k.Authenticate {
+		// Baseline: the metadata is never read, so the tamper must be
+		// completely invisible — full architectural equivalence.
+		if d := compare(oracle, oStop, m, simRes, ranges); d != "" {
+			res.Verdict = VerdictDivergence
+			res.Divergence = "metadata tamper perturbed an unauthenticated run: " + d
+			return res
+		}
+		res.Verdict = VerdictUndetected
+		return res
+	}
+	if m.Ctrl.Fault() == nil {
+		res.Verdict = VerdictDivergence
+		res.Divergence = "tampered integrity metadata of the entry line was never flagged by verification"
+		return res
+	}
+	if k.GateIssue || k.GateCommit {
+		if simRes.Reason != sim.StopSecurityFault {
+			res.Verdict = VerdictDivergence
+			res.Divergence = fmt.Sprintf("issue/commit-gated policy stopped with %v, want security-fault", simRes.Reason)
+			return res
+		}
+		if simRes.Insts != 0 {
+			res.Verdict = VerdictDivergence
+			res.Divergence = fmt.Sprintf("issue/commit-gated policy committed %d instructions before the metadata fault", simRes.Insts)
+			return res
+		}
+		res.Verdict = VerdictContained
+		return res
+	}
+	if simRes.Reason == sim.StopSecurityFault {
+		res.Verdict = VerdictContained
+		return res
+	}
+	res.Verdict = VerdictDetected
 	return res
 }
 

@@ -56,11 +56,22 @@ func NewGen(seed int64) *Gen {
 // GenProgram is the one-shot form: the program for one seed.
 func GenProgram(seed int64) string { return NewGen(seed).Generate() }
 
-// Mnemonic pools drawn from the ISA tables, so new ops join the generator
-// the moment they are defined. Order is opcode order: deterministic.
+// Mnemonic pools drawn from the ISA tables via OpsOfClass, so new ops join
+// the generator the moment they are defined. Pool membership is decided by
+// behavioral predicates (immediate form, FP operand classes, PAC role) —
+// never by hand-maintained mnemonic lists — and TestEveryClassGeneratable
+// pins that no opcode class can silently fall out of coverage. Order is
+// opcode order: deterministic.
 var (
 	aluRegOps = opNames(isa.ClassALU, false) // add, sub, and, or, xor, shifts, slt, sltu
+	aluImmOps = aluImmPool()                 // addi, logic-imm, shift-imm, slti (rd, rs1, imm shape)
 	mulOps    = opNames(isa.ClassMul, false) // mul, div, rem
+
+	intBranchOps, fpBranchOps = branchPools()
+
+	fpArithOps = fpArithPool() // 3-operand FP arithmetic
+
+	pacAuthOps = pacAuths() // auth ops; the matching sign op comes from isa.PACSignFor
 )
 
 func opNames(c isa.Class, imm bool) []string {
@@ -68,6 +79,60 @@ func opNames(c isa.Class, imm bool) []string {
 	for _, op := range isa.OpsOfClass(c) {
 		if op.HasImm() == imm {
 			out = append(out, op.String())
+		}
+	}
+	return out
+}
+
+// aluImmPool collects the immediate-form ALU ops with the uniform
+// "op rd, rs1, imm" assembly shape. The constant builders (lui/luih) take
+// "rd, imm" and are exercised through their own idiom and the la/li
+// pseudo-expansions instead.
+func aluImmPool() []string {
+	var out []string
+	for _, op := range isa.OpsOfClass(isa.ClassALU) {
+		if !op.HasImm() || op == isa.OpLUI || op == isa.OpLUIH {
+			continue
+		}
+		out = append(out, op.String())
+	}
+	return out
+}
+
+// branchPools splits conditional branches by operand file, detected from the
+// ops' architectural use sets.
+func branchPools() (intOps, fpOps []string) {
+	for _, op := range isa.OpsOfClass(isa.ClassBranch) {
+		if (isa.Inst{Op: op, Rs1: 1, Rs2: 1}).Uses().HasFP(1) {
+			fpOps = append(fpOps, op.String())
+		} else {
+			intOps = append(intOps, op.String())
+		}
+	}
+	return
+}
+
+// fpArithPool collects the FPU ops that read two FP sources (fadd and
+// friends); converts and fneg have their own operand shapes and idioms.
+func fpArithPool() []string {
+	var out []string
+	for _, op := range isa.OpsOfClass(isa.ClassFPU) {
+		u := (isa.Inst{Op: op, Rs1: 1, Rs2: 2}).Uses()
+		if u == isa.FPReg(1).Union(isa.FPReg(2)) {
+			out = append(out, op.String())
+		}
+	}
+	return out
+}
+
+// pacAuths collects the auth-side PAC ops; each generated auth is paired
+// with its same-key sign so the check always succeeds and the program stays
+// digest-identical across every auth-failure mode.
+func pacAuths() []isa.Op {
+	var out []isa.Op
+	for _, op := range isa.OpsOfClass(isa.ClassPAC) {
+		if op.IsPACAuth() {
+			out = append(out, op)
 		}
 	}
 	return out
@@ -81,56 +146,101 @@ func (g *Gen) reg() int { return []int{1, 2, 3, 4, 5, 6, 7, 8, 10, 11}[g.rng.Int
 
 func (g *Gen) freg() int { return g.rng.Intn(6) + 1 }
 
+// scratchPtr emits the two-instruction idiom that turns a register's current
+// value into an aligned pointer inside the scratch window, returning the
+// pointer register.
+func (g *Gen) scratchPtr() int {
+	a := g.reg()
+	g.emit("	and  r%d, r%d, r13", a, g.reg())
+	g.emit("	add  r%d, r%d, r12", a, a)
+	return a
+}
+
 // randomOp emits one instruction (or a short fixed idiom).
 func (g *Gen) randomOp() {
-	switch g.rng.Intn(12) {
+	switch g.rng.Intn(16) {
 	case 0:
 		g.emit("	addi r%d, r%d, %d", g.reg(), g.reg(), g.rng.Intn(2000)-1000)
 	case 1, 2:
 		g.emit("	%s r%d, r%d, r%d", aluRegOps[g.rng.Intn(len(aluRegOps))], g.reg(), g.reg(), g.reg())
 	case 3:
-		ops := []string{"slli", "srli", "srai"}
-		g.emit("	%s r%d, r%d, %d", ops[g.rng.Intn(len(ops))], g.reg(), g.reg(), g.rng.Intn(63))
+		// Immediates in 0..62 are legal for every uniform imm op, shifts
+		// included.
+		g.emit("	%s r%d, r%d, %d", aluImmOps[g.rng.Intn(len(aluImmOps))], g.reg(), g.reg(), g.rng.Intn(63))
 	case 4:
 		g.emit("	%s r%d, r%d, r%d", mulOps[g.rng.Intn(len(mulOps))], g.reg(), g.reg(), g.reg())
 	case 5: // aligned load through the scratch window
-		a, d := g.reg(), g.reg()
-		g.emit("	and  r%d, r%d, r13", a, g.reg())
-		g.emit("	add  r%d, r%d, r12", a, a)
-		g.emit("	ld   r%d, 0(r%d)", d, a)
+		a := g.scratchPtr()
+		g.emit("	ld   r%d, 0(r%d)", g.reg(), a)
 	case 6: // aligned store
-		a := g.reg()
-		g.emit("	and  r%d, r%d, r13", a, g.reg())
-		g.emit("	add  r%d, r%d, r12", a, a)
+		a := g.scratchPtr()
 		g.emit("	sd   r%d, 0(r%d)", g.reg(), a)
 	case 7: // sub-word memory round trip
-		a := g.reg()
+		a := g.scratchPtr()
 		d := g.reg()
 		for d == a { // the loads must not clobber their own address register
 			d = g.reg()
 		}
-		g.emit("	and  r%d, r%d, r13", a, g.reg())
-		g.emit("	add  r%d, r%d, r12", a, a)
 		g.emit("	sw   r%d, 0(r%d)", g.reg(), a)
 		g.emit("	lw   r%d, 0(r%d)", d, a)
 		g.emit("	lbu  r%d, 0(r%d)", d, a)
 	case 8: // FP block (values flow int -> fp -> int, bit-exact both sides)
 		f1, f2 := g.freg(), g.freg()
 		g.emit("	fcvtif f%d, r%d", f1, g.reg())
-		ops := []string{"fadd", "fsub", "fmul", "fdiv"}
-		g.emit("	%s f%d, f%d, f%d", ops[g.rng.Intn(len(ops))], f2, f1, f2)
+		g.emit("	%s f%d, f%d, f%d", fpArithOps[g.rng.Intn(len(fpArithOps))], f2, f1, f2)
 		g.emit("	fcvtfi r%d, f%d", g.reg(), f2)
 	case 9:
 		g.emit("	out r%d, %d", g.reg(), g.rng.Intn(256))
 	case 10: // forward branch over a couple of ops
 		l := g.label()
-		ops := []string{"beq", "bne", "blt", "bge", "bltu", "bgeu"}
-		g.emit("	%s r%d, r%d, %s", ops[g.rng.Intn(len(ops))], g.reg(), g.reg(), l)
+		g.emit("	%s r%d, r%d, %s", intBranchOps[g.rng.Intn(len(intBranchOps))], g.reg(), g.reg(), l)
 		g.emit("	addi r%d, r%d, 1", g.reg(), g.reg())
 		g.emit("	xor  r%d, r%d, r%d", g.reg(), g.reg(), g.reg())
 		g.emit("%s:", l)
-	case 11: // call/ret later; keep a LUI constant build here
+	case 11: // LUI constant build
 		g.emit("	lui  r%d, %d", g.reg(), g.rng.Intn(1<<16))
+	case 12: // unconditional control transfer: direct (jal) or indirect (jalr)
+		l := g.label()
+		if g.rng.Intn(2) == 0 {
+			g.emit("	jal  r%d, %s", g.reg(), l)
+		} else {
+			t := g.reg()
+			g.emit("	la   r%d, %s", t, l)
+			g.emit("	jalr r%d, r%d, 0", g.reg(), t)
+		}
+		g.emit("	addi r%d, r%d, 1", g.reg(), g.reg()) // skipped
+		g.emit("%s:", l)
+	case 13: // FP memory round trip through the scratch window
+		a := g.scratchPtr()
+		f1, f2 := g.freg(), g.freg()
+		g.emit("	fcvtif f%d, r%d", f1, g.reg())
+		g.emit("	fsd  f%d, 0(r%d)", f1, a)
+		g.emit("	fld  f%d, 0(r%d)", f2, a)
+	case 14: // PAC round trip: sign, auth under the same key+modifier, deref.
+		// The modifier register must differ from the pointer register (sign
+		// overwrites it), so the auth always succeeds and the program stays
+		// digest-identical across every auth-failure mode; failing auths are
+		// the attack kernels' job.
+		a := g.scratchPtr()
+		m := g.reg()
+		for m == a {
+			m = g.reg()
+		}
+		auth := pacAuthOps[g.rng.Intn(len(pacAuthOps))]
+		g.emit("	%s r%d, r%d, r%d", isa.PACSignFor(auth), a, a, m)
+		g.emit("	%s r%d, r%d, r%d", auth, a, a, m)
+		g.emit("	ld   r%d, 0(r%d)", g.reg(), a)
+	case 15: // PAC strip: sign then strip yields a clean pointer; plus a nop
+		a := g.scratchPtr()
+		m := g.reg()
+		for m == a {
+			m = g.reg()
+		}
+		auth := pacAuthOps[g.rng.Intn(len(pacAuthOps))]
+		g.emit("	%s r%d, r%d, r%d", isa.PACSignFor(auth), a, a, m)
+		g.emit("	strip r%d, r%d", a, a)
+		g.emit("	sd   r%d, 0(r%d)", g.reg(), a)
+		g.emit("	nop")
 	}
 }
 

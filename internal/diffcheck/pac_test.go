@@ -1,0 +1,139 @@
+package diffcheck
+
+import (
+	"testing"
+
+	"authpoint/internal/asm"
+	"authpoint/internal/isa"
+	"authpoint/internal/policy"
+)
+
+// TestEveryClassGeneratable pins that the generator can emit every opcode
+// class the ISA defines: across a modest seed sweep, every class with at
+// least one valid op must appear in some generated program. A new class
+// added to the ISA without a generator idiom fails here, closing the gap
+// where jumps, FP memory, and PAC ops were silently never fuzzed.
+func TestEveryClassGeneratable(t *testing.T) {
+	want := map[isa.Class]bool{}
+	for op := isa.Op(0); int(op) < isa.NumOps; op++ {
+		if op.Valid() {
+			want[op.Class()] = true
+		}
+	}
+	seen := map[isa.Class]bool{}
+	for seed := int64(1); seed <= 64; seed++ {
+		p, err := asm.Assemble(GenProgram(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, w := range p.Text {
+			seen[isa.Decode(w).Op.Class()] = true
+		}
+	}
+	for c := range want {
+		if !seen[c] {
+			t.Errorf("opcode class %v has valid ops but is never generated — add an idiom to randomOp", c)
+		}
+	}
+}
+
+// TestPACDifferential drives 50 generated programs (which include sign/auth/
+// strip idioms) through every point of the pac policy set on the timed
+// out-of-order machine against the in-order oracle. Generated auths always
+// succeed, so every run must be fully architecturally equivalent regardless
+// of the auth-failure mode.
+func TestPACDifferential(t *testing.T) {
+	pts, err := policy.ParseSet("pac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := int64(50)
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		for _, pt := range pts {
+			res, _ := CheckSeed(seed, Options{Policy: pt})
+			if res.Verdict != VerdictOK {
+				t.Errorf("seed %d under %v: %s: %s", seed, pt, res.Verdict, res.Divergence)
+			}
+			if res.OracleDigest != res.SimDigest {
+				t.Errorf("seed %d under %v: digests differ", seed, pt)
+			}
+		}
+	}
+}
+
+// TestPACDigestIdenticalAcrossModes pins the orthogonality contract: for a
+// program whose auths all succeed, the architectural digest and cycle count
+// are bit-identical whether pointer authentication is off, poisoning, or
+// faulting — the PAC dimension composes with the gate dimensions without
+// perturbing any existing policy point.
+func TestPACDigestIdenticalAcrossModes(t *testing.T) {
+	for _, seed := range []int64{5, 17, 29} {
+		base, _ := CheckSeed(seed, Options{Policy: policy.ThenCommit})
+		if base.Verdict != VerdictOK {
+			t.Fatalf("seed %d base: %s: %s", seed, base.Verdict, base.Divergence)
+		}
+		for _, pt := range []policy.ControlPoint{
+			policy.Compose(policy.ThenCommit, policy.ThenPAC),
+			policy.Compose(policy.ThenCommit, policy.ThenFPAC),
+		} {
+			res, _ := CheckSeed(seed, Options{Policy: pt})
+			if res.Verdict != VerdictOK {
+				t.Errorf("seed %d under %v: %s: %s", seed, pt, res.Verdict, res.Divergence)
+				continue
+			}
+			if res.SimDigest != base.SimDigest {
+				t.Errorf("seed %d under %v: digest differs from PAC-off", seed, pt)
+			}
+			if res.Cycles != base.Cycles {
+				t.Errorf("seed %d under %v: %d cycles, PAC-off %d — auth-failure mode must not change the cost of succeeding auths", seed, pt, res.Cycles, base.Cycles)
+			}
+		}
+	}
+}
+
+// pacFailSrc authenticates a deliberately forged pointer: the signed word is
+// XORed with an address bit so the tag can never match, then dereferenced.
+// The architectural outcome is the auth-failure mode made visible:
+//
+//	off:    auth strips; the load from the (valid, in-window) address succeeds
+//	poison: the load faults at translation of the poisoned address
+//	fpac:   the auth instruction itself faults
+const pacFailSrc = `_start:
+	la    r2, buf
+	li    r3, 7
+	signa r4, r2, r3
+	xori  r4, r4, 8
+	autha r5, r4, r3
+	ld    r6, 0(r5)
+	out   r6, 1
+	halt
+.data
+buf: .space 64
+`
+
+// TestPACFailureModesDifferential pins OoO/oracle equivalence on the
+// failure path of each mode, including both fault flavours.
+func TestPACFailureModesDifferential(t *testing.T) {
+	cases := []struct {
+		pt     policy.ControlPoint
+		reason string
+	}{
+		{policy.Baseline, "halt"},
+		{policy.ThenPAC, "arch-fault"},  // poisoned pointer faults at use
+		{policy.ThenFPAC, "arch-fault"}, // the auth itself faults
+		{policy.Compose(policy.CommitPlusFetch, policy.ThenFPAC), "arch-fault"},
+	}
+	for _, c := range cases {
+		res := Check(pacFailSrc, Options{Policy: c.pt})
+		if res.Verdict != VerdictOK {
+			t.Errorf("under %v: %s: %s", c.pt, res.Verdict, res.Divergence)
+			continue
+		}
+		if res.Reason != c.reason {
+			t.Errorf("under %v: stop reason %q, want %q", c.pt, res.Reason, c.reason)
+		}
+	}
+}

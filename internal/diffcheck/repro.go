@@ -26,8 +26,9 @@ type Repro struct {
 	Seed   int64  `json:"seed"`
 	Policy string `json:"policy"`
 	Tamper bool   `json:"tamper,omitempty"`
-	// TamperSite is the tamper site ("entry" or "data"). Empty means entry,
-	// so pre-existing corpus files decode (and re-encode) unchanged.
+	// TamperSite is the tamper site (one of Sites(): entry, data, mac, ctr,
+	// tree). Empty means entry, so pre-existing corpus files decode (and
+	// re-encode) unchanged.
 	TamperSite string `json:"tamper_site,omitempty"`
 
 	// Expected outcome: replay must reproduce every field exactly.

@@ -63,6 +63,85 @@ func TestTamperSiteDataNoDataSegment(t *testing.T) {
 	}
 }
 
+// TestTamperSiteCtrVerdicts: a rolled counter decrypts the entry line to
+// garbage, so the invariants match the entry site: baseline undetected,
+// issue/commit gates contained with zero commits, weaker gates at least
+// detected (the default MacCoversCounter puts the counter under the MAC).
+func TestTamperSiteCtrVerdicts(t *testing.T) {
+	for _, seed := range []int64{3, 11} {
+		for _, pol := range policy.Lattice() {
+			res, _ := CheckSeed(seed, Options{Policy: pol, Tamper: true, TamperSite: SiteCtr})
+			k := pol.Knobs()
+			switch {
+			case !k.Authenticate:
+				if res.Verdict != VerdictUndetected {
+					t.Errorf("seed %d ctr under %v: %s, want undetected", seed, pol, res.Verdict)
+				}
+			case k.GateIssue || k.GateCommit:
+				if res.Verdict != VerdictContained {
+					t.Errorf("seed %d ctr under %v: %s (%s), want contained", seed, pol, res.Verdict, res.Divergence)
+				}
+			default:
+				if res.Verdict != VerdictContained && res.Verdict != VerdictDetected {
+					t.Errorf("seed %d ctr under %v: %s (%s)", seed, pol, res.Verdict, res.Divergence)
+				}
+			}
+		}
+	}
+	baseline, _ := CheckSeed(3, Options{Policy: policy.Baseline, Tamper: true, TamperSite: SiteCtr})
+	if baseline.Site != SiteCtr {
+		t.Errorf("site not recorded: %q", baseline.Site)
+	}
+}
+
+// TestTamperSiteMetaVerdicts: MAC- and tree-node tamper leave the data
+// intact, so the baseline run must be bit-identical to the untampered one
+// (checkTamperMeta asserts full oracle equivalence before calling it
+// undetected), and every authenticating policy must flag the entry line.
+func TestTamperSiteMetaVerdicts(t *testing.T) {
+	for _, site := range []TamperSite{SiteMac, SiteTree} {
+		for _, seed := range []int64{3, 11} {
+			for _, pol := range policy.Lattice() {
+				res, _ := CheckSeed(seed, Options{Policy: pol, Tamper: true, TamperSite: site})
+				if res.Site != site {
+					t.Fatalf("seed %d: site %q, want %q", seed, res.Site, site)
+				}
+				k := pol.Knobs()
+				switch {
+				case !k.Authenticate:
+					if res.Verdict != VerdictUndetected {
+						t.Errorf("seed %d %s under %v: %s (%s), want undetected", seed, site, pol, res.Verdict, res.Divergence)
+					}
+				case k.GateIssue || k.GateCommit:
+					if res.Verdict != VerdictContained {
+						t.Errorf("seed %d %s under %v: %s (%s), want contained", seed, site, pol, res.Verdict, res.Divergence)
+					}
+					if res.Insts != 0 {
+						t.Errorf("seed %d %s under %v: contained with %d commits", seed, site, pol, res.Insts)
+					}
+				default:
+					if res.Verdict != VerdictContained && res.Verdict != VerdictDetected {
+						t.Errorf("seed %d %s under %v: %s (%s)", seed, site, pol, res.Verdict, res.Divergence)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSitesListsAll(t *testing.T) {
+	want := map[TamperSite]bool{SiteEntry: true, SiteData: true, SiteMac: true, SiteCtr: true, SiteTree: true}
+	got := Sites()
+	if len(got) != len(want) {
+		t.Fatalf("Sites() = %v", got)
+	}
+	for _, s := range got {
+		if !want[s] {
+			t.Errorf("unknown site %q", s)
+		}
+	}
+}
+
 func TestTamperSiteReproRoundTrip(t *testing.T) {
 	// Entry-site recordings must keep encoding the site as "" so the
 	// pre-site corpus stays byte-identical under replay.
@@ -71,16 +150,18 @@ func TestTamperSiteReproRoundTrip(t *testing.T) {
 		t.Fatalf("entry-site repro records tamper_site %q, want empty", r.TamperSite)
 	}
 
-	res, src := CheckSeed(11, Options{Policy: policy.ThenCommit, Tamper: true, TamperSite: SiteData})
-	r := NewRepro(res, src, "data-site round-trip")
-	if r.TamperSite != string(SiteData) {
-		t.Fatalf("data-site repro records tamper_site %q, want %q", r.TamperSite, SiteData)
-	}
-	dec, err := DecodeRepro(r.Encode())
-	if err != nil {
-		t.Fatalf("decode: %v", err)
-	}
-	if _, err := dec.Replay(); err != nil {
-		t.Fatalf("replay: %v", err)
+	for _, site := range Sites()[1:] { // every non-default site round-trips
+		res, src := CheckSeed(11, Options{Policy: policy.ThenCommit, Tamper: true, TamperSite: site})
+		r := NewRepro(res, src, string(site)+"-site round-trip")
+		if r.TamperSite != string(site) {
+			t.Fatalf("%s-site repro records tamper_site %q", site, r.TamperSite)
+		}
+		dec, err := DecodeRepro(r.Encode())
+		if err != nil {
+			t.Fatalf("%s: decode: %v", site, err)
+		}
+		if _, err := dec.Replay(); err != nil {
+			t.Fatalf("%s: replay: %v", site, err)
+		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"authpoint/internal/asm"
+	"authpoint/internal/cryptoengine/pacmac"
 	"authpoint/internal/isa"
 	"authpoint/internal/mem"
 )
@@ -60,6 +61,12 @@ type Machine struct {
 	Outs  []OutEvent
 	Insts uint64
 
+	// PACMode selects the auth-failure behaviour of the pointer-
+	// authentication instructions; the zero value (off) matches the
+	// unprotected machine. Sign/strip are mode-independent.
+	PACMode pacmac.Mode
+
+	pacs      pacmac.Suite
 	halted    bool
 	faultKind string
 	faultAddr uint64
@@ -68,7 +75,7 @@ type Machine struct {
 // New builds a functional machine from an assembled program, mapping text,
 // data, and a stack exactly like the timing simulator's loader.
 func New(p *asm.Program) *Machine {
-	m := &Machine{Mem: mem.New(), Space: mem.NewAddressSpace(), PC: p.Entry}
+	m := &Machine{Mem: mem.New(), Space: mem.NewAddressSpace(), PC: p.Entry, pacs: pacmac.DefaultSuite()}
 	text := p.TextBytes()
 	m.Mem.Write(p.TextBase, text)
 	m.Mem.Write(p.DataBase, p.Data)
@@ -204,6 +211,20 @@ func (m *Machine) Step() {
 		}
 	case isa.ClassOut:
 		m.Outs = append(m.Outs, OutEvent{Port: uint32(inst.Imm), Val: m.Regs[inst.Rs2]})
+	case isa.ClassPAC:
+		switch {
+		case inst.Op == isa.OpSTRIP:
+			writeInt(inst.Rd, pacmac.Strip(m.Regs[inst.Rs1]))
+		case inst.Op.IsPACSign():
+			writeInt(inst.Rd, m.pacs.Sign(m.Regs[inst.Rs1], m.Regs[inst.Rs2], inst.Op.PACUsesKeyB()))
+		default: // auth
+			v, ok := m.pacs.Auth(m.Regs[inst.Rs1], m.Regs[inst.Rs2], inst.Op.PACUsesKeyB(), m.PACMode)
+			if !ok {
+				m.setFault("pac-auth", m.PC)
+				return
+			}
+			writeInt(inst.Rd, v)
+		}
 	default:
 		m.setFault("illegal", m.PC)
 		return

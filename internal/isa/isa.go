@@ -109,6 +109,20 @@ const (
 	// writes no register. Used by workloads with software prefetching.
 	OpPREF
 
+	// Pointer authentication (FEAT_PAuth-flavoured). Pointers are 32-bit
+	// addresses carried in 64-bit registers; sign computes a keyed MAC over
+	// (low 32 address bits, 64-bit modifier in rs2) and places the truncated
+	// tag in the upper 32 bits. auth recomputes and checks the tag: on
+	// success the clean address is produced; on failure the outcome is a
+	// policy decision (strip-through, poison for fault-at-use, or an
+	// architectural fault at the auth point — see cryptoengine/pacmac).
+	// strip removes the tag without any check. A/B name two independent keys.
+	OpSIGNA // rd = sign(rs1, modifier rs2) under key A
+	OpSIGNB // rd = sign(rs1, modifier rs2) under key B
+	OpAUTHA // rd = auth(rs1, modifier rs2) under key A
+	OpAUTHB // rd = auth(rs1, modifier rs2) under key B
+	OpSTRIP // rd = rs1 with the PAC field cleared
+
 	opMax // sentinel; must remain last
 )
 
@@ -132,6 +146,7 @@ const (
 	ClassFPStore
 	ClassOut
 	ClassHalt
+	ClassPAC // pointer-authentication ops (keyed MAC unit)
 )
 
 type opInfo struct {
@@ -196,6 +211,11 @@ var opTable = [NumOps]opInfo{
 	OpFBGE:   {"fbge", ClassBranch, true},
 	OpOUT:    {"out", ClassOut, true},
 	OpPREF:   {"pref", ClassLoad, true},
+	OpSIGNA:  {"signa", ClassPAC, false},
+	OpSIGNB:  {"signb", ClassPAC, false},
+	OpAUTHA:  {"autha", ClassPAC, false},
+	OpAUTHB:  {"authb", ClassPAC, false},
+	OpSTRIP:  {"strip", ClassPAC, false},
 }
 
 // Valid reports whether op is a defined operation.
@@ -452,6 +472,11 @@ func (i Inst) String() string {
 		return fmt.Sprintf("%s %s, %s, %s", i.Op, fp(i.Rd), fp(i.Rs1), fp(i.Rs2))
 	case ClassOut:
 		return fmt.Sprintf("%s %s, %d", i.Op, ir(i.Rs2), i.Imm)
+	case ClassPAC:
+		if i.Op == OpSTRIP {
+			return fmt.Sprintf("%s %s, %s", i.Op, ir(i.Rd), ir(i.Rs1))
+		}
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, ir(i.Rd), ir(i.Rs1), ir(i.Rs2))
 	}
 	return fmt.Sprintf("%s ?", i.Op)
 }

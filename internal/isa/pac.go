@@ -1,0 +1,25 @@
+package isa
+
+// Pointer-authentication classification helpers. The semantic side (tag
+// computation, poison patterns, mode handling) lives in
+// internal/cryptoengine/pacmac so this package stays dependency-free; both
+// the in-order oracle and the OoO pipeline dispatch on the predicates here.
+
+// IsPACSign reports whether op computes a pointer signature.
+func (op Op) IsPACSign() bool { return op == OpSIGNA || op == OpSIGNB }
+
+// IsPACAuth reports whether op checks a pointer signature.
+func (op Op) IsPACAuth() bool { return op == OpAUTHA || op == OpAUTHB }
+
+// PACUsesKeyB reports whether a sign/auth op uses the B key (false for the A
+// key and for STRIP, which is keyless).
+func (op Op) PACUsesKeyB() bool { return op == OpSIGNB || op == OpAUTHB }
+
+// PACSignFor returns the sign op that produces pointers the given auth op
+// accepts (key-matched pairs: signa/autha, signb/authb).
+func PACSignFor(auth Op) Op {
+	if auth == OpAUTHB {
+		return OpSIGNB
+	}
+	return OpSIGNA
+}

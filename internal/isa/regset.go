@@ -119,6 +119,8 @@ func (i Inst) Defs() RegSet {
 			return IntReg(i.Rd)
 		}
 		return FPReg(i.Rd)
+	case ClassPAC:
+		return IntReg(i.Rd)
 	}
 	// Nop, Halt, Store, FPStore, Branch, Out — and invalid opcodes.
 	return 0
@@ -166,6 +168,11 @@ func (i Inst) Uses() RegSet {
 		return FPReg(i.Rs1) | FPReg(i.Rs2)
 	case ClassOut:
 		return IntReg(i.Rs2)
+	case ClassPAC:
+		if i.Op == OpSTRIP {
+			return IntReg(i.Rs1)
+		}
+		return IntReg(i.Rs1) | IntReg(i.Rs2) // pointer + modifier
 	}
 	return 0
 }

@@ -78,6 +78,12 @@ func TestDefsUsesEveryOpcode(t *testing.T) {
 
 		OpOUT:  {Inst{Op: OpOUT, Rs2: 3, Imm: 0x80}, 0, ir(3)},
 		OpPREF: {Inst{Op: OpPREF, Rs1: 2, Imm: 8}, 0, ir(2)},
+
+		OpSIGNA: {Inst{Op: OpSIGNA, Rd: 1, Rs1: 2, Rs2: 3}, ir(1), ir(2) | ir(3)},
+		OpSIGNB: {Inst{Op: OpSIGNB, Rd: 1, Rs1: 2, Rs2: 3}, ir(1), ir(2) | ir(3)},
+		OpAUTHA: {Inst{Op: OpAUTHA, Rd: 1, Rs1: 2, Rs2: 3}, ir(1), ir(2) | ir(3)},
+		OpAUTHB: {Inst{Op: OpAUTHB, Rd: 1, Rs1: 2, Rs2: 3}, ir(1), ir(2) | ir(3)},
+		OpSTRIP: {Inst{Op: OpSTRIP, Rd: 1, Rs1: 2}, ir(1), ir(2)},
 	}
 	for op := Op(0); int(op) < NumOps; op++ {
 		c, ok := cases[op]

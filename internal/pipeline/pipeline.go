@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"authpoint/internal/cryptoengine/pacmac"
 	"authpoint/internal/isa"
 	"authpoint/internal/obs"
 )
@@ -57,6 +58,15 @@ type Config struct {
 	// verifies.
 	StoreWaitAuth bool
 
+	// PACMode selects the pointer-authentication auth-failure behaviour
+	// (policy dimensions pac/fpac). The zero value (off) makes auth behave
+	// as strip — the pre-PAC machine, bit- and cycle-identical.
+	PACMode pacmac.Mode
+
+	// PACLat is the keyed MAC unit's latency for sign/auth (strip is a
+	// 1-cycle bitmask and does not occupy the unit).
+	PACLat int
+
 	Predictor PredictorConfig
 }
 
@@ -73,6 +83,7 @@ func DefaultConfig() Config {
 		IntDivLat:   12,
 		FPLat:       4,
 		FPDivLat:    12,
+		PACLat:      4,
 		Predictor:   DefaultPredictorConfig(),
 	}
 }
@@ -86,6 +97,7 @@ const (
 	FaultIllegalInst
 	FaultBadAddr
 	FaultMisaligned
+	FaultPACAuth
 )
 
 func (k FaultKind) String() string {
@@ -98,6 +110,8 @@ func (k FaultKind) String() string {
 		return "invalid-address"
 	case FaultMisaligned:
 		return "misaligned-access"
+	case FaultPACAuth:
+		return "pac-auth-failure"
 	}
 	return "?"
 }
@@ -189,9 +203,10 @@ type Stats struct {
 
 // Core is the out-of-order processor core.
 type Core struct {
-	cfg Config
-	mem MemPort
-	bp  *Predictor
+	cfg  Config
+	mem  MemPort
+	bp   *Predictor
+	pacs pacmac.Suite // keyed MAC unit behind sign/auth
 
 	pc    uint64
 	regs  [isa.NumIntRegs]uint64
@@ -305,6 +320,7 @@ func New(cfg Config, mem MemPort, entryPC uint64) (*Core, error) {
 		cfg:       cfg,
 		mem:       mem,
 		bp:        NewPredictor(cfg.Predictor),
+		pacs:      pacmac.DefaultSuite(),
 		pc:        entryPC,
 		ruu:       make([]entry, cfg.RUUSize),
 		ifq:       make([]fetchedInst, cfg.IFQSize),

@@ -6,6 +6,7 @@
 package pipeline
 
 import (
+	"authpoint/internal/cryptoengine/pacmac"
 	"authpoint/internal/isa"
 	"authpoint/internal/obs"
 )
@@ -493,6 +494,27 @@ func (c *Core) execute(idx int, e *entry) {
 		lat = c.cfg.FPLat
 		if op == isa.OpFDIV {
 			lat = c.cfg.FPDivLat
+		}
+	case isa.ClassPAC:
+		switch {
+		case op == isa.OpSTRIP:
+			e.result = pacmac.Strip(e.srcVal[0])
+		case op.IsPACSign():
+			e.result = c.pacs.Sign(e.srcVal[0], e.srcVal[1], op.PACUsesKeyB())
+			lat = c.cfg.PACLat
+		default: // auth
+			v, ok := c.pacs.Auth(e.srcVal[0], e.srcVal[1], op.PACUsesKeyB(), c.cfg.PACMode)
+			e.result = v
+			if !ok {
+				// FPAC: architectural fault at the auth point, taken at
+				// commit — but the stripped pointer is still broadcast to
+				// dependents, so a younger load can dereference it
+				// speculatively before the fault retires (the
+				// auth-then-use race).
+				e.fault = FaultPACAuth
+				e.faultAddr = e.pc
+			}
+			lat = c.cfg.PACLat
 		}
 	default:
 		e.fault = FaultIllegalInst

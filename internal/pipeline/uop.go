@@ -124,6 +124,12 @@ func DecodeUop(w uint32) Uop {
 		}
 	case isa.ClassOut:
 		u.addSrc(inst.Rs2, false)
+	case isa.ClassPAC:
+		u.addSrc(inst.Rs1, false)
+		if op != isa.OpSTRIP {
+			u.addSrc(inst.Rs2, false) // modifier
+		}
+		u.setDest(inst.Rd, false)
 	}
 	return u
 }

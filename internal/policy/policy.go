@@ -11,6 +11,10 @@
 //	GateCommit  — verification gates instruction retirement
 //	GateFetch   — new external fetches wait for the auth queue
 //	Obfuscate   — HIDE-style address obfuscation (re-map cache)
+//	PAC         — pointer authentication; failed auth poisons the pointer
+//	              (fault at next use/translation)
+//	PACFault    — FPAC refinement of PAC: failed auth faults at the auth
+//	              instruction itself (subsumes PAC)
 //
 // plus Authenticate=false for the decrypt-only normalization baseline (the
 // zero ControlPoint). Canonical points live in a registry keyed by name;
@@ -48,6 +52,15 @@ type ControlPoint struct {
 	GateFetch bool
 	// Obfuscate: HIDE-style address obfuscation via the re-map cache.
 	Obfuscate bool
+	// PAC enables the pointer-authentication instructions' check: a failed
+	// auth yields a poisoned pointer that faults at its next use
+	// (fault-at-translation). Orthogonal to the memory-integrity gates —
+	// PAC checks provenance of pointer *values*, not of fetched lines.
+	PAC bool
+	// PACFault is the FPAC refinement: a failed auth faults architecturally
+	// at the auth instruction. Implies PAC (see Normalize); the pair
+	// "pac+fpac" is not a distinct point.
+	PACFault bool
 }
 
 // Predefined lattice points: the paper's seven plus detection-only.
@@ -70,6 +83,12 @@ var (
 	// CommitPlusObfuscation closes the passive address channel on top of
 	// then-commit.
 	CommitPlusObfuscation = ControlPoint{Authenticate: true, GateCommit: true, Obfuscate: true}
+	// ThenPAC enables pointer authentication in poison mode: a failed auth
+	// faults at the pointer's next use.
+	ThenPAC = ControlPoint{Authenticate: true, PAC: true}
+	// ThenFPAC is FPAC-style pointer authentication: a failed auth faults
+	// at the auth instruction itself.
+	ThenFPAC = ControlPoint{Authenticate: true, PAC: true, PACFault: true}
 )
 
 // Compose returns the join of two lattice points: the union of their gates.
@@ -82,6 +101,8 @@ func Compose(a, b ControlPoint) ControlPoint {
 		GateCommit:   a.GateCommit || b.GateCommit,
 		GateFetch:    a.GateFetch || b.GateFetch,
 		Obfuscate:    a.Obfuscate || b.Obfuscate,
+		PAC:          a.PAC || b.PAC,
+		PACFault:     a.PACFault || b.PACFault,
 	}
 }
 
@@ -90,7 +111,10 @@ func Compose(a, b ControlPoint) ControlPoint {
 // gate without Authenticate mean the gated point, not a machine that stalls
 // on verifications that never run.
 func (p ControlPoint) Normalize() ControlPoint {
-	if p.GateIssue || p.GateWrite || p.GateCommit || p.GateFetch || p.Obfuscate {
+	if p.PACFault {
+		p.PAC = true
+	}
+	if p.GateIssue || p.GateWrite || p.GateCommit || p.GateFetch || p.Obfuscate || p.PAC {
 		p.Authenticate = true
 	}
 	return p
@@ -123,14 +147,21 @@ var dimensions = []dimension{
 	{"commit", ThenCommit},
 	{"fetch", ThenFetch},
 	{"obfuscation", ControlPoint{Authenticate: true, Obfuscate: true}},
+	{"pac", ThenPAC},
+	{"fpac", ThenFPAC},
 }
 
 // Components returns the point's gate dimensions in canonical order
-// ("commit", "fetch", ...). Baseline and AuthOnly have none.
+// ("commit", "fetch", ...). Baseline and AuthOnly have none. The fpac
+// dimension subsumes pac, so a PACFault point names only "fpac" — the
+// canonical name of any point is duplicate-free.
 func (p ControlPoint) Components() []string {
 	var out []string
 	p = p.Normalize()
 	for _, d := range dimensions {
+		if d.name == "pac" && p.PACFault {
+			continue
+		}
 		if Compose(p, d.point) == p {
 			out = append(out, d.name)
 		}
@@ -199,7 +230,7 @@ func Parse(name string) (ControlPoint, error) {
 	}
 	if !ok {
 		return ControlPoint{}, fmt.Errorf(
-			"policy: unknown control point %q (registered: %s; or compose gates like %q from issue, write, commit, fetch, obfuscation)",
+			"policy: unknown control point %q (registered: %s; or compose gates like %q from issue, write, commit, fetch, obfuscation, pac, fpac)",
 			name, strings.Join(Names(), ", "), "authen-then-commit+fetch")
 	}
 	return p, nil
@@ -281,6 +312,8 @@ func init() {
 	MustRegister("authen-then-commit+fetch", CommitPlusFetch, "then-commit plus then-fetch — the paper's recommended point")
 	MustRegister("authen-then-commit+obfuscation", CommitPlusObfuscation, "then-commit plus HIDE-style address obfuscation")
 	MustRegister("authen-only", AuthOnly, "verify every line but gate nothing (detection without containment)")
+	MustRegister("authen-then-pac", ThenPAC, "pointer authentication: failed auth poisons the pointer, faulting at its next use")
+	MustRegister("authen-then-fpac", ThenFPAC, "FPAC pointer authentication: failed auth faults at the auth instruction")
 }
 
 // --- machine knobs ----------------------------------------------------------
@@ -305,6 +338,10 @@ type Knobs struct {
 	GateCommit bool
 	// GateFetch -> sim.MemConfig.GateFetch
 	GateFetch bool
+	// PAC -> pipeline.Config.PACMode poison (fault at next use)
+	PAC bool
+	// PACFault -> pipeline.Config.PACMode fault-auth (FPAC; implies PAC)
+	PACFault bool
 }
 
 // Knobs maps the point onto component configuration bits. Each gate
@@ -320,6 +357,8 @@ func (p ControlPoint) Knobs() Knobs {
 		StoreWaitAuth: p.GateWrite,
 		GateCommit:    p.GateCommit,
 		GateFetch:     p.GateFetch,
+		PAC:           p.PAC,
+		PACFault:      p.PACFault,
 	}
 }
 
@@ -333,6 +372,8 @@ func (k Knobs) union(o Knobs) Knobs {
 		StoreWaitAuth: k.StoreWaitAuth || o.StoreWaitAuth,
 		GateCommit:    k.GateCommit || o.GateCommit,
 		GateFetch:     k.GateFetch || o.GateFetch,
+		PAC:           k.PAC || o.PAC,
+		PACFault:      k.PACFault || o.PACFault,
 	}
 }
 
@@ -340,32 +381,52 @@ func (k Knobs) union(o Knobs) Knobs {
 
 // Lattice returns the sweepable composable space: every single gate
 // dimension plus every pairwise composition, deterministically ordered
-// (singles in canonical dimension order, then pairs). The baseline is not
-// included — sweeps add it as the normalization leg. 15 points.
+// (singles in canonical dimension order, then pairs) and deduplicated —
+// pac∘fpac is the fpac single, not a distinct pair. The baseline is not
+// included — sweeps add it as the normalization leg. 27 points.
 func Lattice() []ControlPoint {
 	var out []ControlPoint
+	seen := map[ControlPoint]bool{}
+	add := func(p ControlPoint) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
 	for _, d := range dimensions {
-		out = append(out, d.point)
+		add(d.point)
 	}
 	for i := range dimensions {
 		for j := i + 1; j < len(dimensions); j++ {
-			out = append(out, Compose(dimensions[i].point, dimensions[j].point))
+			add(Compose(dimensions[i].point, dimensions[j].point))
 		}
 	}
 	return out
 }
 
 // ParseSet resolves a policy-set flag value shared by the fuzzing and
-// verification CLIs: "full" is the 31-point FullLattice, "lattice" and "ci"
-// are the 15-point Lattice (the CI smoke set — all singles and pairs, cheap
-// enough to sweep hundreds of seeds on every push), and anything else is a
-// comma-separated list of control-point names fed through Parse.
+// verification CLIs: "full" is the 95-point FullLattice, "lattice" and "ci"
+// are the 27-point Lattice (the CI smoke set — all singles and pairs,
+// including the pac/fpac dimensions, cheap enough to sweep hundreds of seeds
+// on every push), "pac" is the budgeted pointer-authentication slice (both
+// PAC modes alone and composed with representative gates), and anything else
+// is a comma-separated list of control-point names fed through Parse.
 func ParseSet(s string) ([]ControlPoint, error) {
 	switch s {
 	case "full":
 		return FullLattice(), nil
 	case "lattice", "ci":
 		return Lattice(), nil
+	case "pac":
+		return []ControlPoint{
+			ThenPAC,
+			ThenFPAC,
+			Compose(ThenCommit, ThenPAC),
+			Compose(ThenFetch, ThenPAC),
+			Compose(ThenIssue, ThenFPAC),
+			Compose(CommitPlusFetch, ThenFPAC),
+			Compose(CommitPlusObfuscation, ThenPAC),
+		}, nil
 	}
 	var out []ControlPoint
 	for _, name := range strings.Split(s, ",") {
@@ -378,10 +439,14 @@ func ParseSet(s string) ([]ControlPoint, error) {
 	return out, nil
 }
 
-// FullLattice returns every non-baseline point of the lattice: all 31
-// non-empty gate subsets, ordered by gate count then canonical name.
+// FullLattice returns every non-baseline point of the lattice: all non-empty
+// gate subsets, deduplicated (subsets naming both pac and fpac collapse onto
+// the fpac point), ordered by gate count then canonical name. 95 points: 31
+// gate subsets crossed with {no pac, pac, fpac}, plus the two PAC-only
+// points and their composition closure.
 func FullLattice() []ControlPoint {
 	var out []ControlPoint
+	seen := map[ControlPoint]bool{}
 	n := len(dimensions)
 	for mask := 1; mask < 1<<n; mask++ {
 		p := ControlPoint{Authenticate: true}
@@ -390,7 +455,10 @@ func FullLattice() []ControlPoint {
 				p = Compose(p, dimensions[i].point)
 			}
 		}
-		out = append(out, p)
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		ci, cj := len(out[i].Components()), len(out[j].Components())

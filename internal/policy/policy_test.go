@@ -16,6 +16,8 @@ func TestCanonicalNames(t *testing.T) {
 		"authen-then-fetch":              ThenFetch,
 		"authen-then-commit+fetch":       CommitPlusFetch,
 		"authen-then-commit+obfuscation": CommitPlusObfuscation,
+		"authen-then-pac":                ThenPAC,
+		"authen-then-fpac":               ThenFPAC,
 	}
 	for name, p := range want {
 		if got := p.String(); got != name {
@@ -37,6 +39,8 @@ func TestParseLegacyAliases(t *testing.T) {
 		"then-commit":        ThenCommit,
 		"then-write+fetch":   Compose(ThenWrite, ThenFetch),
 		"fetch+commit":       CommitPlusFetch, // order-insensitive
+		"commit+pac":         Compose(ThenCommit, ThenPAC),
+		"pac+fpac":           ThenFPAC, // non-canonical spelling; fpac subsumes pac
 	} {
 		got, err := Parse(name)
 		if err != nil {
@@ -61,11 +65,12 @@ func TestParseUnknownListsRegistered(t *testing.T) {
 }
 
 // TestRoundTripFullLattice pins Parse(String(p)) == p over every point of
-// the lattice, including all 3-, 4-, and 5-way compositions.
+// the lattice, including all higher-order compositions and the pac/fpac
+// dimensions.
 func TestRoundTripFullLattice(t *testing.T) {
 	pts := append([]ControlPoint{Baseline, AuthOnly}, FullLattice()...)
-	if len(pts) != 33 {
-		t.Fatalf("lattice size %d, want 33 (baseline + authen-only + 31 gate subsets)", len(pts))
+	if len(pts) != 97 {
+		t.Fatalf("lattice size %d, want 97 (baseline + authen-only + 95 points: 31 gate subsets x {no pac, pac, fpac} + pac-only + fpac-only)", len(pts))
 	}
 	seen := map[string]bool{}
 	for _, p := range pts {
@@ -171,8 +176,8 @@ func TestKnobOrthogonality(t *testing.T) {
 
 func TestLatticeShape(t *testing.T) {
 	lat := Lattice()
-	if len(lat) != 15 {
-		t.Fatalf("lattice points %d, want 15 (5 singles + 10 pairs)", len(lat))
+	if len(lat) != 27 {
+		t.Fatalf("lattice points %d, want 27 (7 singles + 21 pairs - pac∘fpac dup)", len(lat))
 	}
 	seen := map[ControlPoint]bool{}
 	for _, p := range lat {
@@ -186,6 +191,62 @@ func TestLatticeShape(t *testing.T) {
 	}
 	if !seen[CommitPlusFetch] || !seen[CommitPlusObfuscation] {
 		t.Error("lattice missing the paper's combination points")
+	}
+	if !seen[ThenPAC] || !seen[ThenFPAC] || !seen[Compose(ThenCommit, ThenPAC)] {
+		t.Error("lattice missing the pointer-authentication points")
+	}
+}
+
+func TestPACNormalizeAndSubsume(t *testing.T) {
+	if got := (ControlPoint{PACFault: true}).Normalize(); got != ThenFPAC {
+		t.Errorf("normalize fpac literal: %+v", got)
+	}
+	if !ThenFPAC.Subsumes(ThenPAC) || ThenPAC.Subsumes(ThenFPAC) {
+		t.Error("fpac must strictly subsume pac")
+	}
+	if got := Compose(ThenPAC, ThenFPAC); got != ThenFPAC {
+		t.Errorf("pac∘fpac = %v, want fpac", got)
+	}
+	if s := ThenFPAC.String(); s != "authen-then-fpac" {
+		t.Errorf("fpac name %q (components must not include pac)", s)
+	}
+	if s := Compose(CommitPlusFetch, ThenPAC).String(); s != "authen-then-commit+fetch+pac" {
+		t.Errorf("composition name %q", s)
+	}
+	// PAC is orthogonal to every memory-integrity gate: composing it changes
+	// no existing knob.
+	k, base := Compose(ThenCommit, ThenPAC).Knobs(), ThenCommit.Knobs()
+	k.PAC, k.PACFault = false, false
+	if k != base {
+		t.Errorf("pac composition disturbed gate knobs: %+v vs %+v", k, base)
+	}
+}
+
+func TestParseSetPAC(t *testing.T) {
+	pts, err := ParseSet("pac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 4 {
+		t.Fatalf("pac set has %d points", len(pts))
+	}
+	for _, p := range pts {
+		if !p.PAC {
+			t.Errorf("pac set contains non-PAC point %v", p)
+		}
+	}
+	ci, err := ParseSet("ci")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasPAC := false
+	for _, p := range ci {
+		if p.PAC {
+			hasPAC = true
+		}
+	}
+	if !hasPAC {
+		t.Error("ci set must cover the PAC dimension")
 	}
 }
 

@@ -331,6 +331,24 @@ func (c *Controller) Encryptor() *ctr.Engine { return c.enc }
 // tamper its node storage, which models untrusted external memory).
 func (c *Controller) Tree() *mactree.Tree { return c.tree }
 
+// LeafIndex returns the MAC-store / tree-leaf index of a protected line, for
+// adversaries that tamper the integrity metadata rather than the data.
+func (c *Controller) LeafIndex(lineAddr uint64) (int, bool) {
+	idx, ok := c.leafIdx[lineAddr]
+	return idx, ok
+}
+
+// MacAddrOf returns the external-memory address of a protected line's stored
+// flat MAC. It reports false in tree mode (per-line MACs live in the tree)
+// or for unprotected lines.
+func (c *Controller) MacAddrOf(lineAddr uint64) (uint64, bool) {
+	idx, ok := c.leafIdx[lineAddr]
+	if !ok || c.cfg.UseTree {
+		return 0, false
+	}
+	return c.macAddr(idx), true
+}
+
 // Protect marks [start, start+n) as a protected (encrypted+authenticated)
 // region and initializes its lines from plaintext zeroes. Must be called
 // before LoadPlain into that range. Ranges must be line-aligned.

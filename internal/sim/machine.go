@@ -5,6 +5,7 @@ import (
 
 	"authpoint/internal/asm"
 	"authpoint/internal/bus"
+	"authpoint/internal/cryptoengine/pacmac"
 	"authpoint/internal/dram"
 	"authpoint/internal/isa"
 	"authpoint/internal/mem"
@@ -198,6 +199,14 @@ func (c *Config) applyPolicy() {
 	c.Pipeline.StoreWaitAuth = k.StoreWaitAuth
 	c.Mem.GateFetch = k.GateFetch
 	c.Mem.UseAtAuth = k.UseAtAuth
+	switch {
+	case k.PACFault:
+		c.Pipeline.PACMode = pacmac.ModeFaultAuth
+	case k.PAC:
+		c.Pipeline.PACMode = pacmac.ModePoison
+	default:
+		c.Pipeline.PACMode = pacmac.ModeOff
+	}
 }
 
 // StopReason says why a run ended.
