@@ -31,8 +31,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
+	"authpoint/internal/campaign"
 	"authpoint/internal/diffcheck"
 	"authpoint/internal/obs"
 	"authpoint/internal/policy"
@@ -65,6 +67,8 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "attach an observability hub to every timed run; print the merged campaign metrics (and write metrics.json under -out)")
 		teleOut   = flag.String("telemetry", "", "stream a JSONL run ledger (one record per cell) to this path")
 		progress  = flag.Bool("progress", false, "print live progress/ETA heartbeats to stderr")
+		cacheDir  = flag.String("cache", "", "content-addressed result cache directory: checks hit the cache instead of simulating when the (program, policy, options) cell was already checked")
+		resumeAt  = flag.String("resume", "", "resume from a prior run's telemetry ledger: cells it records as done are not re-run (prior findings are regenerated through the cache)")
 	)
 	flag.Parse()
 
@@ -103,6 +107,19 @@ func main() {
 		fatalf("tamper-site %q: want one of %v", *tamperAt, diffcheck.Sites())
 	}
 
+	var store *campaign.Store
+	if *cacheDir != "" {
+		if store, err = campaign.Open(*cacheDir); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	var done map[campaign.CellID]string
+	if *resumeAt != "" {
+		if done, err = campaign.LoadCompleted(*resumeAt); err != nil {
+			fatalf("resume: %v", err)
+		}
+	}
+
 	stopProf, err := prof.Start(*cpuprof)
 	if err != nil {
 		fatalf("%v", err)
@@ -123,7 +140,7 @@ func main() {
 		}
 	}
 
-	bad := runSweep(ctx, seeds, pols, *mode, *tamper, site, *minimize, *outDir, *parallel, *verbose, so)
+	bad := runSweep(ctx, seeds, pols, *mode, *tamper, site, *minimize, *outDir, *parallel, *verbose, so, store, done)
 	if so != nil {
 		if so.Meter != nil {
 			so.Meter.Finish()
@@ -176,7 +193,7 @@ func writeMetricsJSON(outDir string, snap *obs.Snapshot) error {
 	return nil
 }
 
-func runSweep(ctx context.Context, seeds []int64, pols []policy.ControlPoint, mode string, tamper bool, site diffcheck.TamperSite, minimize bool, outDir string, parallel int, verbose bool, so *diffcheck.SweepObs) bool {
+func runSweep(ctx context.Context, seeds []int64, pols []policy.ControlPoint, mode string, tamper bool, site diffcheck.TamperSite, minimize bool, outDir string, parallel int, verbose bool, so *diffcheck.SweepObs, store *campaign.Store, done map[campaign.CellID]string) bool {
 	var cells []diffcheck.Cell
 	switch mode {
 	case "pair":
@@ -192,25 +209,75 @@ func runSweep(ctx context.Context, seeds []int64, pols []policy.ControlPoint, mo
 	default:
 		fatalf("mode %q: want pair or cross", mode)
 	}
+	total := len(cells)
+
+	// Resume: cells the prior ledger records as done are not swept again (the
+	// union of both ledgers then covers every cell exactly once). Prior
+	// finding cells are re-checked outside the ledger to regenerate the
+	// finding's program text — free when the cache holds the result.
+	opt := diffcheck.Options{Cache: store}
+	var redo []diffcheck.Cell
+	if done != nil {
+		pending := make([]diffcheck.Cell, 0, len(cells))
+		for _, c := range cells {
+			v, ok := done[campaign.CellID{
+				Kind: "fuzz", Policy: c.Policy.String(), Seed: c.Seed,
+				Tamper: c.Tamper, Site: string(c.EffectiveSite()),
+			}]
+			if !ok {
+				pending = append(pending, c)
+				continue
+			}
+			if diffcheck.IsFinding(diffcheck.Verdict(v)) {
+				redo = append(redo, c)
+			}
+		}
+		fmt.Printf("authfuzz: resume: %d/%d cells already done (%d prior findings)\n",
+			total-len(pending), total, len(redo))
+		cells = pending
+	}
 
 	start := time.Now()
-	results, findings, err := diffcheck.SweepObserved(ctx, cells, diffcheck.Options{}, parallel, so)
+	results, findings, err := diffcheck.SweepObserved(ctx, cells, opt, parallel, so)
 	elapsed := time.Since(start).Round(time.Millisecond)
 
+	// Regenerate prior findings so a resumed campaign reports the same
+	// finding set as an uninterrupted one.
+	for _, c := range redo {
+		o := opt
+		o.Policy = c.Policy
+		o.Tamper = c.Tamper
+		o.TamperSite = c.Site
+		res, src := diffcheck.CheckSeed(c.Seed, o)
+		if diffcheck.IsFinding(res.Verdict) {
+			findings = append(findings, diffcheck.Finding{Result: res, Source: src})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Result, findings[j].Result
+		if a.Seed != b.Seed {
+			return a.Seed < b.Seed
+		}
+		return a.Policy.String() < b.Policy.String()
+	})
+
 	counts := map[diffcheck.Verdict]int{}
-	skipped := 0
+	skipped, cached := 0, 0
 	for _, r := range results {
 		if r.Verdict == "" {
 			skipped++
 			continue
 		}
 		counts[r.Verdict]++
+		if r.Cached {
+			cached++
+		}
 		if verbose {
 			fmt.Printf("seed %-6d %-45v tamper=%-5v %s\n", r.Seed, r.Policy, r.Tamper, r.Verdict)
 		}
 	}
 	fmt.Printf("authfuzz: %d cells (%d seeds x %d policies, mode %s, tamper %v) in %v\n",
-		len(cells), len(seeds), len(pols), mode, tamper, elapsed)
+		total, len(seeds), len(pols), mode, tamper, elapsed)
 	fmt.Printf("authfuzz: verdicts:")
 	for _, v := range []diffcheck.Verdict{diffcheck.VerdictOK, diffcheck.VerdictContained,
 		diffcheck.VerdictDetected, diffcheck.VerdictUndetected, diffcheck.VerdictDivergence, diffcheck.VerdictError} {
@@ -218,10 +285,20 @@ func runSweep(ctx context.Context, seeds []int64, pols []policy.ControlPoint, mo
 			fmt.Printf(" %s=%d", v, counts[v])
 		}
 	}
+	if cached > 0 {
+		fmt.Printf(" cached=%d", cached)
+	}
 	if skipped > 0 {
 		fmt.Printf(" skipped=%d (budget)", skipped)
 	}
 	fmt.Println()
+	if store != nil {
+		fmt.Printf("authfuzz: cache: %d hits, %d misses, %d stored (%s)\n",
+			store.Hits(), store.Misses(), store.Puts(), store.Dir())
+		if cerr := store.Err(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "authfuzz: cache: %v\n", cerr)
+		}
+	}
 	if err != nil && err != context.DeadlineExceeded {
 		fmt.Fprintf(os.Stderr, "authfuzz: sweep: %v\n", err)
 	}

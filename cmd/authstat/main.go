@@ -67,6 +67,7 @@ type polStats struct {
 	kind, policy string
 	cells        int
 	cached       int
+	skipped      int
 	errs         int
 	simCycles    uint64
 	hostNs       int64
@@ -108,6 +109,7 @@ func cmdSummary(args []string) {
 	groups := map[[2]string]*polStats{}
 	var totalNs int64
 	var totalCycles uint64
+	var totalCached, totalSkipped, totalRun int
 	for _, r := range lf.Records {
 		key := [2]string{r.Kind, r.Policy}
 		g := groups[key]
@@ -116,8 +118,18 @@ func cmdSummary(args []string) {
 			groups[key] = g
 		}
 		g.cells++
+		// Skipped cells did no work (budget expired before they ran): they
+		// count toward the group's cell total but stay out of the cost
+		// histograms and error counts.
+		if r.Verdict == telemetry.VerdictSkipped {
+			g.skipped++
+			totalSkipped++
+			continue
+		}
+		totalRun++
 		if r.Cached {
 			g.cached++
+			totalCached++
 		}
 		if r.Err != "" {
 			g.errs++
@@ -144,16 +156,16 @@ func cmdSummary(args []string) {
 	fmt.Printf("ledger: campaign %q on %s/%s (%d cpu, %s), %d records\n",
 		lf.Header.Campaign, lf.Header.GOOS, lf.Header.GOARCH,
 		lf.Header.NumCPU, lf.Header.GoVersion, len(lf.Records))
-	fmt.Printf("\n%-8s %-38s %6s %6s %5s %14s %10s %9s\n",
-		"kind", "policy", "cells", "cached", "errs", "sim-cycles", "host", "ns/cycle")
+	fmt.Printf("\n%-8s %-38s %6s %6s %6s %5s %14s %10s %9s\n",
+		"kind", "policy", "cells", "cached", "skip", "errs", "sim-cycles", "host", "ns/cycle")
 	for _, k := range keys {
 		g := groups[k]
 		nsPerCycle := 0.0
 		if g.simCycles > 0 {
 			nsPerCycle = float64(g.hostNs) / float64(g.simCycles)
 		}
-		fmt.Printf("%-8s %-38s %6d %6d %5d %14d %10v %9.1f\n",
-			g.kind, g.policy, g.cells, g.cached, g.errs, g.simCycles,
+		fmt.Printf("%-8s %-38s %6d %6d %6d %5d %14d %10v %9.1f\n",
+			g.kind, g.policy, g.cells, g.cached, g.skipped, g.errs, g.simCycles,
 			time.Duration(g.hostNs).Round(time.Millisecond), nsPerCycle)
 		fmt.Printf("%-8s   host-cost histogram:", "")
 		for i, n := range g.hist {
@@ -173,7 +185,7 @@ func cmdSummary(args []string) {
 	// data, mac, ctr, tree).
 	sites := map[string]*siteStats{}
 	for _, r := range lf.Records {
-		if r.Site == "" {
+		if r.Site == "" || r.Verdict == telemetry.VerdictSkipped {
 			continue
 		}
 		s := sites[r.Site]
@@ -219,10 +231,14 @@ func cmdSummary(args []string) {
 	}
 	fmt.Printf("\ntotal (fresh cells): %d sim-cycles in %v host (%.1f ns/cycle)\n",
 		totalCycles, time.Duration(totalNs).Round(time.Millisecond), nsPerCycle)
+	if totalRun > 0 {
+		fmt.Printf("cache: %d/%d run cells served from cache (%.1f%% hit rate), %d skipped by budget\n",
+			totalCached, totalRun, 100*float64(totalCached)/float64(totalRun), totalSkipped)
+	}
 
 	slow := make([]telemetry.Record, 0, len(lf.Records))
 	for _, r := range lf.Records {
-		if !r.Cached {
+		if !r.Cached && r.Verdict != telemetry.VerdictSkipped {
 			slow = append(slow, r)
 		}
 	}

@@ -38,8 +38,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
+	"authpoint/internal/campaign"
 	"authpoint/internal/contract"
 	"authpoint/internal/diffcheck"
 	"authpoint/internal/obs"
@@ -71,6 +73,8 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "attach an observability hub to every timed run; print the merged campaign metrics (and write metrics.json under -out)")
 		teleOut   = flag.String("telemetry", "", "stream a JSONL run ledger (one record per cell) to this path")
 		progress  = flag.Bool("progress", false, "print live progress/ETA heartbeats to stderr")
+		cacheDir  = flag.String("cache", "", "content-addressed result cache directory: checks hit the cache instead of simulating when the (program, policy, options) cell was already checked")
+		resumeAt  = flag.String("resume", "", "resume from a prior run's telemetry ledger: cells it records as done are not re-run (prior findings are regenerated through the cache)")
 	)
 	flag.Parse()
 
@@ -97,6 +101,19 @@ func main() {
 		defer cancel()
 	}
 
+	var store *campaign.Store
+	if *cacheDir != "" {
+		if store, err = campaign.Open(*cacheDir); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	var done map[campaign.CellID]string
+	if *resumeAt != "" {
+		if done, err = campaign.LoadCompleted(*resumeAt); err != nil {
+			fatalf("resume: %v", err)
+		}
+	}
+
 	stopProf, err := prof.Start(*cpuprof)
 	if err != nil {
 		fatalf("%v", err)
@@ -117,7 +134,7 @@ func main() {
 		}
 	}
 
-	bad := runSweep(ctx, seeds, pols, *mode, *minimize, *outDir, *parallel, *verbose, so)
+	bad := runSweep(ctx, seeds, pols, *mode, *minimize, *outDir, *parallel, *verbose, so, store, done)
 	if *kernels {
 		bad = runKernels(*verbose) || bad
 	}
@@ -170,7 +187,7 @@ func writeMetricsJSON(outDir string, snap *obs.Snapshot) error {
 	return nil
 }
 
-func runSweep(ctx context.Context, seeds []int64, pols []policy.ControlPoint, mode string, minimize bool, outDir string, parallel int, verbose bool, so *diffcheck.SweepObs) bool {
+func runSweep(ctx context.Context, seeds []int64, pols []policy.ControlPoint, mode string, minimize bool, outDir string, parallel int, verbose bool, so *diffcheck.SweepObs, store *campaign.Store, done map[campaign.CellID]string) bool {
 	var cells []contract.Cell
 	switch mode {
 	case "pair":
@@ -180,25 +197,70 @@ func runSweep(ctx context.Context, seeds []int64, pols []policy.ControlPoint, mo
 	default:
 		fatalf("mode %q: want pair or cross", mode)
 	}
+	total := len(cells)
+
+	// Resume: cells the prior ledger records as done are not swept again (the
+	// union of both ledgers then covers every cell exactly once). Prior
+	// finding cells are re-checked outside the ledger to regenerate the
+	// finding's program text — free when the cache holds the result.
+	opt := contract.Options{Cache: store}
+	var redo []contract.Cell
+	if done != nil {
+		pending := make([]contract.Cell, 0, len(cells))
+		for _, c := range cells {
+			v, ok := done[campaign.CellID{Kind: "verify", Policy: c.Policy.String(), Seed: c.Seed}]
+			if !ok {
+				pending = append(pending, c)
+				continue
+			}
+			if contract.IsFinding(contract.Verdict(v)) {
+				redo = append(redo, c)
+			}
+		}
+		fmt.Printf("authverify: resume: %d/%d cells already done (%d prior findings)\n",
+			total-len(pending), total, len(redo))
+		cells = pending
+	}
 
 	start := time.Now()
-	results, findings, err := contract.SweepObserved(ctx, cells, contract.Options{}, parallel, so)
+	results, findings, err := contract.SweepObserved(ctx, cells, opt, parallel, so)
 	elapsed := time.Since(start).Round(time.Millisecond)
 
+	// Regenerate prior findings so a resumed campaign reports the same
+	// finding set as an uninterrupted one.
+	for _, c := range redo {
+		o := opt
+		o.Policy = c.Policy
+		res, src := contract.CheckSeed(c.Seed, o)
+		if contract.IsFinding(res.Verdict) {
+			findings = append(findings, contract.Finding{Result: res, Source: src})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Result, findings[j].Result
+		if a.Seed != b.Seed {
+			return a.Seed < b.Seed
+		}
+		return a.Policy.String() < b.Policy.String()
+	})
+
 	counts := map[contract.Verdict]int{}
-	skipped := 0
+	skipped, cached := 0, 0
 	for _, r := range results {
 		if r.Verdict == "" {
 			skipped++
 			continue
 		}
 		counts[r.Verdict]++
+		if r.Cached {
+			cached++
+		}
 		if verbose {
 			fmt.Printf("seed %-6d %-45v %s\n", r.Seed, r.Policy, r.Verdict)
 		}
 	}
 	fmt.Printf("authverify: %d cells (%d seeds x %d policies, mode %s) in %v\n",
-		len(cells), len(seeds), len(pols), mode, elapsed)
+		total, len(seeds), len(pols), mode, elapsed)
 	fmt.Printf("authverify: verdicts:")
 	for _, v := range []contract.Verdict{contract.VerdictClean, contract.VerdictImprecise,
 		contract.VerdictLicensed, contract.VerdictUnsound, contract.VerdictError} {
@@ -206,10 +268,20 @@ func runSweep(ctx context.Context, seeds []int64, pols []policy.ControlPoint, mo
 			fmt.Printf(" %s=%d", v, counts[v])
 		}
 	}
+	if cached > 0 {
+		fmt.Printf(" cached=%d", cached)
+	}
 	if skipped > 0 {
 		fmt.Printf(" skipped=%d (budget)", skipped)
 	}
 	fmt.Println()
+	if store != nil {
+		fmt.Printf("authverify: cache: %d hits, %d misses, %d stored (%s)\n",
+			store.Hits(), store.Misses(), store.Puts(), store.Dir())
+		if cerr := store.Err(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "authverify: cache: %v\n", cerr)
+		}
+	}
 	if err != nil && err != context.DeadlineExceeded {
 		fmt.Fprintf(os.Stderr, "authverify: sweep: %v\n", err)
 	}

@@ -49,9 +49,12 @@ type Finding struct {
 	Source string
 }
 
-// bad reports whether a verdict is a finding. Licensed and imprecise are
-// expected outcomes of a conservative analysis, not findings.
-func bad(v Verdict) bool { return v == VerdictUnsound || v == VerdictError }
+// IsFinding reports whether a verdict is a finding. Licensed and imprecise
+// are expected outcomes of a conservative analysis, not findings.
+func IsFinding(v Verdict) bool { return v == VerdictUnsound || v == VerdictError }
+
+// bad is the sweep-internal alias for IsFinding.
+func bad(v Verdict) bool { return IsFinding(v) }
 
 // Sweep checks every cell on the harness worker pool (parallelism <= 0 means
 // NumCPU) and returns per-cell results in cell order plus the findings,
@@ -102,6 +105,7 @@ func SweepObserved(ctx context.Context, cells []Cell, opt Options, parallelism i
 				SimCycles: res.CyclesA + res.CyclesB,
 				HostNs:    time.Since(start).Nanoseconds(),
 				Worker:    telemetry.Worker(ctx),
+				Cached:    res.Cached,
 			})
 		}
 		if bad(res.Verdict) {
@@ -111,6 +115,24 @@ func SweepObserved(ctx context.Context, cells []Cell, opt Options, parallelism i
 		}
 		return nil
 	})
+	// Cells the budget (or a fail-fast cancel) never ran get explicit skipped
+	// records, mirroring the fuzz sweep: no silent sequence holes, and a
+	// resumed campaign can tell skipped from done.
+	if so != nil && so.Ledger != nil {
+		for i, r := range results {
+			if r.Verdict != "" {
+				continue
+			}
+			c := cells[i]
+			so.Ledger.Emit(telemetry.Record{
+				Seq:     seqBase + uint64(i),
+				Kind:    "verify",
+				Policy:  c.Policy.String(),
+				Seed:    c.Seed,
+				Verdict: telemetry.VerdictSkipped,
+			})
+		}
+	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Result, findings[j].Result
 		if a.Seed != b.Seed {

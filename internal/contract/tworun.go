@@ -2,16 +2,24 @@ package contract
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 
 	"authpoint/internal/analysis"
 	"authpoint/internal/asm"
 	"authpoint/internal/bus"
+	"authpoint/internal/campaign"
 	"authpoint/internal/diffcheck"
 	"authpoint/internal/obs"
 	"authpoint/internal/policy"
 	"authpoint/internal/sim"
 )
+
+// CheckSchema versions the two-run check's semantics for the campaign result
+// cache: the verdict set, the adversary-view encoding, the secret-pair
+// derivation, and the contract derivation. Any change that could alter a
+// Result for the same (source, policy, options) must bump it.
+const CheckSchema = "authverify/check/v1"
 
 // Verdict classifies one two-run contract check.
 type Verdict string
@@ -71,8 +79,16 @@ type Options struct {
 	// (two per check — run A and run B). It must be safe for concurrent
 	// use: sweeps call it from every worker. The hub shares the bus
 	// observer slot with the adversary collector through a tee, so the
-	// recorded view is unchanged.
+	// recorded view is unchanged. Cache hits produce no snapshot: nothing
+	// was simulated.
 	MetricsSink func(*obs.Snapshot)
+	// Cache, if set, is the campaign result cache: CheckProgram consults it
+	// before simulating and records fresh results into it, keyed on
+	// (CheckSchema, source digest, normalized policy, and every
+	// result-relevant option including the secret images). Cached and fresh
+	// results are bit-identical — the same determinism the .leak replay
+	// corpus pins.
+	Cache *campaign.Store
 }
 
 // ViewEvent is one bus transaction as the adversary records it: start cycle,
@@ -115,6 +131,10 @@ type Result struct {
 	// SecretA and SecretB are the images the runs used (recorded for
 	// deterministic replay).
 	SecretA, SecretB []byte
+	// Cached marks a result served from the campaign cache rather than a
+	// fresh pair of simulations. Not part of the result's identity, so it
+	// is excluded from the cache payload.
+	Cached bool `json:"-"`
 }
 
 // busCollector records the adversary view: bus transactions only.
@@ -145,8 +165,55 @@ func CheckSeed(seed int64, opt Options) (Result, string) {
 	return CheckProgram(src, opt), src
 }
 
-// CheckProgram assembles src and runs the two-run contract check on it.
+// CheckProgram assembles src and runs the two-run contract check on it,
+// consulting the campaign cache (Options.Cache) first when one is attached.
 func CheckProgram(src string, opt Options) Result {
+	key, keyed := campaign.Key{}, false
+	if opt.Cache != nil {
+		key, keyed = cacheKey(src, opt)
+	}
+	if keyed {
+		var cached Result
+		if ok, _ := opt.Cache.Get(key, &cached); ok {
+			cached.Cached = true
+			return cached
+		}
+	}
+	res := checkProgram(src, opt)
+	if keyed && res.Verdict != "" {
+		_ = opt.Cache.Put(key, res) // sticky error surfaced via Store.Err
+	}
+	return res
+}
+
+// cacheKey addresses one two-run check in the campaign cache. Every
+// result-relevant option is folded into the key — including the seed (it
+// derives the secret pair) and any explicit secret images — so a hit is
+// bit-identical to the fresh check by construction. ok is false only if the
+// options fail to serialize, in which case the check runs uncached.
+func cacheKey(src string, opt Options) (campaign.Key, bool) {
+	fp, err := json.Marshal(struct {
+		Analysis         analysis.Options
+		Seed             int64
+		SecretA, SecretB []byte
+		Regions          []sim.Region
+		Watchdog         uint64
+		ObserveWatchdog  bool
+	}{opt.Analysis, opt.Seed, opt.SecretA, opt.SecretB, opt.Regions, opt.WatchdogCycles, opt.ObserveWatchdog})
+	if err != nil {
+		return campaign.Key{}, false
+	}
+	return campaign.Key{
+		Check:      CheckSchema,
+		Kind:       "verify",
+		ProgDigest: campaign.Digest([]byte(src)),
+		Policy:     opt.Policy.Normalize().String(),
+		Options:    string(fp),
+	}, true
+}
+
+// checkProgram is the uncached check body.
+func checkProgram(src string, opt Options) Result {
 	p, err := asm.Assemble(src)
 	if err != nil {
 		return Result{

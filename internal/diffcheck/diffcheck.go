@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"authpoint/internal/asm"
+	"authpoint/internal/campaign"
 	"authpoint/internal/cryptoengine/mactree"
 	"authpoint/internal/cryptoengine/pacmac"
 	"authpoint/internal/interp"
@@ -13,6 +14,13 @@ import (
 	"authpoint/internal/policy"
 	"authpoint/internal/sim"
 )
+
+// CheckSchema versions the differential check's semantics for the campaign
+// result cache: the verdict set, the state-digest encoding, the default
+// bounds, and the containment invariants. Any change that could alter a
+// Result for the same (source, policy, tamper, site, options) must bump it,
+// invalidating every cached cell at once.
+const CheckSchema = "authfuzz/check/v1"
 
 // Verdict classifies one differential check.
 type Verdict string
@@ -111,7 +119,21 @@ type Options struct {
 	// concurrent use: sweeps call it from every worker. Attaching the
 	// observer does not change the Result — the fast path is pinned
 	// cycle-identical with a hub attached — so replay files stay valid.
+	// Cache hits produce no snapshot: nothing was simulated.
 	MetricsSink func(*obs.Snapshot)
+	// Cache, if set, is the campaign result cache: Check consults it before
+	// simulating and records fresh results into it, keyed on (CheckSchema,
+	// source digest, normalized policy, options, tamper+site). Cached and
+	// fresh results are bit-identical — the same determinism the .repro
+	// replay corpus pins. Checks with Mutate set bypass the cache (a
+	// mutation function has no canonical fingerprint).
+	Cache *campaign.Store
+	// Oracle, if set, memoizes the in-order oracle leg across checks: the
+	// oracle run is policy-independent (up to the architectural PAC mode),
+	// so a cross campaign pays it once per seed instead of once per
+	// (seed x policy). Checks with Mutate set bypass the memo (mutations
+	// may move the digest windows).
+	Oracle *OracleMemo
 }
 
 // DefaultMaxOracleInsts bounds the in-order oracle: generated programs
@@ -147,6 +169,11 @@ type Result struct {
 	// untampered runs with VerdictOK they are equal by construction.
 	OracleDigest string
 	SimDigest    string
+	// Cached marks a result served from the campaign cache rather than a
+	// fresh simulation. Not part of the result's identity (cached and fresh
+	// results are bit-identical otherwise), so it is excluded from the
+	// cache payload.
+	Cached bool `json:"-"`
 }
 
 func (o Options) withDefaults() Options {
@@ -184,8 +211,52 @@ func CheckSeed(seed int64, opt Options) (Result, string) {
 // behaviour, committed instruction count, both register files, the OUT log,
 // and the final memory image of the data segment and stack. Under Tamper it
 // instead asserts the policy's containment invariants (see Verdicts).
+//
+// With Options.Cache set (and no Mutate), Check first consults the campaign
+// result cache and returns the recorded Result on a hit, marked Cached;
+// fresh results are recorded for the next campaign. Cached results are
+// bit-identical to fresh ones by the same determinism the replay corpus
+// pins.
 func Check(src string, opt Options) Result {
 	opt = opt.withDefaults()
+	if opt.Cache != nil && opt.Mutate == nil {
+		key := cacheKey(src, opt)
+		var cached Result
+		if ok, err := opt.Cache.Get(key, &cached); err == nil && ok {
+			cached.Cached = true
+			return cached
+		}
+		res := check(src, opt)
+		if res.Verdict != "" {
+			// Write errors are sticky on the store; campaigns surface them
+			// once at the end instead of failing cell by cell.
+			_ = opt.Cache.Put(key, res)
+		}
+		return res
+	}
+	return check(src, opt)
+}
+
+// cacheKey derives the content address of one check. opt must already have
+// defaults applied, so the key is canonical: an entry-site tamper always
+// records "entry", bounds are always explicit.
+func cacheKey(src string, opt Options) campaign.Key {
+	k := campaign.Key{
+		Check:      CheckSchema,
+		Kind:       "fuzz",
+		ProgDigest: campaign.Digest([]byte(src)),
+		Policy:     opt.Policy.Normalize().String(),
+		Options:    fmt.Sprintf("max_oracle=%d watchdog=%d", opt.MaxOracleInsts, opt.WatchdogCycles),
+	}
+	if opt.Tamper {
+		k.Tamper = true
+		k.Site = string(opt.TamperSite)
+	}
+	return k
+}
+
+// check is the uncached differential check; opt has defaults applied.
+func check(src string, opt Options) Result {
 	res := Result{Policy: opt.Policy.Normalize(), Tamper: opt.Tamper, Site: opt.TamperSite}
 
 	p, err := asm.Assemble(src)
@@ -197,19 +268,6 @@ func Check(src string, opt Options) Result {
 	if opt.Tamper && opt.TamperSite == SiteData && len(p.Data) == 0 {
 		res.Verdict = VerdictError
 		res.Divergence = "tamper site data: program has no data segment"
-		return res
-	}
-
-	// Oracle leg. Tamper runs still record the untampered reference digest:
-	// it is the state the machine would have to "commit" for a containment
-	// break to go unnoticed. The oracle's pointer-authentication mode must
-	// match the timed machine's: auth-failure behaviour is architectural.
-	oracle := interp.New(p)
-	oracle.PACMode = pacModeFor(res.Policy)
-	oStop := oracle.Run(opt.MaxOracleInsts)
-	if oStop == interp.StopMaxInsts {
-		res.Verdict = VerdictError
-		res.Divergence = fmt.Sprintf("oracle did not terminate within %d instructions", opt.MaxOracleInsts)
 		return res
 	}
 
@@ -235,8 +293,26 @@ func Check(src string, opt Options) Result {
 		opt.Mutate(&cfg)
 	}
 	ranges := digestRanges(p, cfg.StackB)
-	od := oracle.StateDigest(ranges...)
-	res.OracleDigest = hex.EncodeToString(od[:])
+
+	// Oracle leg. Tamper runs still record the untampered reference digest:
+	// it is the state the machine would have to "commit" for a containment
+	// break to go unnoticed. The oracle's pointer-authentication mode must
+	// match the timed machine's: auth-failure behaviour is architectural.
+	// The leg is policy-independent beyond that mode, so a memo shares it
+	// across the policies of a cross campaign.
+	mode := pacModeFor(res.Policy)
+	var oracle *oracleState
+	if opt.Oracle != nil && opt.Mutate == nil {
+		oracle = opt.Oracle.run(src, p, mode, opt.MaxOracleInsts, ranges)
+	} else {
+		oracle = runOracle(p, mode, opt.MaxOracleInsts, ranges)
+	}
+	if oracle.stop == interp.StopMaxInsts {
+		res.Verdict = VerdictError
+		res.Divergence = fmt.Sprintf("oracle did not terminate within %d instructions", opt.MaxOracleInsts)
+		return res
+	}
+	res.OracleDigest = hex.EncodeToString(oracle.digest[:])
 
 	m, err := sim.NewMachine(cfg, p)
 	if err != nil {
@@ -305,7 +381,7 @@ func Check(src string, opt Options) Result {
 		case SiteData:
 			return checkTamperData(res, m, simRes, p.DataBase&^63)
 		case SiteMac, SiteTree:
-			return checkTamperMeta(res, m, simRes, oracle, oStop, ranges)
+			return checkTamperMeta(res, m, simRes, oracle, ranges)
 		default: // entry, ctr: the fetched instruction stream is garbage
 			return checkTamper(res, m, simRes)
 		}
@@ -315,7 +391,7 @@ func Check(src string, opt Options) Result {
 		res.Divergence = "model error: " + runErr.Error()
 		return res
 	}
-	if d := compare(oracle, oStop, m, simRes, ranges); d != "" {
+	if d := compare(oracle, m, simRes, ranges); d != "" {
 		res.Verdict = VerdictDivergence
 		res.Divergence = d
 		return res
@@ -344,12 +420,12 @@ func pacModeFor(pt policy.ControlPoint) pacmac.Mode {
 // under the baseline the run must be architecturally equivalent to the
 // oracle; any authenticating policy must flag the entry line the moment it
 // verifies, and issue/commit gates must contain it with zero commits.
-func checkTamperMeta(res Result, m *sim.Machine, simRes sim.Result, oracle *interp.Machine, oStop interp.StopReason, ranges []interp.MemRange) Result {
+func checkTamperMeta(res Result, m *sim.Machine, simRes sim.Result, oracle *oracleState, ranges []interp.MemRange) Result {
 	k := res.Policy.Knobs()
 	if !k.Authenticate {
 		// Baseline: the metadata is never read, so the tamper must be
 		// completely invisible — full architectural equivalence.
-		if d := compare(oracle, oStop, m, simRes, ranges); d != "" {
+		if d := compare(oracle, m, simRes, ranges); d != "" {
 			res.Verdict = VerdictDivergence
 			res.Divergence = "metadata tamper perturbed an unauthenticated run: " + d
 			return res
@@ -469,16 +545,17 @@ func checkTamperData(res Result, m *sim.Machine, simRes sim.Result, lineAddr uin
 	return res
 }
 
-// compare diffs the architectural outcome of the two runs and returns a
-// description of the first difference ("" if equivalent).
-func compare(oracle *interp.Machine, oStop interp.StopReason, m *sim.Machine, simRes sim.Result, ranges []interp.MemRange) string {
-	switch oStop {
+// compare diffs the architectural outcome of the timed run against the
+// oracle snapshot and returns a description of the first difference ("" if
+// equivalent).
+func compare(oracle *oracleState, m *sim.Machine, simRes sim.Result, ranges []interp.MemRange) string {
+	switch oracle.stop {
 	case interp.StopHalt:
 		if simRes.Reason != sim.StopHalt {
 			return fmt.Sprintf("core stopped with %v, oracle halted", simRes.Reason)
 		}
-		if simRes.Insts != oracle.Insts {
-			return fmt.Sprintf("committed %d insts, oracle executed %d", simRes.Insts, oracle.Insts)
+		if simRes.Insts != oracle.insts {
+			return fmt.Sprintf("committed %d insts, oracle executed %d", simRes.Insts, oracle.insts)
 		}
 	case interp.StopFault:
 		// Precise exceptions: the committed state at the fault must match
@@ -487,38 +564,37 @@ func compare(oracle *interp.Machine, oStop interp.StopReason, m *sim.Machine, si
 		// instruction; the pipeline never commits it), so they are not
 		// compared here.
 		if simRes.Reason != sim.StopArchFault {
-			kind, addr, _ := oracle.Fault()
-			return fmt.Sprintf("core stopped with %v, oracle faulted (%s at %#x)", simRes.Reason, kind, addr)
+			return fmt.Sprintf("core stopped with %v, oracle faulted (%s at %#x)", simRes.Reason, oracle.faultKind, oracle.faultAddr)
 		}
 	}
 	for r := uint8(0); r < isa.NumIntRegs; r++ {
-		if got, want := m.Core.Reg(r), oracle.Regs[r]; got != want {
+		if got, want := m.Core.Reg(r), oracle.regs[r]; got != want {
 			return fmt.Sprintf("r%d = %#x, oracle %#x", r, got, want)
 		}
 	}
 	for r := uint8(0); r < isa.NumFPRegs; r++ {
-		if got, want := m.Core.FReg(r), oracle.FRegs[r]; got != want {
+		if got, want := m.Core.FReg(r), oracle.fregs[r]; got != want {
 			return fmt.Sprintf("f%d = %#x, oracle %#x", r, got, want)
 		}
 	}
 	outs := m.Core.OutLog()
-	if len(outs) != len(oracle.Outs) {
-		return fmt.Sprintf("%d OUTs, oracle %d", len(outs), len(oracle.Outs))
+	if len(outs) != len(oracle.outs) {
+		return fmt.Sprintf("%d OUTs, oracle %d", len(outs), len(oracle.outs))
 	}
 	for i := range outs {
-		if outs[i].Port != oracle.Outs[i].Port || outs[i].Val != oracle.Outs[i].Val {
+		if outs[i].Port != oracle.outs[i].Port || outs[i].Val != oracle.outs[i].Val {
 			return fmt.Sprintf("out[%d] = (%#x,%#x), oracle (%#x,%#x)",
-				i, outs[i].Port, outs[i].Val, oracle.Outs[i].Port, oracle.Outs[i].Val)
+				i, outs[i].Port, outs[i].Val, oracle.outs[i].Port, oracle.outs[i].Val)
 		}
 	}
-	for _, rg := range ranges {
+	for ri, rg := range ranges {
 		for off := uint64(0); off < rg.Len; off += 8 {
 			n := 8
 			if rg.Len-off < 8 {
 				n = int(rg.Len - off)
 			}
 			got := m.Shadow.ReadUint(rg.Start+off, n)
-			want := oracle.Mem.ReadUint(rg.Start+off, n)
+			want := oracle.readUint(ri, off, n)
 			if got != want {
 				return fmt.Sprintf("mem[%#x] = %#x, oracle %#x", rg.Start+off, got, want)
 			}

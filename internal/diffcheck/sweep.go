@@ -15,18 +15,34 @@ import (
 	"authpoint/internal/telemetry"
 )
 
+// MaxSeedRange bounds how many seeds one -seeds flag may expand to. The
+// explicit list is materialized up front, so an unbounded range would OOM the
+// CLI before any work starts; 1<<24 (~16.7M) seeds is comfortably past the
+// nightly tens-of-thousands shape while still only ~128MB of list.
+const MaxSeedRange = 1 << 24
+
 // ParseSeedRange parses an inclusive "lo:hi" seed-range flag into the
 // explicit seed list — the -seeds grammar shared by the fuzzing and
-// verification CLIs.
+// verification CLIs. A bare "42" is shorthand for "42:42".
 func ParseSeedRange(s string) ([]int64, error) {
 	lo, hi, ok := strings.Cut(s, ":")
 	if !ok {
-		return nil, fmt.Errorf("seeds %q: want lo:hi", s)
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("seeds %q: want lo:hi or a single seed", s)
+		}
+		return []int64{v}, nil
 	}
 	l, err1 := strconv.ParseInt(strings.TrimSpace(lo), 10, 64)
 	h, err2 := strconv.ParseInt(strings.TrimSpace(hi), 10, 64)
 	if err1 != nil || err2 != nil || h < l {
 		return nil, fmt.Errorf("seeds %q: want lo:hi with hi >= lo", s)
+	}
+	// h-l+1 overflows int64 for wide ranges (e.g. the full int64 span),
+	// flipping the make cap negative; compute the width in uint64, where
+	// two's-complement subtraction is exact for any l <= h.
+	if width := uint64(h) - uint64(l); width >= MaxSeedRange {
+		return nil, fmt.Errorf("seeds %q: range spans more than %d seeds", s, MaxSeedRange)
 	}
 	out := make([]int64, 0, h-l+1)
 	for v := l; v <= h; v++ {
@@ -42,6 +58,19 @@ type Cell struct {
 	Policy policy.ControlPoint
 	Tamper bool
 	Site   TamperSite
+}
+
+// EffectiveSite is the site a check of this cell records: tamper cells
+// default to the entry site, untampered cells have none. This is the Site
+// value the cell's ledger record carries, so resume joins on it.
+func (c Cell) EffectiveSite() TamperSite {
+	if !c.Tamper {
+		return ""
+	}
+	if c.Site == "" {
+		return SiteEntry
+	}
+	return c.Site
 }
 
 // WithSite returns the cells with every tamper cell retargeted to site.
@@ -87,9 +116,12 @@ type Finding struct {
 	Source string
 }
 
-// bad reports whether a verdict is a finding. Tamper verdicts other than
-// divergence are expected outcomes, not findings.
-func bad(v Verdict) bool { return v == VerdictDivergence || v == VerdictError }
+// IsFinding reports whether a verdict is a finding. Tamper verdicts other
+// than divergence are expected outcomes, not findings.
+func IsFinding(v Verdict) bool { return v == VerdictDivergence || v == VerdictError }
+
+// bad is the sweep-internal alias for IsFinding.
+func bad(v Verdict) bool { return IsFinding(v) }
 
 // SweepObs carries the campaign-level observability hooks of a sweep: the
 // telemetry ledger and progress meter, and an optional merged metrics
@@ -139,8 +171,12 @@ func Sweep(ctx context.Context, cells []Cell, opt Options, parallelism int) ([]R
 	return SweepObserved(ctx, cells, opt, parallelism, nil)
 }
 
-// SweepObserved is Sweep with campaign telemetry: per-cell ledger records,
-// live progress, and (optionally) merged observability metrics.
+// SweepObserved is Sweep with campaign telemetry: per-cell ledger records
+// (including explicit "skipped" records for cells the budget never ran, so a
+// ledger doubles as a resume checkpoint), live progress, and (optionally)
+// merged observability metrics. When the cell list repeats seeds (a cross
+// campaign) and the caller supplied no oracle memo, one is attached so the
+// policy-independent oracle leg runs once per seed.
 func SweepObserved(ctx context.Context, cells []Cell, opt Options, parallelism int, so *SweepObs) ([]Result, []Finding, error) {
 	runner := &harness.Runner{Parallelism: parallelism}
 	var seqBase uint64
@@ -152,6 +188,9 @@ func SweepObserved(ctx context.Context, cells []Cell, opt Options, parallelism i
 		if so.CollectMetrics {
 			opt.MetricsSink = so.Sink
 		}
+	}
+	if opt.Oracle == nil && seedsRepeat(cells) {
+		opt.Oracle = NewOracleMemo(0)
 	}
 	results := make([]Result, len(cells))
 	var (
@@ -183,6 +222,7 @@ func SweepObserved(ctx context.Context, cells []Cell, opt Options, parallelism i
 				Insts:     res.Insts,
 				HostNs:    time.Since(start).Nanoseconds(),
 				Worker:    telemetry.Worker(ctx),
+				Cached:    res.Cached,
 			})
 		}
 		if bad(res.Verdict) {
@@ -192,6 +232,27 @@ func SweepObserved(ctx context.Context, cells []Cell, opt Options, parallelism i
 		}
 		return nil
 	})
+	// Cells the budget (or a fail-fast cancel) never ran get explicit
+	// skipped records: without them a budget-expired ledger has silent
+	// sequence holes, indistinguishable from a truncated file — and resume
+	// could not tell skipped from done.
+	if so != nil && so.Ledger != nil {
+		for i, r := range results {
+			if r.Verdict != "" {
+				continue
+			}
+			c := cells[i]
+			so.Ledger.Emit(telemetry.Record{
+				Seq:     seqBase + uint64(i),
+				Kind:    "fuzz",
+				Policy:  c.Policy.String(),
+				Seed:    c.Seed,
+				Tamper:  c.Tamper,
+				Site:    string(c.EffectiveSite()),
+				Verdict: telemetry.VerdictSkipped,
+			})
+		}
+	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Result, findings[j].Result
 		if a.Seed != b.Seed {
@@ -200,4 +261,17 @@ func SweepObserved(ctx context.Context, cells []Cell, opt Options, parallelism i
 		return a.Policy.String() < b.Policy.String()
 	})
 	return results, findings, err
+}
+
+// seedsRepeat reports whether any seed appears in more than one cell — the
+// shape under which an oracle memo pays for itself.
+func seedsRepeat(cells []Cell) bool {
+	seen := make(map[int64]bool, len(cells))
+	for _, c := range cells {
+		if seen[c.Seed] {
+			return true
+		}
+		seen[c.Seed] = true
+	}
+	return false
 }

@@ -205,10 +205,15 @@ feed:
 	wg.Wait()
 
 	// Cells never dispatched (fail-fast or external cancel) carry the
-	// context error so callers can tell them from successes.
+	// context error so callers can tell them from successes. They still get
+	// a ledger record — explicitly marked skipped — so a budget-expired
+	// ledger has no silent sequence holes and doubles as a resume checkpoint.
 	for i := range out {
 		if out[i].Err == errNotRun {
 			out[i].Err = ctx.Err()
+			if r.Ledger != nil {
+				r.Ledger.Emit(benchRecord(seqBase+uint64(i), 0, out[i]))
+			}
 		}
 	}
 	if firstErr != nil {
@@ -232,6 +237,11 @@ func benchRecord(seq uint64, worker int, o Outcome) telemetry.Record {
 	}
 	if o.Err != nil {
 		rec.Err = o.Err.Error()
+		// A cancellation error means the budget expired before the cell ran —
+		// skipped work, not a failing cell.
+		if errors.Is(o.Err, context.Canceled) || errors.Is(o.Err, context.DeadlineExceeded) {
+			rec.Verdict = telemetry.VerdictSkipped
+		}
 	}
 	return rec
 }

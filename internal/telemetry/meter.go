@@ -80,7 +80,12 @@ func (m *Meter) line(now time.Time, final bool) {
 		fmt.Fprintf(m.w, "%s: %d done in %s (%.1f/s)\n",
 			m.label, m.done, elapsed.Round(time.Millisecond), rate)
 	case m.total > 0 && rate > 0:
+		// done can overrun total (AddTotal undercounted, or skipped cells
+		// ticked twice); a clamp keeps the heartbeat from printing "eta -2s".
 		remaining := float64(m.total-m.done) / rate
+		if remaining < 0 {
+			remaining = 0
+		}
 		fmt.Fprintf(m.w, "%s: %d/%d (%.1f/s, eta %s)\n",
 			m.label, m.done, m.total, rate,
 			(time.Duration(remaining * float64(time.Second))).Round(time.Second))

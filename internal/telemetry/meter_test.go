@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recordWriter captures each heartbeat line for assertion.
+type recordWriter struct{ lines []string }
+
+func (w *recordWriter) Write(p []byte) (int, error) {
+	w.lines = append(w.lines, string(p))
+	return len(p), nil
+}
+
+// TestMeterETAClampedAtZero pins the overrun case: when done exceeds total
+// (an undercounted AddTotal, or skipped cells double-ticked), the heartbeat
+// must clamp the ETA at zero instead of printing a negative duration.
+func TestMeterETAClampedAtZero(t *testing.T) {
+	w := &recordWriter{}
+	m := NewMeter(w, "test", 0)
+	m.interval = 0 // print on every tick
+	m.AddTotal(1)
+	time.Sleep(time.Millisecond) // ensure elapsed > 0 so a rate is computed
+	m.Tick(3)                    // done=3 > total=1
+	if len(w.lines) == 0 {
+		t.Fatal("no heartbeat printed")
+	}
+	out := w.lines[len(w.lines)-1]
+	if strings.Contains(out, "eta -") {
+		t.Fatalf("heartbeat printed a negative ETA: %q", out)
+	}
+	if !strings.Contains(out, "eta 0s") {
+		t.Fatalf("heartbeat did not clamp ETA at zero: %q", out)
+	}
+}
+
+// TestMeterUnderTotal sanity-checks the normal case still renders an ETA.
+func TestMeterUnderTotal(t *testing.T) {
+	w := &recordWriter{}
+	m := NewMeter(w, "test", 10)
+	m.interval = 0
+	time.Sleep(time.Millisecond)
+	m.Tick(2)
+	out := w.lines[len(w.lines)-1]
+	if !strings.Contains(out, "2/10") || !strings.Contains(out, "eta ") {
+		t.Fatalf("heartbeat missing progress/ETA: %q", out)
+	}
+}

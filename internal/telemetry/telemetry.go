@@ -27,6 +27,12 @@ import (
 // a Header carrying it.
 const LedgerSchema = "authtelemetry/ledger/v1"
 
+// VerdictSkipped marks a cell the campaign never ran (budget expiry or
+// fail-fast cancellation). Campaigns emit one explicit skipped record per
+// unreached cell so a budget-expired ledger is distinguishable from a
+// truncated one — and so resume can tell skipped from done.
+const VerdictSkipped = "skipped"
+
 // Header is the first JSONL line of a ledger: campaign identity and the host
 // environment the numbers were measured on.
 type Header struct {
@@ -241,6 +247,7 @@ func (lf *LedgerFile) Validate() error {
 		return fmt.Errorf("telemetry: ledger has no records")
 	}
 	seen := make(map[uint64]int, len(lf.Records))
+	var maxSeq uint64
 	for i, r := range lf.Records {
 		if r.Kind == "" {
 			return fmt.Errorf("telemetry: record %d has no kind", i)
@@ -249,6 +256,20 @@ func (lf *LedgerFile) Validate() error {
 			return fmt.Errorf("telemetry: records %d and %d share seq %d", j, i, r.Seq)
 		}
 		seen[r.Seq] = i
+		if r.Seq > maxSeq {
+			maxSeq = r.Seq
+		}
+	}
+	// Sequences are reserved 0..N-1 up front and every reserved cell emits a
+	// record (budget-expired cells emit explicit "skipped" ones), so a gap
+	// means lost records — a truncated or corrupted ledger.
+	if uint64(len(lf.Records)) != maxSeq+1 {
+		for s := uint64(0); s <= maxSeq; s++ {
+			if _, ok := seen[s]; !ok {
+				return fmt.Errorf("telemetry: ledger is missing seq %d (%d records, max seq %d): truncated?",
+					s, len(lf.Records), maxSeq)
+			}
+		}
 	}
 	return nil
 }
